@@ -1,0 +1,17 @@
+"""Bench: ablation — the MCR gain is address-mapping independent."""
+
+from conftest import run_once, show
+
+from repro.experiments.mapping_ablation import run_mapping_ablation
+
+
+def test_mapping_ablation(benchmark, scale):
+    result = run_once(benchmark, run_mapping_ablation, scale=scale)
+    show(result)
+    avg = {r[1]: r[3] for r in result.rows if r[0] == "AVG"}
+    # The MCR improvement survives under every address mapping.
+    assert all(v > 0 for v in avg.values()), avg
+    # And the mapping knob itself matters: baselines differ across
+    # schemes (permutation spreads row conflicts).
+    totals = {r[1]: r[2] for r in result.rows if r[0] == "AVG"}
+    assert len(set(totals.values())) > 1

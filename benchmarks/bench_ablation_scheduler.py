@@ -1,0 +1,21 @@
+"""Bench: ablation — MCR-DRAM's gain is scheduler-independent."""
+
+from conftest import run_once, show
+
+from repro.experiments.scheduler_ablation import run_scheduler_ablation
+
+
+def test_scheduler_ablation(benchmark, scale):
+    result = run_once(benchmark, run_scheduler_ablation, scale=scale)
+    show(result)
+    avg = {r[1]: r[3] for r in result.rows if r[0] == "AVG"}
+    # The MCR improvement survives under every scheduler (the paper's
+    # scheduling-independence claim).
+    assert avg["FR_FCFS"] > 0
+    assert avg["FCFS"] > 0
+    assert avg["CLOSED_PAGE"] > 0
+    # And FCFS baselines really are slower than FR-FCFS baselines —
+    # i.e. the policy knob is doing something.
+    fr_cycles = [r[2] for r in result.rows if r[1] == "FR_FCFS" and r[0] != "AVG"]
+    fcfs_cycles = [r[2] for r in result.rows if r[1] == "FCFS" and r[0] != "AVG"]
+    assert sum(fcfs_cycles) >= sum(fr_cycles)

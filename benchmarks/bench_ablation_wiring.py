@@ -1,0 +1,19 @@
+"""Bench: ablation — the refresh-counter wiring's end-to-end value."""
+
+from conftest import run_once, show
+
+from repro.experiments.wiring_ablation import run_wiring_ablation
+
+
+def test_wiring_ablation(benchmark, scale):
+    result = run_once(benchmark, run_wiring_ablation, scale=scale)
+    show(result)
+    avg = {r[1]: r[3] for r in result.rows if r[0] == "AVG"}
+    # The paper's wiring is strictly better end-to-end: without it,
+    # Early-Precharge is nullified (tRAS regresses above the normal row's
+    # 35 ns) and only Early-Access remains.
+    assert avg["K_TO_N_MINUS_1_K"] > avg["K_TO_K"]
+    # The naive-wiring timing row shows the regressed tRAS.
+    timing = {r[1]: r[3] for r in result.rows if r[0] == "timing"}
+    assert timing["K_TO_K"].startswith("tRAS=47")  # 46.51 -> 47.50 quantized
+    assert timing["K_TO_N_MINUS_1_K"] == "tRAS=20.00ns"

@@ -1,0 +1,21 @@
+"""Bench: capacity pressure and the dynamic-mode crossover."""
+
+from conftest import run_once, show
+
+from repro.experiments.capacity_sweep import run_capacity_sweep
+
+
+def test_capacity_sweep(benchmark, scale):
+    result = run_once(benchmark, run_capacity_sweep, scale=scale)
+    show(result)
+    winners = result.series["winners"]
+    # At low pressure a low-latency mode wins; at high pressure the
+    # capacity-preserving conventional mode wins — the crossover that
+    # motivates dynamic MCR-mode change.
+    assert winners[0] != "off"
+    assert winners[-1] == "off"
+    # The winner sequence only ever relaxes (4x -> 2x -> off), never
+    # tightens, as pressure grows.
+    rank = {"4/4x/100%reg": 0, "2/2x/100%reg": 1, "off": 2}
+    ranks = [rank[w] for w in winners]
+    assert ranks == sorted(ranks)

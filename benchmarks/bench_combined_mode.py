@@ -1,0 +1,18 @@
+"""Bench: the combined 2x+4x MCR extension (paper Sec. 4.4 sketch)."""
+
+from conftest import run_once, show
+
+from repro.experiments.combined_mode import CAPACITY, run_combined
+
+
+def test_combined_mode(benchmark, scale):
+    result = run_once(benchmark, run_combined, scale=scale)
+    show(result)
+    avg = {r[1]: r[3] for r in result.rows if r[0] == "AVG"}
+    # Every MCR configuration beats the baseline.
+    assert all(v > 0 for v in avg.values()), avg
+    # The combined mode exposes more usable capacity than pure 4x...
+    assert CAPACITY["combined"] > CAPACITY["4/4x/100%reg"]
+    # ...while recovering a large share of pure-4x's gain (at least the
+    # 2x-only level minus noise).
+    assert avg["combined"] >= 0.6 * avg["4/4x/100%reg"] - 1.0

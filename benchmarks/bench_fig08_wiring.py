@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig. 8 (refresh-counter wirings)."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig08_wiring
+
+
+def test_fig08_wiring(benchmark):
+    result = run_once(benchmark, fig08_wiring.run)
+    show(result)
+    rows = {(r[0], r[1]): r[3] for r in result.rows}
+    # Paper Fig. 8(b): naive wiring leaves 56/40 ms worst-case intervals.
+    assert rows[("K to K", "2x")] == 56.0
+    assert rows[("K to K", "4x")] == 40.0
+    # Paper Fig. 8(c): bit-reversed wiring is uniform at 64/K ms.
+    assert rows[("K to N-1-K", "2x")] == 32.0
+    assert rows[("K to N-1-K", "4x")] == 16.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate paper Fig. 10 (SPICE-substitute voltage curves)."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig10_table3
+
+
+def test_fig10_curves(benchmark):
+    result = run_once(benchmark, fig10_table3.run_fig10)
+    show(result)
+    marks = {(r[0], r[1]): r[3] for r in result.rows}
+    # Fig. 10(a): accessible-voltage crossings order 4x < 2x < 1x.
+    assert marks[("bitline", "4x MCR")] < marks[("bitline", "2x MCR")]
+    assert marks[("bitline", "2x MCR")] < marks[("bitline", "1x MCR")]
+    # Fig. 10(b): Early-Precharge targets order 4/4x < 2/2x < 1/1x.
+    assert marks[("cell", "4x MCR")] < marks[("cell", "2x MCR")]
+    assert marks[("cell", "2x MCR")] < marks[("cell", "1x MCR")]
+    # The curves themselves are attached for plotting.
+    assert len(result.series["bitline"]) == 3
+    labels, times, volts = result.series["bitline"][0]
+    assert len(times) == len(volts)

@@ -1,0 +1,19 @@
+"""Bench: regenerate paper Fig. 12 (single-core profile allocation)."""
+
+from conftest import run_once, show
+
+from repro.experiments.fig12_fig15_profile import run_fig12
+
+
+def test_fig12_single_profile(benchmark, scale):
+    result = run_once(benchmark, run_fig12, scale=scale)
+    show(result)
+    avg = {(r[1], r[2]): r[3] for r in result.rows if r[0] == "AVG"}
+    # Execution time improves at every allocation ratio, and more
+    # allocation never hurts materially (paper: consistent improvement
+    # with diminishing returns).
+    assert avg[("4/4x/50%reg", 0.1)] > 0
+    assert avg[("4/4x/50%reg", 0.3)] > 0
+    assert avg[("2/2x/50%reg", 0.3)] > 0
+    if scale.name != "smoke":  # monotonicity needs several workloads
+        assert avg[("4/4x/50%reg", 0.3)] >= avg[("4/4x/50%reg", 0.1)] - 1.5

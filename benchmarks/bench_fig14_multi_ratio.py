@@ -1,0 +1,23 @@
+"""Bench: regenerate paper Fig. 14 (multi-core MCR-ratio sensitivity)."""
+
+from conftest import run_once, show
+
+from repro.experiments.fig11_fig14_ratio import run_fig14
+
+
+def test_fig14_multi_ratio(benchmark, scale):
+    result = run_once(benchmark, run_fig14, scale=scale)
+    show(result)
+    avg = {(r[1], r[2]): r[3] for r in result.rows if r[0] == "AVG"}
+    # Same trends as single-core (paper Sec. 6.2): gains grow with the
+    # ratio, 4/4x beats 2/2x at equal ratio, and [2/2x]@1.0 beats
+    # [4/4x]@0.5.
+    assert avg[("4/4x", 1.0)] > avg[("4/4x", 0.25)]
+    assert avg[("4/4x", 1.0)] > avg[("2/2x", 1.0)]
+    # The capacity-argument crossover is statistical; with a single mix
+    # at smoke scale only require it not to invert badly.
+    if scale.name == "smoke":
+        assert avg[("2/2x", 1.0)] > avg[("4/4x", 0.5)] - 1.5
+    else:
+        assert avg[("2/2x", 1.0)] > avg[("4/4x", 0.5)]
+    assert avg[("4/4x", 1.0)] > 3.0

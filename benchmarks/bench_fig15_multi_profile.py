@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Fig. 15 (multi-core profile allocation)."""
+
+from conftest import run_once, show
+
+from repro.experiments.fig12_fig15_profile import run_fig15
+
+
+def test_fig15_multi_profile(benchmark, scale):
+    result = run_once(benchmark, run_fig15, scale=scale)
+    show(result)
+    avg = {(r[1], r[2]): r[3] for r in result.rows if r[0] == "AVG"}
+    # Allocation helps at every ratio and grows (with diminishing
+    # returns) toward the paper's 7.8% at 30%.
+    assert avg[("4/4x/50%reg", 0.1)] > 0
+    assert avg[("4/4x/50%reg", 0.3)] > 0
+    if scale.name != "smoke":  # monotonicity needs >1 mix to be stable
+        assert avg[("4/4x/50%reg", 0.3)] >= avg[("4/4x/50%reg", 0.1)] - 1.5

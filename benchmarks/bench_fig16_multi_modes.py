@@ -1,0 +1,22 @@
+"""Bench: regenerate paper Fig. 16 (multi-core MCR-mode analysis)."""
+
+from conftest import run_once, show
+
+from repro.experiments.fig13_fig16_modes import run_fig16
+
+
+def test_fig16_multi_modes(benchmark, scale):
+    result = run_once(benchmark, run_fig16, scale=scale)
+    show(result)
+    avg = {r[1]: r[2] for r in result.rows if r[0] == "AVG"}
+    # The headline modes (M = 4 and M = 2) beat the baseline; 1/4x keeps
+    # a tRAS above the normal row's (46.51 ns) and may dip below parity
+    # at smoke scale — same exemption as the fig13 bench.
+    for label, value in avg.items():
+        if not label.startswith("1/"):
+            assert value > 0, (label, avg)
+    # On the 16 GB system, refresh pressure is higher: Refresh-Skipping
+    # [2/4x/75%reg] competes with (paper: beats) [4/4x/75%reg]. The
+    # margin is noisy with a single smoke-scale mix.
+    slack = 3.0 if scale.name == "smoke" else 2.0
+    assert avg["2/4x/75%reg"] >= avg["4/4x/75%reg"] - slack

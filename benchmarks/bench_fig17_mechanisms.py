@@ -1,0 +1,23 @@
+"""Bench: regenerate paper Fig. 17 (mechanism ablation)."""
+
+from conftest import run_once, show
+
+from repro.experiments.fig17_mechanisms import run_fig17
+
+
+def test_fig17_mechanisms(benchmark, scale):
+    result = run_once(benchmark, run_fig17, scale=scale)
+    show(result)
+    single = {r[1]: r[3] for r in result.rows if r[0] == "single"}
+    multi = {r[1]: r[3] for r in result.rows if r[0] == "multi"}
+    # Early-Access + Early-Precharge are the main source of improvement
+    # (paper's principal Fig. 17 conclusion).
+    assert single["case1 EA+EP"] > 0.5 * single["case3 +FR+RS"]
+    # Fast-Refresh adds on top of EA+EP.
+    assert single["case2 +FR"] >= single["case1 EA+EP"] - 0.5
+    # Single-core: skipping without Fast-Refresh (case 4) loses to
+    # case 2 — the higher tRAS outweighs the skipped commands.
+    assert single["case4 +RS no FR"] <= single["case2 +FR"] + 0.5
+    # Every case still beats the baseline on both systems.
+    assert all(v > 0 for v in single.values())
+    assert all(v > 0 for v in multi.values())

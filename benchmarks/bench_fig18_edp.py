@@ -1,0 +1,21 @@
+"""Bench: regenerate paper Fig. 18 (EDP improvements)."""
+
+from conftest import run_once, show
+
+from repro.experiments.fig18_edp import run_fig18
+
+
+def test_fig18_edp(benchmark, scale):
+    result = run_once(benchmark, run_fig18, scale=scale)
+    show(result)
+    single = {r[1]: r[2] for r in result.rows if r[0] == "single"}
+    multi = {r[1]: r[2] for r in result.rows if r[0] == "multi"}
+    # [4/4x/100%reg] shows the best EDP improvement on both systems
+    # (paper: 14.1% single, 23.2% multi).
+    assert single["4/4x/100%reg"] == max(single.values())
+    assert multi["4/4x/100%reg"] == max(multi.values())
+    assert single["4/4x/100%reg"] > 5.0
+    assert multi["4/4x/100%reg"] > 5.0
+    # [2/4x] trails [4/4x]: refresh energy share is not large enough for
+    # skipping to win (paper Sec. 6.4).
+    assert single["2/4x/100%reg"] <= single["4/4x/100%reg"]

@@ -1,0 +1,17 @@
+"""Bench: the paper's conclusion headline (mode [4/4x/100%reg])."""
+
+from conftest import run_once, show
+
+from repro.experiments.headline import run_headline
+
+
+def test_headline(benchmark, scale):
+    result = run_once(benchmark, run_headline, scale=scale)
+    show(result)
+    measured = {(r[0], r[1]): r[2] for r in result.rows}
+    # All six headline improvements are positive, as the paper concludes.
+    assert all(v > 0 for v in measured.values()), measured
+    # EDP improvement exceeds the execution-time improvement on both
+    # systems (energy and delay both shrink).
+    assert measured[("single", "EDP red %")] > measured[("single", "exec time red %")]
+    assert measured[("multi", "EDP red %")] > measured[("multi", "exec time red %")]

@@ -1,0 +1,17 @@
+"""Bench: regenerate paper Table 3 (derived timing constraints)."""
+
+from conftest import run_once, show
+
+from repro.experiments import fig10_table3
+
+
+def test_table3_timing(benchmark):
+    result = run_once(benchmark, fig10_table3.run_table3)
+    show(result)
+    # Every derived entry matches the published table to rounding error.
+    assert result.series["max_abs_error_ns"] < 0.005
+    # Spot-check the headline rows against the paper verbatim.
+    row = result.row_by("mode", "4/4x")
+    assert abs(row[1] - 6.90) < 0.005  # tRCD derived
+    assert abs(row[3] - 20.00) < 0.005  # tRAS derived
+    assert abs(row[5] - 180.0) < 0.005  # tRFC 4Gb derived

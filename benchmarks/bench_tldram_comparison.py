@@ -1,0 +1,20 @@
+"""Bench: MCR-DRAM vs the TL-DRAM-style comparator."""
+
+from conftest import run_once, show
+
+from repro.experiments.tldram_comparison import run_tldram_comparison
+
+
+def test_tldram_comparison(benchmark, scale):
+    result = run_once(benchmark, run_tldram_comparison, scale=scale)
+    show(result)
+    avg = {r[1]: r[2] for r in result.rows if r[0] == "AVG"}
+    # Both tiered-latency proposals beat conventional DRAM at a 25% fast
+    # region with profile-guided placement.
+    assert avg["MCR-DRAM"] > 0
+    assert avg["TL-DRAM-style"] > 0
+    # And the cost rows expose the trade the paper argues about: MCR has
+    # zero area overhead; TL-DRAM keeps full capacity.
+    costs = {r[1]: (r[2], r[3]) for r in result.rows if r[0] == "COST"}
+    assert costs["MCR-DRAM"][0] == "area +0%"
+    assert costs["TL-DRAM-style"][1] == "capacity x1"

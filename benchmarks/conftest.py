@@ -1,0 +1,40 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's tables/figures via the
+corresponding experiment driver, prints the resulting table, and asserts
+the qualitative *shape* the paper reports (who wins, in what direction).
+Simulation-backed experiments run once per benchmark (``pedantic`` with a
+single round) — a full sweep is the unit of work being timed.
+
+Scale: ``REPRO_BENCH_SCALE`` (default ``smoke`` so the suite stays
+minutes-fast; set ``small`` or ``full`` for the committed EXPERIMENTS.md
+numbers).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import clear_caches
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "smoke"))
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def show(result):
+    print()
+    print(result.to_text())

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Profile-based page allocation study (the paper's Sec. 4.4 / Fig. 12).
+
+Sweeps the pseudo profile-based allocation ratio on a skewed datacenter
+workload (`comm2`, whose hot pages concentrate — the paper measures
+88.34% of its requests hitting MCRs at just 10% allocation) and shows how
+much of the full-region benefit a small MCR region captures.
+
+Usage::
+
+    python examples/profile_allocation_study.py [workload]
+"""
+
+import sys
+
+from repro.core import MCRMode, SystemSpec, run_system
+from repro.core.allocation import ProfileAllocator
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRGenerator, MechanismSet
+from repro.experiments.reporting import render_table
+from repro.sim.results import percent_reduction
+from repro.workloads import make_trace
+
+
+def mcr_request_share(trace, geometry, mode, ratio) -> float:
+    """Fraction of requests that land on MCR rows after allocation."""
+    allocator = ProfileAllocator([trace], geometry, mode.config, ratio)
+    generator = MCRGenerator(geometry, mode.config)
+    hits = total = 0
+    g = geometry
+    for page, count in trace.row_access_counts.items():
+        value = page >> g.channel_bits
+        bank = value & (g.banks_per_rank - 1)
+        value >>= g.bank_bits
+        rank = value & (g.ranks_per_channel - 1)
+        row = value >> g.rank_bits
+        total += count
+        if generator.is_mcr_row(allocator(rank, bank, row)):
+            hits += count
+    return hits / total if total else 0.0
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "comm2"
+    geometry = single_core_geometry()
+    trace = make_trace(workload, n_requests=5_000, seed=1)
+    mode = MCRMode.parse("4/4x/50%reg", mechanisms=MechanismSet.access_only())
+
+    baseline = run_system([trace], MCRMode.off())
+    rows = []
+    for ratio in (0.05, 0.1, 0.2, 0.3, 0.5):
+        spec = SystemSpec(allocation=ratio)
+        result = run_system([trace], mode, spec=spec)
+        rows.append(
+            [
+                f"{ratio:.0%}",
+                f"{mcr_request_share(trace, geometry, mode, ratio):.1%}",
+                f"{percent_reduction(baseline.execution_cycles, result.execution_cycles):.2f}",
+                f"{percent_reduction(baseline.avg_read_latency_cycles, result.avg_read_latency_cycles):.2f}",
+            ]
+        )
+    print(f"workload: {workload}, mode {mode} (Early-Access + Early-Precharge)")
+    print(
+        render_table(
+            ["alloc ratio", "requests to MCRs", "exec red %", "latency red %"],
+            rows,
+        )
+    )
+    print(
+        "\nNote the leverage: a small hot fraction of pages captures a "
+        "disproportionate share of requests (the paper's Fig. 12 argument)."
+    )
+
+
+if __name__ == "__main__":
+    main()

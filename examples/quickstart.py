@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: baseline DDR3 vs MCR-DRAM on one workload.
+
+Runs the paper's headline configuration — mode [4/4x/100%reg] with
+collision-free page allocation — against a conventional-DRAM baseline on
+the `tigr` workload (the paper's best single-core case) and prints the
+execution-time / read-latency / EDP improvements.
+
+Usage::
+
+    python examples/quickstart.py [workload] [n_requests]
+"""
+
+import sys
+
+from repro.core import MCRMode, SystemSpec, run_system
+from repro.experiments.reporting import render_table
+from repro.sim.results import percent_reduction
+from repro.workloads import make_trace
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "tigr"
+    n_requests = int(sys.argv[2]) if len(sys.argv) > 2 else 5_000
+
+    print(f"generating synthetic '{workload}' trace ({n_requests} requests)...")
+    trace = make_trace(workload, n_requests=n_requests, seed=1)
+    print(
+        f"  {trace.instruction_count} instructions, "
+        f"MPKI {trace.mpki():.1f}, {trace.read_fraction:.0%} reads"
+    )
+
+    print("simulating conventional DRAM baseline...")
+    baseline = run_system([trace], MCRMode.off())
+
+    print("simulating MCR-DRAM mode [4/4x/100%reg]...")
+    mcr = run_system(
+        [trace],
+        MCRMode.parse("4/4x/100%reg"),
+        spec=SystemSpec(allocation="collision-free"),
+    )
+
+    rows = [
+        [
+            "baseline",
+            baseline.execution_cycles,
+            f"{baseline.avg_read_latency_cycles:.1f}",
+            f"{baseline.total_energy_j * 1e3:.3f}",
+            f"{baseline.edp * 1e6:.3f}",
+        ],
+        [
+            str(mcr.mode_label),
+            mcr.execution_cycles,
+            f"{mcr.avg_read_latency_cycles:.1f}",
+            f"{mcr.total_energy_j * 1e3:.3f}",
+            f"{mcr.edp * 1e6:.3f}",
+        ],
+    ]
+    print()
+    print(
+        render_table(
+            ["config", "exec (cycles)", "read lat (cyc)", "energy (mJ)", "EDP (uJs)"],
+            rows,
+        )
+    )
+    print()
+    print(
+        f"execution time reduction: "
+        f"{percent_reduction(baseline.execution_cycles, mcr.execution_cycles):.1f}%"
+    )
+    print(
+        f"read latency reduction:   "
+        f"{percent_reduction(baseline.avg_read_latency_cycles, mcr.avg_read_latency_cycles):.1f}%"
+    )
+    print(f"EDP reduction:            {percent_reduction(baseline.edp, mcr.edp):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

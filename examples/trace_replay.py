@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Replay a USIMM-format trace file through the simulator.
+
+The paper evaluates on the MSC (JWAC-2012) traces, which ship in USIMM's
+text format. If you have them, this is the workflow:
+
+    python examples/trace_replay.py path/to/comm2 [limit]
+
+Without an argument the script demonstrates the round trip: it exports a
+synthetic trace to USIMM format, loads it back, and runs baseline vs
+MCR-DRAM on the loaded trace.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.core import MCRMode, SystemSpec, run_system
+from repro.cpu.trace_io import load_trace, save_trace
+from repro.experiments.reporting import render_table
+from repro.sim.results import percent_reduction
+from repro.workloads import make_trace
+
+
+def demo_trace() -> Path:
+    """Write a synthetic trace in USIMM format and return its path."""
+    trace = make_trace("mummer", n_requests=4_000, seed=1)
+    path = Path(tempfile.gettempdir()) / "mcr_demo_mummer.trc"
+    save_trace(trace, path)
+    print(f"(demo mode: exported synthetic 'mummer' to {path})")
+    return path
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        path = Path(sys.argv[1])
+    else:
+        path = demo_trace()
+    limit = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+
+    trace = load_trace(path, limit=limit)
+    print(
+        f"loaded {len(trace)} memory ops from {path.name}: "
+        f"MPKI {trace.mpki():.1f}, {trace.read_fraction:.0%} reads"
+    )
+
+    baseline = run_system([trace], MCRMode.off())
+    mcr = run_system(
+        [trace],
+        MCRMode.parse("4/4x/100%reg"),
+        spec=SystemSpec(allocation="collision-free"),
+    )
+    rows = []
+    for result in (baseline, mcr):
+        p50, p95, p99 = result.read_latency_percentiles
+        rows.append(
+            [
+                result.mode_label,
+                result.execution_cycles,
+                f"{result.avg_read_latency_cycles:.1f}",
+                f"{p50:.0f}/{p95:.0f}/{p99:.0f}",
+            ]
+        )
+    print(
+        render_table(
+            ["config", "exec (cycles)", "avg read lat", "P50/P95/P99 lat"], rows
+        )
+    )
+    print(
+        f"execution-time reduction: "
+        f"{percent_reduction(baseline.execution_cycles, mcr.execution_cycles):.1f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setuptools shim for offline editable installs (see pyproject)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""MCR-DRAM: a reproduction of "Multiple Clone Row DRAM" (ISCA 2015).
+
+The package implements, from scratch:
+
+- an analytic circuit-level model of DRAM sensing/restore that derives the
+  paper's MCR timing constraints (:mod:`repro.circuit`),
+- a DDR3 device timing model with MCR extensions (:mod:`repro.dram`),
+- a USIMM-style memory controller (:mod:`repro.controller`),
+- a trace-driven out-of-order core model (:mod:`repro.cpu`),
+- synthetic facsimiles of the MSC workloads (:mod:`repro.workloads`),
+- a Micron-style DDR3 power model (:mod:`repro.power`),
+- the system simulator (:mod:`repro.sim`),
+- the public MCR-DRAM API (:mod:`repro.core`), and
+- one experiment driver per paper table/figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.core import MCRMode, SystemSpec, run_system
+    from repro.workloads import make_trace
+
+    trace = make_trace("tigr", n_requests=5_000, seed=1)
+    base = run_system([trace], mode=MCRMode.off())
+    mcr = run_system([trace], mode=MCRMode.parse("4/4x/100%reg"))
+    print(base.execution_time_cycles, mcr.execution_time_cycles)
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = ["MCRMode", "SystemSpec", "run_system", "__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily re-export the public API from :mod:`repro.core` (PEP 562)."""
+    if name in ("MCRMode", "SystemSpec", "run_system"):
+        from repro import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

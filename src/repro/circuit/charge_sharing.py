@@ -1,0 +1,51 @@
+"""Charge sharing between the clone cells of an MCR and the bitline.
+
+This is the paper's Key Observation 1 in equation form: K simultaneously
+opened clone cells on the same bitline behave as one cell of capacitance
+K * C_cell, so the charge-sharing voltage
+
+    dV(K) = (VDD / 2) / (1 + C_bit / (K * C_cell))
+
+grows with K, which in turn speeds the sensing process (Early-Access).
+"""
+
+from __future__ import annotations
+
+from repro.circuit.constants import TechnologyParameters
+
+
+def charge_sharing_voltage(tech: TechnologyParameters, k: int) -> float:
+    """Return |dV| in volts after charge sharing for a Kx MCR.
+
+    ``k = 1`` is a normal row. The value is the deviation of the bitline
+    from its VDD/2 precharge level, for either data polarity (the model is
+    symmetric; DRAM timing is designed for the worst polarity anyway).
+
+    >>> tech = TechnologyParameters()
+    >>> charge_sharing_voltage(tech, 4) > charge_sharing_voltage(tech, 1)
+    True
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return tech.half_vdd / (1.0 + tech.cap_ratio / k)
+
+
+def cell_voltage_after_sharing(tech: TechnologyParameters, k: int) -> float:
+    """Cell voltage (data '1') right after charge sharing, in volts.
+
+    The cell is pulled from VDD down to VDD/2 + dV(K): this is the starting
+    point of the restore process modeled in :mod:`repro.circuit.restore`.
+    """
+    return tech.half_vdd + charge_sharing_voltage(tech, k)
+
+
+def effective_share_capacitance(tech: TechnologyParameters, k: int) -> float:
+    """Series capacitance of the K cells against the bitline, in farads.
+
+    Governs how much charge moves during charge sharing; used by the power
+    model to scale MCR activation energy.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    c_cells = k * tech.c_cell_f
+    return tech.c_bit_f * c_cells / (tech.c_bit_f + c_cells)

@@ -1,0 +1,68 @@
+"""Technology parameters for the 55 nm DDR3 process the paper models.
+
+Values follow publicly documented 5x nm DDR3 characteristics (Rambus power
+model / Keeth et al., *DRAM Circuit Design*): a ~24 fF storage cell, ~85 fF
+bitline, 1.5 V array voltage, 2.9 V boosted wordline. The exact capacitor
+sizes matter only through the ratio C_bit/C_cell, which sets the
+charge-sharing voltage of equation (1) in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class TechnologyParameters:
+    """Electrical and clocking constants of the modeled process.
+
+    Attributes:
+        vdd_v: DRAM array supply voltage (bitlines precharge to vdd/2).
+        vpp_v: Boosted wordline voltage (drives the access transistors).
+        c_cell_f: Storage-cell capacitance, farads.
+        c_bit_f: Bitline capacitance, farads.
+        t_wordline_ns: Base wordline turn-on delay for a single row. The
+            paper's MCR turns on K wordlines at once from the same charge
+            pump, so the effective turn-on delay grows with K (see
+            :class:`repro.circuit.sense_amplifier.SensingModel`).
+        leak_frac_per_64ms: Worst-case fraction of VDD a cell leaks over
+            the 64 ms JEDEC retention window. The paper's Early-Precharge
+            example uses 0.2 VDD, with leakage assumed proportional to the
+            refresh interval (paper footnote 4).
+        tck_ns: Memory-bus clock period (DDR3-1600: 800 MHz, 1.25 ns).
+        refresh_window_ms: JEDEC retention window (64 ms at normal temp).
+    """
+
+    vdd_v: float = 1.5
+    vpp_v: float = 2.9
+    c_cell_f: float = 24e-15
+    c_bit_f: float = 85e-15
+    t_wordline_ns: float = 2.0
+    leak_frac_per_64ms: float = 0.2
+    tck_ns: float = 1.25
+    refresh_window_ms: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.vdd_v <= 0 or self.vpp_v <= self.vdd_v:
+            raise ValueError("require 0 < vdd < vpp")
+        if self.c_cell_f <= 0 or self.c_bit_f <= 0:
+            raise ValueError("capacitances must be positive")
+        if not 0 < self.leak_frac_per_64ms < 1:
+            raise ValueError("leak fraction must be in (0, 1)")
+        if self.tck_ns <= 0 or self.refresh_window_ms <= 0:
+            raise ValueError("clock period and refresh window must be positive")
+
+    @property
+    def cap_ratio(self) -> float:
+        """C_bit / C_cell — the ratio in the paper's equation (1)."""
+        return self.c_bit_f / self.c_cell_f
+
+    @property
+    def half_vdd(self) -> float:
+        """Bitline precharge voltage, VDD/2."""
+        return self.vdd_v / 2.0
+
+
+def default_technology() -> TechnologyParameters:
+    """Return the nominal 55 nm DDR3 technology used throughout the repo."""
+    return TechnologyParameters()

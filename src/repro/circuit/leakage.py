@@ -1,0 +1,107 @@
+"""Charge-leakage / retention budgeting (paper Key Observation 2).
+
+A cell leaks a worst-case fraction D of VDD over the 64 ms JEDEC window,
+with leakage proportional to elapsed time since the last rewrite (paper
+footnote 4). A cell rewritten M times per window (an M/Kx MCR under the
+K to N-1-K wiring) therefore leaks at most D/M between rewrites, which is
+what licenses Early-Precharge and Fast-Refresh: the restore target can sit
+D * (1 - 1/M) below full and data '1' still never crosses the retention
+floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.constants import TechnologyParameters
+from repro.circuit.restore import restore_target_fraction
+
+
+@dataclass(frozen=True)
+class LeakageModel:
+    """Linear worst-case leakage model.
+
+    Attributes:
+        tech: Process constants (supplies D and the 64 ms window).
+        theta: Full-restore threshold as a fraction of VDD (from the
+            calibrated :class:`repro.circuit.restore.RestoreModel`).
+    """
+
+    tech: TechnologyParameters = field(default_factory=TechnologyParameters)
+    theta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.theta <= 1.0:
+            raise ValueError("theta must be in (0, 1]")
+
+    @property
+    def retention_floor_fraction(self) -> float:
+        """Lowest voltage (fraction of VDD) still read as data '1'.
+
+        Defined by the worst legal case: a normal row restored to theta*VDD
+        and left alone for the full 64 ms window.
+        """
+        return self.theta - self.tech.leak_frac_per_64ms
+
+    def drop_fraction(self, interval_ms: float) -> float:
+        """Worst-case leakage (fraction of VDD) over ``interval_ms``."""
+        if interval_ms < 0:
+            raise ValueError("interval must be non-negative")
+        return self.tech.leak_frac_per_64ms * interval_ms / self.tech.refresh_window_ms
+
+    def voltage_fraction(self, start_fraction: float, elapsed_ms: float) -> float:
+        """Cell voltage (fraction of VDD) ``elapsed_ms`` after a rewrite."""
+        return start_fraction - self.drop_fraction(elapsed_ms)
+
+    def refresh_interval_ms(self, m: int) -> float:
+        """Worst-case per-cell refresh interval for an M-per-window cell."""
+        if m < 1:
+            raise ValueError("m must be >= 1")
+        return self.tech.refresh_window_ms / m
+
+    def restore_target(self, m: int) -> float:
+        """Restore target (fraction of VDD) consistent with M rewrites."""
+        return restore_target_fraction(m, self.theta, self.tech.leak_frac_per_64ms)
+
+    def is_safe(self, m: int) -> bool:
+        """True when an Early-Precharged M/Kx cell never loses data.
+
+        Checks that the restore target minus the leakage over the 64/M ms
+        interval stays at or above the retention floor — the inequality the
+        paper walks through in Sec. 3.3 (0.9 VDD - 0.1 VDD >= 0.8 VDD).
+        """
+        end_of_interval = self.voltage_fraction(
+            self.restore_target(m), self.refresh_interval_ms(m)
+        )
+        return end_of_interval >= self.retention_floor_fraction - 1e-12
+
+    def margin(self, m: int) -> float:
+        """Voltage margin (fraction of VDD) above the retention floor."""
+        return (
+            self.voltage_fraction(self.restore_target(m), self.refresh_interval_ms(m))
+            - self.retention_floor_fraction
+        )
+
+    def retention_curve(
+        self, m: int, horizon_ms: float, points: int = 129
+    ) -> tuple[list[float], list[float]]:
+        """Sawtooth voltage-vs-time series over ``horizon_ms``.
+
+        Regenerates the waveform of the paper's Fig. 5(c): each rewrite
+        (every 64/M ms) jumps the cell back to its restore target, then the
+        cell leaks linearly. Returns (times_ms, fractions_of_vdd).
+        """
+        if horizon_ms <= 0:
+            raise ValueError("horizon must be positive")
+        if points < 2:
+            raise ValueError("need at least two points")
+        interval = self.refresh_interval_ms(m)
+        target = self.restore_target(m)
+        times: list[float] = []
+        values: list[float] = []
+        for i in range(points):
+            t = horizon_ms * i / (points - 1)
+            since_rewrite = t % interval
+            times.append(t)
+            values.append(self.voltage_fraction(target, since_rewrite))
+        return times, values

@@ -1,0 +1,160 @@
+"""Regenerative sense-amplifier model: bitline development and tRCD.
+
+After charge sharing deposits dV(K) on the bitline, the cross-coupled sense
+amplifier regenerates it toward the rail. Small-signal regeneration is
+exponential; as the bitline approaches the rail the drive saturates, which
+a logistic law captures with a single time constant:
+
+    d(t) = Vmax * dV * e^(t/tau) / (Vmax + dV * (e^(t/tau) - 1))
+
+where d is the deviation of the bitline from VDD/2 and Vmax = VDD/2 is the
+rail swing. The READ/WRITE-accessible point is reached when d(t) crosses
+``v_access``; tRCD is that crossing time plus the wordline turn-on delay.
+
+Turning on the K wordlines of an MCR loads the VPP charge pump K times
+harder, so the effective wordline turn-on delay grows linearly with K.
+This (small) penalty is why the paper's tRCD gains are sub-logarithmic:
+13.75 -> 9.94 -> 6.90 ns rather than two equal log2 steps.
+
+Calibration: the three unknowns (combined offset, per-wordline delay, and
+sense time constant) are solved exactly from the paper's three published
+tRCD values, so :meth:`SensingModel.trcd_ns` reproduces Table 3 to float
+precision while remaining a genuine curve model for Fig. 10(a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.charge_sharing import charge_sharing_voltage
+from repro.circuit.constants import TechnologyParameters
+
+#: Published tRCD (ns) for 1x / 2x / 4x MCR (paper Table 3).
+PAPER_TRCD_NS: dict[int, float] = {1: 13.75, 2: 9.94, 4: 6.90}
+
+
+@dataclass(frozen=True, slots=True)
+class SensingCalibration:
+    """Solved sensing parameters.
+
+    Attributes:
+        tau_ns: Sense-amplifier regeneration time constant.
+        t_wl_per_row_ns: Extra wordline turn-on delay per clone row.
+        v_access_v: Bitline deviation from VDD/2 at which a column command
+            may be issued (the paper's "accessible voltage").
+    """
+
+    tau_ns: float
+    t_wl_per_row_ns: float
+    v_access_v: float
+
+
+class SensingModel:
+    """Charge-sharing + sensing model calibrated to the paper's tRCD values.
+
+    Args:
+        tech: Process technology constants.
+        targets_ns: tRCD calibration targets per K. Defaults to the paper's
+            Table 3 values; tests also calibrate against perturbed targets
+            to check the solver itself.
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyParameters | None = None,
+        targets_ns: dict[int, float] | None = None,
+    ) -> None:
+        self.tech = tech if tech is not None else TechnologyParameters()
+        self.targets_ns = dict(targets_ns if targets_ns is not None else PAPER_TRCD_NS)
+        if sorted(self.targets_ns) != [1, 2, 4]:
+            raise ValueError("sensing calibration needs targets for K = 1, 2, 4")
+        self.calibration = self._calibrate()
+
+    def _calibrate(self) -> SensingCalibration:
+        """Solve the 3x3 linear system fixing (offset, per-row delay, tau).
+
+        With d(t) logistic from dV(K), the time for the bitline to reach
+        v_access is tau * ln[v_access * (Vmax - dV) / (dV * (Vmax - v_access))],
+        and since (Vmax - dV(K)) / dV(K) = cap_ratio / K exactly, each tRCD
+        target is *linear* in (offset, per-row delay, tau) with coefficient
+        ln(cap_ratio / K) on tau.
+        """
+        ratio = self.tech.cap_ratio
+        ks = np.array(sorted(self.targets_ns), dtype=float)
+        rhs = np.array([self.targets_ns[int(k)] for k in ks], dtype=float)
+        coeffs = np.column_stack(
+            [np.ones_like(ks), ks, np.log(ratio / ks)]
+        )
+        offset, per_row, tau = np.linalg.solve(coeffs, rhs)
+        if tau <= 0:
+            raise ValueError(
+                "calibration produced a non-positive sense time constant; "
+                "tRCD targets must decrease with K faster than the wordline "
+                "penalty grows"
+            )
+        # Recover v_access from the combined offset given the base wordline
+        # delay: offset = t_wl0 + tau * ln(v_access / (Vmax - v_access)).
+        vmax = self.tech.half_vdd
+        log_term = (offset - self.tech.t_wordline_ns) / tau
+        v_access = vmax * math.exp(log_term) / (1.0 + math.exp(log_term))
+        if not 0.0 < v_access < vmax:
+            raise ValueError("calibrated accessible voltage fell outside (0, VDD/2)")
+        return SensingCalibration(
+            tau_ns=float(tau),
+            t_wl_per_row_ns=float(per_row),
+            v_access_v=float(v_access),
+        )
+
+    def delta_v(self, k: int) -> float:
+        """Charge-sharing voltage |dV| for a Kx MCR, volts."""
+        return charge_sharing_voltage(self.tech, k)
+
+    def wordline_on_ns(self, k: int) -> float:
+        """Time for all K wordlines to reach VPP after ACTIVATE, ns."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        return self.tech.t_wordline_ns + self.calibration.t_wl_per_row_ns * k
+
+    def bitline_deviation(self, t_ns: float, k: int) -> float:
+        """Bitline deviation from VDD/2 at ``t_ns`` after ACTIVATE, volts.
+
+        Zero until the wordlines are on, then the logistic development from
+        dV(K) toward the VDD/2 rail swing.
+        """
+        t_on = self.wordline_on_ns(k)
+        if t_ns <= t_on:
+            return 0.0
+        vmax = self.tech.half_vdd
+        dv = self.delta_v(k)
+        growth = math.exp((t_ns - t_on) / self.calibration.tau_ns)
+        return vmax * dv * growth / (vmax + dv * (growth - 1.0))
+
+    def bitline_voltage(self, t_ns: float, k: int) -> float:
+        """Absolute bitline voltage for a data-'1' access, volts."""
+        return self.tech.half_vdd + self.bitline_deviation(t_ns, k)
+
+    def time_to_deviation(self, k: int, deviation_v: float) -> float:
+        """Time (ns, from ACTIVATE) for the bitline to reach a deviation."""
+        vmax = self.tech.half_vdd
+        if not 0.0 < deviation_v < vmax:
+            raise ValueError("deviation must be in (0, VDD/2)")
+        dv = self.delta_v(k)
+        if deviation_v <= dv:
+            return self.wordline_on_ns(k)
+        arg = deviation_v * (vmax - dv) / (dv * (vmax - deviation_v))
+        return self.wordline_on_ns(k) + self.calibration.tau_ns * math.log(arg)
+
+    def trcd_ns(self, k: int) -> float:
+        """Derived tRCD for a Kx MCR (matches Table 3 for K in {1, 2, 4})."""
+        return self.time_to_deviation(k, self.calibration.v_access_v)
+
+    def sense_latch_ns(self, k: int) -> float:
+        """Time at which the sense amplifier has safely latched, ns.
+
+        Restore effectively begins here; exposed for the restore model and
+        the Fig. 10(b) curves.
+        """
+        return self.trcd_ns(k)

@@ -1,0 +1,27 @@
+"""USIMM-style memory controller with multiple-latency (MCR) support.
+
+The controller follows the paper's Table 4 configuration: 32-entry read
+and write queues per channel, write drain between high/low watermarks,
+FR-FCFS scheduling, page-interleaved address mapping, and a refresh
+scheduler with up-to-8 postponed refreshes. The MCR extension is the
+"multiple latency" support of paper Sec. 4.2: a per-row class check (the
+2-bit comparator) selects which timing set each request's ACTIVATE uses,
+and the refresh scheduler consults the Fast-Refresh / Refresh-Skipping
+plan from :mod:`repro.dram.refresh`.
+"""
+
+from repro.controller.address_mapping import AddressMapper, MappingScheme
+from repro.controller.controller import MemoryController
+from repro.controller.queues import CommandQueue
+from repro.controller.refresh_scheduler import RefreshScheduler
+from repro.controller.request import MemoryRequest, RequestState
+
+__all__ = [
+    "AddressMapper",
+    "MappingScheme",
+    "MemoryController",
+    "CommandQueue",
+    "RefreshScheduler",
+    "MemoryRequest",
+    "RequestState",
+]

@@ -1,0 +1,126 @@
+"""Physical-address to DRAM-coordinate mapping.
+
+The paper's memory controller uses page interleaving with a permutation
+scheme ([33] Zhang et al., MICRO 2000) and cites the bit-reversal mapping
+([26] Shao & Davis, SCOPES 2005). All three are implemented; every scheme
+is a bijection between physical addresses and coordinates (property
+tested), so traces survive encode/decode round trips.
+
+Bit layout (MSB to LSB) for the page-interleaved base scheme, following
+USIMM's row-interleaving mode so a row's cache lines are contiguous:
+
+    row | rank | bank | channel | column | block offset
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.dram.config import DRAMGeometry
+from repro.utils.bitops import bit_reverse, extract_bits
+
+
+class MappingScheme(Enum):
+    """Supported address mapping policies."""
+
+    PAGE_INTERLEAVING = auto()
+    PERMUTATION = auto()  # Zhang et al.: bank XOR'd with low row bits
+    BIT_REVERSAL = auto()  # Shao & Davis: reverse the mid-order bits
+
+
+@dataclass(frozen=True, slots=True)
+class Coordinates:
+    """Decoded DRAM coordinates of one cache line."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapper:
+    """Bijective mapping between physical addresses and coordinates."""
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        scheme: MappingScheme = MappingScheme.PERMUTATION,
+    ) -> None:
+        self.geometry = geometry
+        self.scheme = scheme
+        g = geometry
+        self._offset_bits = g.offset_bits
+        self._column_bits = g.column_bits
+        self._channel_bits = g.channel_bits
+        self._bank_bits = g.bank_bits
+        self._rank_bits = g.rank_bits
+        self._row_bits = g.row_bits
+        self.address_bits = (
+            self._offset_bits
+            + self._column_bits
+            + self._channel_bits
+            + self._bank_bits
+            + self._rank_bits
+            + self._row_bits
+        )
+
+    # ------------------------------------------------------------------
+
+    def decode(self, address: int) -> Coordinates:
+        """Decode a physical byte address into DRAM coordinates."""
+        if not 0 <= address < (1 << self.address_bits):
+            raise ValueError(
+                f"address {address:#x} outside the {self.address_bits}-bit space"
+            )
+        low = self._offset_bits
+        column = extract_bits(address, low, self._column_bits)
+        low += self._column_bits
+        channel = extract_bits(address, low, self._channel_bits)
+        low += self._channel_bits
+        bank = extract_bits(address, low, self._bank_bits)
+        low += self._bank_bits
+        rank = extract_bits(address, low, self._rank_bits)
+        low += self._rank_bits
+        row = extract_bits(address, low, self._row_bits)
+
+        if self.scheme is MappingScheme.PERMUTATION and self._bank_bits:
+            # XOR the bank index with the low row bits: requests that would
+            # conflict in one bank under pure page interleaving spread out.
+            row_low = extract_bits(row, 0, self._bank_bits)
+            bank ^= row_low
+        elif self.scheme is MappingScheme.BIT_REVERSAL:
+            row = bit_reverse(row, self._row_bits)
+        return Coordinates(channel=channel, rank=rank, bank=bank, row=row, column=column)
+
+    def encode(self, coords: Coordinates) -> int:
+        """Inverse of :meth:`decode` (bijection, property tested)."""
+        row = coords.row
+        bank = coords.bank
+        if self.scheme is MappingScheme.PERMUTATION and self._bank_bits:
+            row_low = extract_bits(row, 0, self._bank_bits)
+            bank ^= row_low
+        elif self.scheme is MappingScheme.BIT_REVERSAL:
+            row = bit_reverse(row, self._row_bits)
+        self._check(coords)
+        address = row
+        address = (address << self._rank_bits) | coords.rank
+        address = (address << self._bank_bits) | bank
+        address = (address << self._channel_bits) | coords.channel
+        address = (address << self._column_bits) | coords.column
+        address <<= self._offset_bits
+        return address
+
+    def _check(self, coords: Coordinates) -> None:
+        g = self.geometry
+        if not 0 <= coords.channel < g.channels:
+            raise ValueError(f"channel {coords.channel} out of range")
+        if not 0 <= coords.rank < g.ranks_per_channel:
+            raise ValueError(f"rank {coords.rank} out of range")
+        if not 0 <= coords.bank < g.banks_per_rank:
+            raise ValueError(f"bank {coords.bank} out of range")
+        if not 0 <= coords.row < g.rows_per_bank:
+            raise ValueError(f"row {coords.row} out of range")
+        if not 0 <= coords.column < g.columns_per_row:
+            raise ValueError(f"column {coords.column} out of range")

@@ -1,0 +1,362 @@
+"""The multiple-latency memory controller (event-driven).
+
+Scheduling policy is USIMM's baseline FR-FCFS with exclusive write drain:
+
+- row hits (column commands) beat row misses; among equals, oldest first;
+- writes buffer until the high watermark, then drain exclusively to the
+  low watermark (also drained opportunistically when no read is pending);
+- refresges are postponed up to eight tREFI, issued opportunistically on
+  idle ranks, and forced when the budget runs out (a forced rank admits no
+  new ACTIVATE/column commands until its refresh issues).
+
+The MCR "multiple latency" extension (paper Sec. 4.2) is the ``row_class``
+comparator: each ACTIVATE picks the row's timing set (normal vs MCR), and
+each refresh slot picks its tRFC from the Fast-Refresh plan.
+
+The controller is event-driven: :meth:`next_action_cycle` reports the
+earliest cycle at which any command could legally issue, and
+:meth:`execute` issues (at most) the single best command at a cycle. All
+timing legality is enforced by the device layer, which raises on any
+violation — the simulator therefore runs with a built-in timing checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Callable
+
+from repro.controller.queues import CommandQueue, WriteDrainPolicy
+from repro.controller.refresh_scheduler import RefreshScheduler
+from repro.controller.request import MemoryRequest, RequestState
+from repro.dram.config import DRAMGeometry
+from repro.dram.device import ChannelState
+from repro.dram.mcr import RowClass
+from repro.dram.refresh import RefreshPlan, RefreshSlotKind
+from repro.dram.timing import TimingDomain
+
+#: Action kinds in FR-FCFS tie-break order (lower = higher priority).
+_COLUMN, _ACTIVATE, _PRECHARGE, _REFRESH = 0, 1, 2, 3
+
+
+class SchedulingPolicy(Enum):
+    """Request-selection policy.
+
+    FR_FCFS is the paper's (and USIMM's) baseline: row hits first, then
+    oldest. FCFS services strictly in arrival order. CLOSED_PAGE is
+    FR-FCFS plus eager precharge of banks with no queued work — trading
+    row hits for hidden precharges, the classic random-traffic policy.
+    The ablation uses all three to confirm the paper's claim that
+    MCR-DRAM "does not require a specific memory scheduling method".
+    """
+
+    FR_FCFS = auto()
+    FCFS = auto()
+    CLOSED_PAGE = auto()
+
+
+@dataclass(slots=True)
+class ControllerEvents:
+    """What happened during one :meth:`MemoryController.execute` call."""
+
+    issued: bool = False
+    read_completions: list[tuple[MemoryRequest, int]] = field(default_factory=list)
+    writes_drained: int = 0
+
+
+class MemoryController:
+    """One channel's memory controller."""
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        domain: TimingDomain,
+        refresh_plan: RefreshPlan,
+        row_class_fn: Callable[[int], RowClass],
+        read_queue_capacity: int = 32,
+        write_queue_capacity: int = 32,
+        write_high_watermark: int = 24,
+        write_low_watermark: int = 8,
+        refresh_enabled: bool = True,
+        policy: SchedulingPolicy = SchedulingPolicy.FR_FCFS,
+    ) -> None:
+        self.geometry = geometry
+        self.domain = domain
+        self.channel = ChannelState(geometry, domain)
+        self.read_queue = CommandQueue(read_queue_capacity)
+        self.write_queue = CommandQueue(write_queue_capacity)
+        self.drain = WriteDrainPolicy(write_high_watermark, write_low_watermark)
+        self.refresh = RefreshScheduler(
+            refresh_plan, geometry.ranks_per_channel, domain.base.t_refi
+        )
+        self.refresh_enabled = refresh_enabled
+        self.policy = policy
+        self.row_class_fn = row_class_fn
+        # Statistics.
+        self.read_latency_total = 0
+        self.read_latency_count = 0
+        self.read_latencies: list[int] = []  # per-read, for percentiles
+        self.reads_enqueued = 0
+        self.writes_enqueued = 0
+        self.row_misses = 0  # = activates; hits are derived in stats()
+
+    # ------------------------------------------------------------------
+    # Enqueue side (called by the cores via the simulator)
+    # ------------------------------------------------------------------
+
+    def can_accept(self, is_write: bool, cycle: int) -> bool:
+        self._collect(cycle)
+        queue = self.write_queue if is_write else self.read_queue
+        return queue.has_space
+
+    def enqueue(self, request: MemoryRequest, cycle: int) -> None:
+        if not self.can_accept(request.is_write, cycle):
+            raise RuntimeError("enqueue to a full queue")
+        request.arrival_cycle = cycle
+        request.row_class = self.row_class_fn(request.row)
+        if request.is_write:
+            self.write_queue.push(request)
+            self.writes_enqueued += 1
+        else:
+            self.read_queue.push(request)
+            self.reads_enqueued += 1
+
+    def outstanding(self) -> int:
+        """Requests still resident in either queue."""
+        return len(self.read_queue) + len(self.write_queue)
+
+    # ------------------------------------------------------------------
+    # Event-driven scheduling
+    # ------------------------------------------------------------------
+
+    def next_action_cycle(self, now: int) -> int | None:
+        """Earliest cycle >= now at which a command could issue.
+
+        Returns None when there is nothing to do and refresh is disabled.
+        """
+        decision = self._decide(now)
+        if decision is not None:
+            return decision[0]
+        if not self.refresh_enabled:
+            return None
+        return min(
+            self.refresh.next_due_cycle(rank)
+            for rank in range(self.geometry.ranks_per_channel)
+        )
+
+    def execute(self, cycle: int) -> ControllerEvents:
+        """Issue the best legal command at ``cycle``, if any is ready."""
+        events = ControllerEvents()
+        self._collect(cycle)
+        decision = self._decide(cycle)
+        if decision is None or decision[0] > cycle:
+            return events
+        _, kind, _, payload = decision
+        if kind == _COLUMN:
+            request: MemoryRequest = payload
+            end = self.channel.apply_column(
+                cycle, request.rank, request.bank, request.is_write
+            )
+            request.state = RequestState.ISSUED
+            request.issue_cycle = cycle
+            request.complete_cycle = end
+            if request.is_write:
+                events.writes_drained += 1
+            else:
+                events.read_completions.append((request, end))
+                latency = end - request.arrival_cycle
+                self.read_latency_total += latency
+                self.read_latency_count += 1
+                self.read_latencies.append(latency)
+        elif kind == _ACTIVATE:
+            request = payload
+            self.channel.apply_activate(
+                cycle, request.rank, request.bank, request.row, request.row_class
+            )
+            self.row_misses += 1
+        elif kind == _PRECHARGE:
+            rank, bank = payload
+            self.channel.apply_precharge(cycle, rank, bank)
+        else:  # _REFRESH
+            rank, slot_kind = payload
+            trfc = self.domain.trfc_cycles(self.refresh.trfc_class(slot_kind))
+            self.channel.apply_refresh(cycle, rank, trfc)
+            self.refresh.mark_issued(rank, slot_kind)
+        events.issued = True
+        return events
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _collect(self, cycle: int) -> None:
+        """Promote in-flight requests whose data completed to DONE."""
+        for queue in (self.read_queue, self.write_queue):
+            promoted = False
+            for req in queue:
+                if req.state is RequestState.ISSUED and req.complete_cycle <= cycle:
+                    req.state = RequestState.DONE
+                    promoted = True
+            if promoted:
+                queue.retire_done()
+
+    def _forced_ranks(self, now: int) -> set[int]:
+        if not self.refresh_enabled:
+            return set()
+        return {
+            rank
+            for rank in range(self.geometry.ranks_per_channel)
+            if self.refresh.is_forced(rank, now)
+        }
+
+    def _decide(
+        self, now: int
+    ) -> tuple[int, int, int, object] | None:
+        """Find the best next command.
+
+        Returns (cycle, kind, arrival, payload) minimizing (cycle, kind,
+        arrival) — i.e. earliest first, then FR-FCFS priority, then age.
+        """
+        channel = self.channel
+        forced = self._forced_ranks(now)
+        best: tuple[int, int, int, object] | None = None
+
+        def consider(cycle: int | None, kind: int, arrival: int, payload: object) -> None:
+            nonlocal best
+            if cycle is None:
+                return
+            if cycle < now:
+                cycle = now
+            if cycle < arrival:
+                cycle = arrival  # a request cannot be served before it arrives
+            candidate = (cycle, kind, arrival, payload)
+            if best is None or candidate[:3] < best[:3]:
+                best = candidate
+
+        # --- request traffic -------------------------------------------------
+        reads = self.read_queue.schedulable()
+        writes = self.write_queue.schedulable()
+        draining = self.drain.update(len(self.write_queue)) or (not reads and bool(writes))
+        active = writes if draining else reads
+        if self.policy is SchedulingPolicy.FCFS and active:
+            # Strict arrival order: only the oldest request's commands are
+            # candidates; no hit-over-miss reordering.
+            active = active[:1]
+
+        # Group by bank: oldest request and oldest row-hit per bank.
+        oldest_per_bank: dict[tuple[int, int], MemoryRequest] = {}
+        hit_per_bank: dict[tuple[int, int], MemoryRequest] = {}
+        for req in active:
+            if req.rank in forced:
+                continue
+            key = req.bank_key
+            if key not in oldest_per_bank:
+                oldest_per_bank[key] = req
+            if key not in hit_per_bank:
+                if channel.open_row(req.rank, req.bank) == req.row:
+                    hit_per_bank[key] = req
+
+        for key, req in oldest_per_bank.items():
+            rank, bank = key
+            hit = hit_per_bank.get(key)
+            if hit is not None:
+                consider(
+                    channel.earliest_column(rank, bank, hit.row, hit.is_write),
+                    _COLUMN,
+                    hit.arrival_cycle,
+                    hit,
+                )
+                continue  # never close a row that still has hits queued
+            if channel.open_row(rank, bank) is None:
+                consider(
+                    channel.earliest_activate(rank, bank),
+                    _ACTIVATE,
+                    req.arrival_cycle,
+                    req,
+                )
+            else:
+                consider(
+                    channel.earliest_precharge(rank, bank),
+                    _PRECHARGE,
+                    req.arrival_cycle,
+                    (rank, bank),
+                )
+
+        if self.policy is SchedulingPolicy.CLOSED_PAGE:
+            # Eagerly close banks nothing in either queue still wants:
+            # the precharge happens off the critical path, so the next
+            # miss to the bank skips straight to its ACTIVATE.
+            wanted = {r.bank_key for r in reads} | {r.bank_key for r in writes}
+            for rank_idx, rank in enumerate(channel.ranks):
+                for bank_idx, bank in enumerate(rank.banks):
+                    key = (rank_idx, bank_idx)
+                    if bank.is_open and key not in wanted:
+                        consider(
+                            channel.earliest_precharge(rank_idx, bank_idx),
+                            _PRECHARGE,
+                            now,
+                            key,
+                        )
+
+        # --- refresh ---------------------------------------------------------
+        if self.refresh_enabled:
+            busy_ranks = {
+                r.rank for r in reads if r.state is RequestState.QUEUED
+            } | {r.rank for r in writes if r.state is RequestState.QUEUED}
+            for rank in range(self.geometry.ranks_per_channel):
+                kind = self.refresh.pending_kind(rank, now)
+                if kind is None:
+                    continue
+                if rank not in forced and rank in busy_ranks:
+                    continue  # only opportunistic on idle ranks
+                earliest = channel.earliest_refresh(rank)
+                if earliest is None:
+                    # Some bank still open: close banks to make way.
+                    for bank_idx, bank in enumerate(channel.ranks[rank].banks):
+                        if bank.is_open:
+                            consider(
+                                channel.earliest_precharge(rank, bank_idx),
+                                _PRECHARGE,
+                                0 if rank in forced else now,
+                                (rank, bank_idx),
+                            )
+                else:
+                    consider(
+                        earliest,
+                        _REFRESH,
+                        0 if rank in forced else now,
+                        (rank, kind),
+                    )
+        return best
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def average_read_latency(self) -> float:
+        """Mean queue-to-data read latency, memory cycles."""
+        if self.read_latency_count == 0:
+            return 0.0
+        return self.read_latency_total / self.read_latency_count
+
+    def stats(self) -> dict[str, float | int | dict[str, int]]:
+        counts = self.channel.activate_counts()
+        columns = self.channel.read_count + self.channel.write_count
+        activates = sum(counts.values())
+        return {
+            "reads": self.reads_enqueued,
+            "writes": self.writes_enqueued,
+            "avg_read_latency_cycles": self.average_read_latency(),
+            "activates_normal": counts[RowClass.NORMAL],
+            "activates_mcr": counts[RowClass.MCR],
+            "activates_mcr_alt": counts[RowClass.MCR_ALT],
+            # Every column command either followed its own ACT (miss) or
+            # reused an open row (hit).
+            "row_hits": max(0, columns - activates),
+            "row_hit_rate": (columns - activates) / columns if columns else 0.0,
+            "refresh": self.refresh.issued_counts(),
+            "data_bus_busy_cycles": self.channel.data_bus_busy_cycles,
+        }
+
+
+__all__ = ["MemoryController", "ControllerEvents", "RefreshSlotKind"]

@@ -1,0 +1,95 @@
+"""Bounded command queues with watermark signalling.
+
+The paper's controller (Table 4) uses a 32-entry read queue and a 32-entry
+write queue with high/low watermarks of 24/8: writes buffer until the high
+watermark, then drain exclusively until the low watermark — the standard
+USIMM write-drain policy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.controller.request import MemoryRequest, RequestState
+
+
+class CommandQueue:
+    """A bounded FIFO of memory requests.
+
+    Requests stay resident (counted against capacity) until they reach
+    DONE — a read occupies its queue entry while its data is in flight,
+    matching USIMM.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: list[MemoryRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[MemoryRequest]:
+        return iter(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def has_space(self) -> bool:
+        return not self.is_full
+
+    def push(self, request: MemoryRequest) -> None:
+        if self.is_full:
+            raise RuntimeError("push to a full queue")
+        self._entries.append(request)
+
+    def schedulable(self) -> list[MemoryRequest]:
+        """Requests still awaiting their column command, oldest first."""
+        return [r for r in self._entries if r.state is RequestState.QUEUED]
+
+    def retire_done(self) -> list[MemoryRequest]:
+        """Remove and return requests that have reached DONE."""
+        done = [r for r in self._entries if r.state is RequestState.DONE]
+        if done:
+            self._entries = [
+                r for r in self._entries if r.state is not RequestState.DONE
+            ]
+        return done
+
+    def pending_for_rank(self, rank: int) -> bool:
+        """Any schedulable request targeting ``rank``?"""
+        return any(
+            r.rank == rank and r.state is RequestState.QUEUED for r in self._entries
+        )
+
+
+class WriteDrainPolicy:
+    """Hysteresis controller for exclusive write drain.
+
+    Drain turns on when the write queue reaches ``high`` and stays on
+    until it falls to ``low``. Drain is also forced whenever the write
+    queue is full (a stalled writer must make progress) and allowed
+    opportunistically when there are no reads to serve.
+    """
+
+    def __init__(self, high: int = 24, low: int = 8) -> None:
+        if not 0 <= low < high:
+            raise ValueError("require 0 <= low < high")
+        self.high = high
+        self.low = low
+        self._draining = False
+
+    def update(self, write_queue_depth: int) -> bool:
+        """Advance the hysteresis and return whether drain mode is on."""
+        if write_queue_depth >= self.high:
+            self._draining = True
+        elif write_queue_depth <= self.low:
+            self._draining = False
+        return self._draining
+
+    @property
+    def draining(self) -> bool:
+        return self._draining

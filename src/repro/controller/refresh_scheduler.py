@@ -1,0 +1,123 @@
+"""Per-rank refresh scheduling with postponement and Refresh-Skipping.
+
+JEDEC requires one REFRESH per rank every tREFI on average; controllers
+may postpone up to eight and catch up later. The scheduler here:
+
+- accrues one *due slot* per rank every tREFI;
+- consumes SKIPPED slots (Refresh-Skipping) instantly and for free — no
+  command is issued for them;
+- issues FAST slots at the MCR tRFC and NORMAL slots at the full tRFC;
+- issues opportunistically when the rank has no queued requests, and
+  forcibly once the postponement budget is exhausted (a forced rank
+  blocks its other traffic until the refresh has been issued).
+
+The slot kinds come from :class:`repro.dram.refresh.RefreshPlan`'s spread
+schedule, which preserves the per-window mix of the wiring-exact plan (see
+that module's docstring for why the simulator uses the spread form).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.mcr import RowClass
+from repro.dram.refresh import RefreshPlan, RefreshSlotKind
+
+#: Maximum refreshes a controller may postpone per rank (JEDEC DDR3).
+MAX_POSTPONED: int = 8
+
+
+@dataclass(slots=True)
+class RankRefreshState:
+    """Book-keeping for one rank."""
+
+    slot_cursor: int = 0  # next slot index in the plan
+    served: int = 0  # slots fully accounted (issued or skipped)
+    skipped_count: int = 0
+    issued_fast: int = 0
+    issued_fast_alt: int = 0
+    issued_normal: int = 0
+
+
+class RefreshScheduler:
+    """Drives refresh for every rank of one channel."""
+
+    def __init__(self, plan: RefreshPlan, ranks: int, t_refi: int) -> None:
+        if ranks <= 0 or t_refi <= 0:
+            raise ValueError("ranks and t_refi must be positive")
+        self.plan = plan
+        self.t_refi = t_refi
+        self.states = [RankRefreshState() for _ in range(ranks)]
+
+    # ------------------------------------------------------------------
+
+    def due_slots(self, rank: int, cycle: int) -> int:
+        """Slots due but not yet accounted for at ``cycle``."""
+        accrued = cycle // self.t_refi
+        return max(0, accrued - self.states[rank].served)
+
+    def consume_skips(self, rank: int, cycle: int) -> int:
+        """Account all due SKIPPED slots (free); return how many."""
+        state = self.states[rank]
+        consumed = 0
+        while self.due_slots(rank, cycle) > 0:
+            kind = self.plan.spread_kind(state.slot_cursor)
+            if kind is not RefreshSlotKind.SKIPPED:
+                break
+            state.slot_cursor += 1
+            state.served += 1
+            state.skipped_count += 1
+            consumed += 1
+        return consumed
+
+    def pending_kind(self, rank: int, cycle: int) -> RefreshSlotKind | None:
+        """Kind of the next slot needing a command, if any is due."""
+        self.consume_skips(rank, cycle)
+        if self.due_slots(rank, cycle) == 0:
+            return None
+        return self.plan.spread_kind(self.states[rank].slot_cursor)
+
+    def is_forced(self, rank: int, cycle: int) -> bool:
+        """True when the postponement budget is exhausted."""
+        self.consume_skips(rank, cycle)
+        return self.due_slots(rank, cycle) >= MAX_POSTPONED
+
+    def next_due_cycle(self, rank: int) -> int:
+        """Cycle at which the next slot becomes due."""
+        return (self.states[rank].served + 1) * self.t_refi
+
+    def trfc_class(self, kind: RefreshSlotKind) -> RowClass:
+        """Row class whose tRFC applies to a slot kind."""
+        if kind is RefreshSlotKind.FAST:
+            return RowClass.MCR
+        if kind is RefreshSlotKind.FAST_ALT:
+            return RowClass.MCR_ALT
+        return RowClass.NORMAL
+
+    def mark_issued(self, rank: int, kind: RefreshSlotKind) -> None:
+        """Account one issued REFRESH command for ``rank``."""
+        state = self.states[rank]
+        expected = self.plan.spread_kind(state.slot_cursor)
+        if expected is not kind:
+            raise RuntimeError(
+                f"refresh slot mismatch: plan says {expected}, issued {kind}"
+            )
+        state.slot_cursor += 1
+        state.served += 1
+        if kind is RefreshSlotKind.FAST:
+            state.issued_fast += 1
+        elif kind is RefreshSlotKind.FAST_ALT:
+            state.issued_fast_alt += 1
+        else:
+            state.issued_normal += 1
+
+    # ------------------------------------------------------------------
+
+    def issued_counts(self) -> dict[str, int]:
+        """Aggregate refresh statistics across ranks (for the power model)."""
+        return {
+            "issued_fast": sum(s.issued_fast for s in self.states),
+            "issued_fast_alt": sum(s.issued_fast_alt for s in self.states),
+            "issued_normal": sum(s.issued_normal for s in self.states),
+            "skipped": sum(s.skipped_count for s in self.states),
+        }

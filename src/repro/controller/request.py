@@ -1,0 +1,53 @@
+"""Memory request representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from repro.dram.mcr import RowClass
+
+
+class RequestState(Enum):
+    """Lifecycle of a request inside the controller."""
+
+    QUEUED = auto()  # waiting in the read/write queue
+    ISSUED = auto()  # column command sent, data in flight (reads)
+    DONE = auto()  # data transferred
+
+
+@dataclass(slots=True, eq=False)
+class MemoryRequest:
+    """One cache-line request as seen by the memory controller.
+
+    ``row_class`` caches the controller-side MCR comparator's verdict so
+    the scheduler does not re-derive it per cycle. Identity semantics
+    (``eq=False``): a request is one in-flight object, usable as a dict
+    key by the core model.
+    """
+
+    req_id: int
+    core_id: int
+    is_write: bool
+    address: int
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+    row_class: RowClass = RowClass.NORMAL
+    arrival_cycle: int = 0
+    state: RequestState = field(default=RequestState.QUEUED)
+    issue_cycle: int = -1
+    complete_cycle: int = -1
+
+    @property
+    def bank_key(self) -> tuple[int, int]:
+        """(rank, bank) pair used to group requests per bank machine."""
+        return (self.rank, self.bank)
+
+    def latency_cycles(self) -> int:
+        """Queue-to-data latency; only meaningful once DONE."""
+        if self.complete_cycle < 0:
+            raise ValueError("request has not completed")
+        return self.complete_cycle - self.arrival_cycle

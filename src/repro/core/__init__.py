@@ -1,0 +1,33 @@
+"""Public MCR-DRAM API.
+
+This package assembles the substrates into the interface a user of the
+library touches:
+
+- :class:`MCRMode` — parse/construct mode strings like ``"4/4x/100%reg"``;
+- :class:`SystemSpec` + :func:`run_system` — configure and run a full
+  system simulation, returning a :class:`repro.sim.results.RunResult`;
+- :mod:`repro.core.allocation` — the pseudo profile-based page allocator
+  (paper Sec. 4.4) mapping hot pages into MCR base rows;
+- :mod:`repro.core.os_model` — the OS-side collision-avoidance and
+  dynamic mode-change rules (paper Table 2).
+"""
+
+from repro.core.allocation import (
+    CollisionFreeAllocator,
+    CombinedProfileAllocator,
+    ProfileAllocator,
+)
+from repro.core.api import SystemSpec, run_system
+from repro.core.mcr_mode import MCRMode
+from repro.core.os_model import AddressSpacePolicy, accessible_row_lsb_patterns
+
+__all__ = [
+    "MCRMode",
+    "SystemSpec",
+    "run_system",
+    "ProfileAllocator",
+    "CollisionFreeAllocator",
+    "CombinedProfileAllocator",
+    "AddressSpacePolicy",
+    "accessible_row_lsb_patterns",
+]

@@ -1,0 +1,129 @@
+"""High-level entry points: configure a system, run it, compare runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from repro.controller.address_mapping import MappingScheme
+from repro.controller.controller import SchedulingPolicy
+from repro.core.allocation import (
+    CollisionFreeAllocator,
+    CombinedProfileAllocator,
+    ProfileAllocator,
+)
+from repro.core.mcr_mode import MCRMode
+from repro.cpu.core import CoreParams
+from repro.cpu.trace import Trace
+from repro.dram.config import DRAMGeometry, single_core_geometry
+from repro.dram.refresh import WiringMethod
+from repro.power.micron import IDDParameters
+from repro.sim.engine import SystemSimulator
+from repro.sim.results import Comparison, RunResult
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """A complete system configuration (paper Table 4 by default).
+
+    Attributes:
+        geometry: DRAM organization.
+        core_params: Core microarchitecture.
+        mapping: Address-mapping scheme.
+        refresh_enabled: Turn refresh off to isolate access-latency
+            mechanisms (some ablations).
+        allocation: Page-placement policy — ``None`` (identity),
+            ``"collision-free"`` (all pages on MCR base rows, used with
+            mode [100%reg]), a float in (0, 1] for profile-based
+            allocation at that ratio, or ``("combined", hot, warm)`` for
+            the combined 2x+4x configuration (hot pages to primary MCRs,
+            warm pages to secondary).
+        idd: Power-model currents.
+        wiring: Refresh-counter wiring.
+    """
+
+    geometry: DRAMGeometry = field(default_factory=single_core_geometry)
+    core_params: CoreParams = field(default_factory=CoreParams)
+    mapping: MappingScheme = MappingScheme.PERMUTATION
+    refresh_enabled: bool = True
+    allocation: float | str | tuple | None = None
+    idd: IDDParameters | None = None
+    wiring: WiringMethod = WiringMethod.K_TO_N_MINUS_1_K
+    policy: SchedulingPolicy = SchedulingPolicy.FR_FCFS
+
+    def with_allocation(self, allocation: float | str | None) -> "SystemSpec":
+        return replace(self, allocation=allocation)
+
+
+def _build_remapper(
+    spec: SystemSpec, traces: Sequence[Trace], mode: MCRMode
+) -> Callable[[int, int, int], int] | None:
+    if spec.allocation is None or not mode.enabled:
+        return None
+    if spec.allocation == "collision-free":
+        return CollisionFreeAllocator(list(traces), spec.geometry, mode.config)
+    if (
+        isinstance(spec.allocation, tuple)
+        and len(spec.allocation) == 3
+        and spec.allocation[0] == "combined"
+    ):
+        _, hot, warm = spec.allocation
+        return CombinedProfileAllocator(
+            list(traces), spec.geometry, mode.config, float(hot), float(warm)
+        )
+    if isinstance(spec.allocation, (int, float)):
+        return ProfileAllocator(
+            list(traces), spec.geometry, mode.config, float(spec.allocation)
+        )
+    raise ValueError(f"unknown allocation policy: {spec.allocation!r}")
+
+
+def run_system(
+    traces: Sequence[Trace],
+    mode: MCRMode | str,
+    spec: SystemSpec | None = None,
+    max_cycles: int | None = None,
+) -> RunResult:
+    """Simulate ``traces`` on one system under an MCR mode.
+
+    Args:
+        traces: One trace per core (1 = single-core, 4 = the paper's
+            quad-core configuration).
+        mode: An :class:`MCRMode` or a parseable mode string
+            (``"off"``, ``"4/4x/100%reg"``, ...).
+        spec: System configuration; defaults to the paper's baseline.
+        max_cycles: Optional safety bound.
+
+    Returns:
+        The run's measurements.
+    """
+    if isinstance(mode, str):
+        mode = MCRMode.parse(mode)
+    spec = spec if spec is not None else SystemSpec()
+    simulator = SystemSimulator(
+        traces,
+        mode.config,
+        geometry=spec.geometry,
+        row_remapper=_build_remapper(spec, traces, mode),
+        mapping=spec.mapping,
+        refresh_enabled=spec.refresh_enabled,
+        core_params=spec.core_params,
+        idd=spec.idd,
+        wiring=spec.wiring,
+        policy=spec.policy,
+    )
+    return simulator.run(max_cycles=max_cycles)
+
+
+def compare_modes(
+    traces: Sequence[Trace],
+    modes: Sequence[MCRMode | str],
+    spec: SystemSpec | None = None,
+) -> list[Comparison]:
+    """Run a baseline plus each mode; return paper-style reductions."""
+    baseline = run_system(traces, MCRMode.off(), spec=spec)
+    results = []
+    for mode in modes:
+        candidate = run_system(traces, mode, spec=spec)
+        results.append(Comparison.of(baseline, candidate))
+    return results

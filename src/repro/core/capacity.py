@@ -1,0 +1,107 @@
+"""Capacity pressure and the dynamic-mode-change decision.
+
+The paper motivates dynamic MCR-mode change (Sec. 4.4): "if the capacity
+is deficient, the performance can be degraded by frequent page faults...
+the high Kx mode can be dynamically changed to the low Kx mode or turned
+off if performance degradation due to small capacity is predicted."
+
+This module supplies the missing quantitative piece: a first-order paging
+model. Under mode Kx the OS sees 1/K of the device; if the workload's
+page working set exceeds that, the overflow pages fault to backing store.
+With a Zipf-skewed page popularity (our workload generators' model), the
+fault rate per memory access is the popularity mass of the pages that do
+not fit. Combining the simulated DRAM execution time with the fault
+penalty yields the capacity-aware execution time the OS would use to pick
+a mode — and the crossover points where relaxing 4x -> 2x -> off wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.generator import bounded_zipf_weights
+
+#: Default page-fault service time in memory-bus cycles (a fast NVMe
+#: fault path of ~100 us at 800 MHz).
+DEFAULT_FAULT_PENALTY_CYCLES: int = 80_000
+
+
+@dataclass(frozen=True, slots=True)
+class CapacityModel:
+    """Paging model for one workload footprint under capacity pressure.
+
+    Attributes:
+        footprint_pages: Distinct pages the workload touches.
+        zipf_alpha: Popularity skew of those pages (the generator's knob).
+        fault_penalty_cycles: Cost of one major fault, memory cycles.
+    """
+
+    footprint_pages: int
+    zipf_alpha: float
+    fault_penalty_cycles: int = DEFAULT_FAULT_PENALTY_CYCLES
+
+    def __post_init__(self) -> None:
+        if self.footprint_pages <= 0:
+            raise ValueError("footprint must be positive")
+        if self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be non-negative")
+        if self.fault_penalty_cycles < 0:
+            raise ValueError("fault penalty must be non-negative")
+
+    def resident_fraction(self, capacity_pages: int) -> float:
+        """Fraction of *accesses* hitting the resident (hottest) pages.
+
+        Assumes the OS keeps the most popular pages resident — the best
+        case for any replacement policy, consistent with the paper's
+        profile-guided placement.
+        """
+        if capacity_pages < 0:
+            raise ValueError("capacity must be non-negative")
+        if capacity_pages >= self.footprint_pages:
+            return 1.0
+        if capacity_pages == 0:
+            return 0.0
+        weights = bounded_zipf_weights(self.footprint_pages, self.zipf_alpha)
+        return float(np.cumsum(weights)[capacity_pages - 1])
+
+    def fault_rate(self, capacity_pages: int) -> float:
+        """Major faults per memory access at the given capacity."""
+        return 1.0 - self.resident_fraction(capacity_pages)
+
+    def fault_cycles(self, capacity_pages: int, n_accesses: int) -> float:
+        """Total fault stall cycles over ``n_accesses`` memory accesses."""
+        if n_accesses < 0:
+            raise ValueError("n_accesses must be non-negative")
+        return self.fault_rate(capacity_pages) * n_accesses * self.fault_penalty_cycles
+
+    def capacity_aware_cycles(
+        self, dram_cycles: int, capacity_pages: int, n_accesses: int
+    ) -> float:
+        """DRAM execution time plus paging stalls — the OS's comparator."""
+        return dram_cycles + self.fault_cycles(capacity_pages, n_accesses)
+
+
+def best_mode(
+    model: CapacityModel,
+    dram_cycles_by_mode: dict[str, int],
+    capacity_pages_by_mode: dict[str, int],
+    n_accesses: int,
+) -> str:
+    """Pick the mode minimizing capacity-aware execution time.
+
+    This is the decision rule behind the paper's dynamic MCR-mode change:
+    prefer the low-latency mode until its capacity loss starts costing
+    more in faults than it saves in DRAM time.
+    """
+    if set(dram_cycles_by_mode) != set(capacity_pages_by_mode):
+        raise ValueError("mode keys must match between the two inputs")
+    if not dram_cycles_by_mode:
+        raise ValueError("need at least one mode")
+    return min(
+        dram_cycles_by_mode,
+        key=lambda mode: model.capacity_aware_cycles(
+            dram_cycles_by_mode[mode], capacity_pages_by_mode[mode], n_accesses
+        ),
+    )

@@ -1,0 +1,127 @@
+"""MCR-mode specification strings.
+
+The paper writes modes as ``[M/Kx/L%reg]`` (Table 1): K rows per MCR, M
+refreshes kept per 64 ms window, L% of rows in MCRs. :class:`MCRMode`
+parses and renders that notation and converts to the internal
+:class:`repro.dram.mcr.MCRModeConfig` with a mechanism set.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.dram.mcr import MCRModeConfig, MechanismSet
+
+_MODE_RE = re.compile(
+    r"""^\[?\s*
+        (?:(?P<m>\d+)\s*/\s*)?      # optional M/
+        (?P<k>\d+)\s*x              # Kx
+        (?:\s*/\s*(?P<l>\d+(?:\.\d+)?)\s*%\s*reg)?  # optional /L%reg
+        \s*\]?$""",
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class MCRMode:
+    """A user-facing MCR mode: parsed ``[M/Kx/L%reg]`` plus mechanisms."""
+
+    config: MCRModeConfig
+
+    @classmethod
+    def off(cls) -> "MCRMode":
+        """Conventional DRAM (MCR-mode disabled)."""
+        return cls(MCRModeConfig.off())
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        mechanisms: MechanismSet | None = None,
+    ) -> "MCRMode":
+        """Parse a mode string.
+
+        Accepted forms (brackets optional)::
+
+            "off"
+            "4x"                # M defaults to K, region to 100%
+            "4/4x"
+            "2/4x/75%reg"
+
+        Args:
+            spec: The mode string.
+            mechanisms: Mechanism overrides; defaults to all mechanisms on
+                when M < K would matter, i.e. ``MechanismSet.all_on()``.
+        """
+        text = spec.strip()
+        if text.lower() in ("off", "[off]", "1x", "baseline"):
+            return cls.off()
+        match = _MODE_RE.match(text)
+        if match is None:
+            raise ValueError(f"unparseable MCR mode: {spec!r}")
+        k = int(match.group("k"))
+        m = int(match.group("m")) if match.group("m") else k
+        l_pct = float(match.group("l")) if match.group("l") else 100.0
+        mech = mechanisms if mechanisms is not None else MechanismSet.all_on()
+        return cls(
+            MCRModeConfig(
+                k=k, m=m, region_fraction=l_pct / 100.0, mechanisms=mech
+            )
+        )
+
+    @classmethod
+    def combined(
+        cls,
+        primary: str = "4/4x",
+        alt: str = "2/2x",
+        primary_region_pct: float = 25.0,
+        alt_region_pct: float = 50.0,
+        mechanisms: MechanismSet | None = None,
+    ) -> "MCRMode":
+        """The paper's Sec. 4.4 combination of 2x and 4x MCRs.
+
+        ``primary`` occupies the rows nearest the sense amplifiers (for
+        the hottest pages), ``alt`` the band behind it. Both accept
+        ``M/Kx`` strings.
+
+        >>> str(MCRMode.combined())
+        '[4/4x/25%reg]+[2/2x/50%reg]'
+        """
+        p = cls.parse(f"{primary}/100%reg").config
+        a = cls.parse(f"{alt}/100%reg").config
+        return cls(
+            MCRModeConfig.combined(
+                k=p.k,
+                m=p.m,
+                alt_k=a.k,
+                alt_m=a.m,
+                region_fraction=primary_region_pct / 100.0,
+                alt_region_fraction=alt_region_pct / 100.0,
+                mechanisms=mechanisms
+                if mechanisms is not None
+                else MechanismSet.all_on(),
+            )
+        )
+
+    def with_mechanisms(self, mechanisms: MechanismSet) -> "MCRMode":
+        """Same mode with a different mechanism set (for ablations)."""
+        cfg = self.config
+        return MCRMode(
+            MCRModeConfig(
+                k=cfg.k,
+                m=cfg.m,
+                region_fraction=cfg.region_fraction,
+                mechanisms=mechanisms,
+                alt_k=cfg.alt_k,
+                alt_m=cfg.alt_m,
+                alt_region_fraction=cfg.alt_region_fraction,
+            )
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def __str__(self) -> str:
+        return self.config.label()

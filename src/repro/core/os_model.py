@@ -1,0 +1,99 @@
+"""OS-visible address-space rules for MCR-DRAM (paper Table 2).
+
+With mode [100%reg], the paper prevents data collision and enables
+dynamic mode change with a single trick: the low row-address bits
+R0 (and R1 for 4x) are mapped to the *MSBs* of the physical address.
+The OS then simply recognizes a smaller memory (N/K GB), the controller
+zeroes those MSBs, and only the first row of each MCR is ever addressable.
+Relaxing the mode (4x -> 2x -> off) exposes progressively more rows
+without moving any existing data.
+
+:class:`AddressSpacePolicy` models that contract; tests assert the
+accessible-row table matches the paper's Table 2 exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.config import DRAMGeometry
+from repro.dram.mcr import MCRModeConfig
+from repro.utils.bitops import extract_bits, log2_int
+
+
+def accessible_row_lsb_patterns(k: int) -> set[int]:
+    """Which row-LSB patterns (R1 R0) the OS may address under Kx MCR.
+
+    Matches the paper's Table 2: 4x exposes only ``00``; 2x exposes
+    ``00`` and ``10`` (R0 must be zero); original mode exposes all four.
+    """
+    if k not in (1, 2, 4):
+        raise ValueError("k must be 1, 2 or 4")
+    clone_bits = log2_int(k)
+    return {
+        pattern
+        for pattern in range(4)
+        if extract_bits(pattern, 0, clone_bits) == 0
+    }
+
+
+@dataclass(frozen=True)
+class AddressSpacePolicy:
+    """The OS/controller contract for a mode-[100%reg] system."""
+
+    geometry: DRAMGeometry
+    mode: MCRModeConfig
+
+    def __post_init__(self) -> None:
+        if self.mode.enabled and self.mode.region_fraction != 1.0:
+            raise ValueError(
+                "the Table 2 address-mapping trick applies to mode [100%reg]"
+            )
+
+    @property
+    def os_visible_bytes(self) -> int:
+        """Memory the OS recognizes: N/K of the device capacity."""
+        return self.geometry.capacity_bytes // max(1, self.mode.k)
+
+    @property
+    def masked_msb_count(self) -> int:
+        """Physical-address MSBs the controller forces to zero."""
+        return log2_int(self.mode.k) if self.mode.enabled else 0
+
+    def controller_row(self, os_row: int) -> int:
+        """Row the controller addresses for an OS-visible row index.
+
+        The OS hands out rows 0 .. rows/K - 1; the controller shifts them
+        onto MCR base rows (clone LSBs zero).
+        """
+        limit = self.geometry.rows_per_bank // max(1, self.mode.k)
+        if not 0 <= os_row < limit:
+            raise ValueError(f"os_row {os_row} outside the OS-visible range")
+        return os_row * max(1, self.mode.k)
+
+    def is_accessible(self, physical_row: int) -> bool:
+        """May the OS address this physical row under the current mode?"""
+        if not self.mode.enabled:
+            return True
+        clone_bits = log2_int(self.mode.k)
+        return extract_bits(physical_row, 0, clone_bits) == 0
+
+    def can_relax_to(self, new_mode: MCRModeConfig) -> bool:
+        """Is a dynamic change to ``new_mode`` collision-free?
+
+        A mode change is safe when every row accessible now remains a
+        legal page frame afterwards — true exactly when the new K divides
+        the old K (4x -> 2x -> off), the paper's "relaxed" direction.
+        """
+        old_k = max(1, self.mode.k)
+        new_k = max(1, new_mode.k)
+        return old_k % new_k == 0
+
+    def newly_accessible_rows(self, new_mode: MCRModeConfig, limit: int = 8) -> list[int]:
+        """Example rows that open up after relaxing to ``new_mode``."""
+        if not self.can_relax_to(new_mode):
+            raise ValueError("mode change would cause data collision")
+        old = {r for r in range(limit * 4) if self.is_accessible(r)}
+        policy = AddressSpacePolicy(self.geometry, new_mode)
+        new = {r for r in range(limit * 4) if policy.is_accessible(r)}
+        return sorted(new - old)[:limit]

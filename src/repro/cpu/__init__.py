@@ -1,0 +1,15 @@
+"""Trace-driven processor model (USIMM-style).
+
+Each core replays a memory-access trace through a 128-entry reorder
+buffer: instructions fetch 4-wide, retire 2-wide in order, non-memory
+instructions complete a pipeline-depth after fetch, reads complete when
+the memory system returns data, and writes retire into the controller's
+write queue. The model is event-driven at memory-op granularity — between
+memory operations the ROB arithmetic is closed-form — which makes the
+Python simulator fast enough for full parameter sweeps.
+"""
+
+from repro.cpu.core import Core, CoreParams
+from repro.cpu.trace import Trace, TraceEntry
+
+__all__ = ["Core", "CoreParams", "Trace", "TraceEntry"]

@@ -1,0 +1,322 @@
+"""Event-driven ROB core model.
+
+The model reproduces USIMM's processor semantics at memory-op granularity:
+
+- instructions fetch in order at ``fetch_width`` per CPU cycle while the
+  ROB has space;
+- non-memory instructions complete ``pipeline_depth`` cycles after fetch;
+- a read sends a request to the memory controller when fetched and
+  completes when its data returns; a full read queue stalls fetch;
+- a write completes like a non-memory instruction once the controller's
+  write queue accepts it; a full write queue stalls fetch;
+- instructions retire in order at ``retire_width`` per CPU cycle.
+
+Between memory operations the timing is closed-form (retirement advances
+at ``retire_width``/cycle behind fetch at ``fetch_width``/cycle bounded by
+ROB occupancy), so the core only generates simulator events at memory
+operations and read completions. All internal times are CPU cycles held in
+floats whose increments are dyadic rationals (1/2, 1/4), hence exact.
+
+Approximation vs a per-instruction simulator: within a run of non-memory
+instructions we bound completion by the *run's last* fetch+depth rather
+than per-instruction — a sub-cycle effect only visible at startup.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Callable
+
+from repro.cpu.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class CoreParams:
+    """Core microarchitecture parameters (paper Table 4)."""
+
+    rob_size: int = 128
+    fetch_width: int = 4
+    retire_width: int = 2
+    pipeline_depth: int = 10
+    cpu_cycles_per_mem_cycle: int = 4  # 3.2 GHz core / 800 MHz bus
+
+    def __post_init__(self) -> None:
+        if min(
+            self.rob_size,
+            self.fetch_width,
+            self.retire_width,
+            self.pipeline_depth,
+            self.cpu_cycles_per_mem_cycle,
+        ) <= 0:
+            raise ValueError("all core parameters must be positive")
+
+
+class BlockReason(Enum):
+    """Why a core is not making forward progress."""
+
+    NONE = auto()  # runnable (or waiting on its own wake time)
+    ROB_FULL = auto()  # oldest incomplete read blocks retirement
+    READ_QUEUE_FULL = auto()
+    WRITE_QUEUE_FULL = auto()
+    FINISHED = auto()
+
+
+@dataclass(slots=True)
+class _PendingRead:
+    instr_idx: int
+    fetch_cpu: float
+    complete_cpu: float | None = None
+
+
+@dataclass(slots=True)
+class AdvanceResult:
+    """Outcome of :meth:`Core.advance`.
+
+    ``wake_cpu`` is the CPU-cycle time of the core's next self-scheduled
+    event; None means the core waits on an external event (read
+    completion or queue space) or has finished.
+    """
+
+    wake_cpu: float | None
+    blocked: BlockReason
+
+
+class Core:
+    """One trace-replaying core.
+
+    Args:
+        core_id: Index of this core in the system.
+        trace: The memory trace to replay.
+        params: Microarchitecture parameters.
+        try_send: Callback ``(core_id, is_write, address, fetch_cpu) ->
+            token``. Returns None when the target queue is full; for
+            accepted reads returns a token the simulator will hand back to
+            :meth:`on_read_complete`; accepted writes may return anything.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: Trace,
+        params: CoreParams,
+        try_send: Callable[[int, bool, int, float], object | None],
+    ) -> None:
+        self.core_id = core_id
+        self.trace = trace
+        self.params = params
+        self.try_send = try_send
+
+        self._entries = trace.entries
+        self._idx = 0
+        self._instr_cursor = 0  # instructions fetched so far
+        self._fetch_clock = 0.0  # CPU-cycle time fetch has reached
+        self._frontier_idx = 0  # instructions retired so far
+        self._frontier_time = 0.0
+        self._pending: deque[_PendingRead] = deque()
+        self._by_token: dict[object, _PendingRead] = {}
+        #: Retirement history, one entry per consumed read barrier:
+        #: (start_idx, start_time, end_idx, end_time, head_fetch_cpu).
+        #: See _retired_at.
+        self._segments: deque[tuple[int, float, int, float, float]] = deque()
+        self.blocked = BlockReason.NONE
+        self.finish_cpu: float | None = None
+        self.reads_sent = 0
+        self.writes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Retirement arithmetic
+    # ------------------------------------------------------------------
+
+    def _advance_retirement(self) -> None:
+        """Consume completed read barriers, moving the frontier forward.
+
+        Each consumed barrier leaves a *history segment* behind so ROB
+        space queries can recover the time at which retirement passed any
+        past instruction index (not just the latest frontier).
+        """
+        retire_rate = self.params.retire_width
+        while self._pending and self._pending[0].complete_cpu is not None:
+            head = self._pending.popleft()
+            start_idx = self._frontier_idx
+            start_time = self._frontier_time
+            batch = head.instr_idx - start_idx
+            self._frontier_time += batch / retire_rate
+            if batch:
+                # Non-memory instructions complete pipeline_depth after
+                # fetch; the run just before the read was fetched (about)
+                # when the read was, bounding the run's retirement.
+                run_completion = (
+                    head.fetch_cpu
+                    - 1.0 / self.params.fetch_width
+                    + self.params.pipeline_depth
+                )
+                if run_completion > self._frontier_time:
+                    self._frontier_time = run_completion
+            # The read itself retires once complete and once a retire slot
+            # is free; completion also bounds the preceding run (see
+            # module docstring).
+            self._frontier_time = max(
+                self._frontier_time + 1.0 / retire_rate, head.complete_cpu
+            )
+            self._frontier_idx = head.instr_idx + 1
+            self._segments.append(
+                (
+                    start_idx,
+                    start_time,
+                    self._frontier_idx,
+                    self._frontier_time,
+                    head.fetch_cpu,
+                )
+            )
+
+    def _retired_at(self, needed: int) -> float:
+        """Time at which the retired-instruction count reached ``needed``.
+
+        Only valid for ``needed <= frontier_idx``. Space queries arrive
+        with monotonically increasing ``needed``, so consumed history
+        segments are pruned as we go.
+        """
+        segments = self._segments
+        while segments and segments[0][2] < needed:
+            segments.popleft()
+        if not segments or needed <= segments[0][0]:
+            # Retirement passed this point before recorded history (or no
+            # reads retired yet): pure pace from the segment start / zero.
+            anchor_idx, anchor_time = (
+                (segments[0][0], segments[0][1]) if segments else (0, 0.0)
+            )
+            return max(
+                0.0,
+                anchor_time
+                - (anchor_idx - needed) / self.params.retire_width,
+            )
+        start_idx, start_time, end_idx, end_time, head_fetch = segments[0]
+        if needed >= end_idx:
+            return end_time
+        # Within the segment the non-memory run retires at the pace rate
+        # from the start, floored by each instruction's own pipeline
+        # completion (fetch + depth; fetch reconstructed back from the
+        # closing read's fetch at the fetch rate).
+        pace = start_time + (needed - start_idx) / self.params.retire_width
+        completion = (
+            head_fetch
+            - (end_idx - 1 - needed) / self.params.fetch_width
+            + self.params.pipeline_depth
+        )
+        return max(pace, completion)
+
+    def _space_time(self, instr_idx: int) -> float | None:
+        """Earliest CPU time with ROB space for instruction ``instr_idx``.
+
+        Returns None when space depends on a read that has not completed
+        (the core must sleep until a completion event).
+        """
+        needed = instr_idx - self.params.rob_size + 1
+        if needed <= 0:
+            return 0.0
+        self._advance_retirement()
+        if needed <= self._frontier_idx:
+            return self._retired_at(needed)
+        if self._pending and self._pending[0].instr_idx <= needed:
+            return None  # blocked behind (or on) an incomplete read
+        # Bandwidth-limited retirement from the frontier, floored by the
+        # pipeline completion of the gating (non-memory) instruction: it
+        # cannot retire sooner than depth cycles after its fetch, which we
+        # reconstruct from the nearest known fetch point.
+        pace = self._frontier_time + (
+            (needed - self._frontier_idx) / self.params.retire_width
+        )
+        if self._pending:
+            anchor_idx = self._pending[0].instr_idx
+            anchor_fetch = self._pending[0].fetch_cpu
+        else:
+            anchor_idx = self._instr_cursor - 1
+            anchor_fetch = self._fetch_clock
+        completion_floor = (
+            anchor_fetch
+            - (anchor_idx - needed) / self.params.fetch_width
+            + self.params.pipeline_depth
+        )
+        return max(pace, completion_floor)
+
+    # ------------------------------------------------------------------
+    # External events
+    # ------------------------------------------------------------------
+
+    def on_read_complete(self, token: object, complete_cpu: float) -> None:
+        """Record a read completion (called by the simulator)."""
+        pending = self._by_token.pop(token)
+        pending.complete_cpu = complete_cpu
+        self._advance_retirement()
+
+    # ------------------------------------------------------------------
+    # Forward progress
+    # ------------------------------------------------------------------
+
+    def advance(self, now_cpu: float) -> AdvanceResult:
+        """Replay as much of the trace as legal at time ``now_cpu``."""
+        if self.blocked is BlockReason.FINISHED:
+            return AdvanceResult(None, self.blocked)
+        params = self.params
+        entries = self._entries
+        while self._idx < len(entries):
+            entry = entries[self._idx]
+            mem_instr = self._instr_cursor + entry.gap
+            space = self._space_time(mem_instr)
+            if space is None:
+                self.blocked = BlockReason.ROB_FULL
+                return AdvanceResult(None, self.blocked)
+            bandwidth = self._fetch_clock + (entry.gap + 1) / params.fetch_width
+            fetch_cpu = max(bandwidth, space)
+            if fetch_cpu > now_cpu:
+                self.blocked = BlockReason.NONE
+                return AdvanceResult(fetch_cpu, self.blocked)
+            token = self.try_send(
+                self.core_id, entry.is_write, entry.address, fetch_cpu
+            )
+            if token is None:
+                self.blocked = (
+                    BlockReason.WRITE_QUEUE_FULL
+                    if entry.is_write
+                    else BlockReason.READ_QUEUE_FULL
+                )
+                return AdvanceResult(None, self.blocked)
+            if entry.is_write:
+                self.writes_sent += 1
+            else:
+                pending = _PendingRead(instr_idx=mem_instr, fetch_cpu=fetch_cpu)
+                self._pending.append(pending)
+                self._by_token[token] = pending
+                self.reads_sent += 1
+            self._instr_cursor = mem_instr + 1
+            self._fetch_clock = fetch_cpu
+            self._idx += 1
+        # Trace fully fetched; finished once every read is back.
+        self._advance_retirement()
+        if self._pending:
+            self.blocked = BlockReason.ROB_FULL
+            return AdvanceResult(None, self.blocked)
+        tail = self._instr_cursor - self._frontier_idx
+        drain = self._frontier_time + tail / params.retire_width
+        completion_floor = self._fetch_clock + params.pipeline_depth
+        self.finish_cpu = max(drain, completion_floor)
+        self.blocked = BlockReason.FINISHED
+        return AdvanceResult(None, self.blocked)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.blocked is BlockReason.FINISHED
+
+    @property
+    def instructions_fetched(self) -> int:
+        return self._instr_cursor
+
+    def ipc(self) -> float:
+        """Retired instructions per CPU cycle (valid once finished)."""
+        if self.finish_cpu is None or self.finish_cpu == 0:
+            return 0.0
+        return self._instr_cursor / self.finish_cpu

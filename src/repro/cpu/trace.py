@@ -1,0 +1,80 @@
+"""Memory-access trace format.
+
+A trace is the USIMM input format in spirit: a sequence of entries, each
+"gap non-memory instructions, then one memory operation (R/W) at a byte
+address". Traces are plain Python lists for fast replay and carry the
+metadata the profile-based page allocator needs (per-row access counts).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEntry:
+    """One trace record: ``gap`` non-memory instructions, then a memory op."""
+
+    gap: int
+    is_write: bool
+    address: int
+
+    def __post_init__(self) -> None:
+        if self.gap < 0:
+            raise ValueError("gap must be non-negative")
+        if self.address < 0:
+            raise ValueError("address must be non-negative")
+
+
+@dataclass
+class Trace:
+    """A named memory trace plus workload metadata.
+
+    Attributes:
+        name: Workload name (e.g. ``comm2``).
+        entries: The replayable records.
+        row_access_counts: Per physical row-granule address (address with
+            the row's byte span masked off is *not* used here — the key is
+            whatever granule the producer chose; the synthetic generators
+            use the row-sized page address). Used by the pseudo
+            profile-based page allocator (paper Sec. 4.4).
+    """
+
+    name: str
+    entries: list[TraceEntry]
+    row_access_counts: Counter = field(default_factory=Counter)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def instruction_count(self) -> int:
+        """Total instructions, memory ops included."""
+        return sum(e.gap + 1 for e in self.entries)
+
+    @property
+    def read_fraction(self) -> float:
+        if not self.entries:
+            return 0.0
+        reads = sum(1 for e in self.entries if not e.is_write)
+        return reads / len(self.entries)
+
+    def mpki(self) -> float:
+        """Memory accesses per thousand instructions."""
+        instructions = self.instruction_count
+        if instructions == 0:
+            return 0.0
+        return 1000.0 * len(self.entries) / instructions
+
+    def hot_addresses(self, fraction: float) -> list[int]:
+        """The most-accessed row granules covering ``fraction`` of rows.
+
+        This is the "pseudo profile" of the paper's Sec. 4.4: the top
+        ``fraction`` of distinct rows by access count, hottest first.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
+        ranked = [addr for addr, _ in self.row_access_counts.most_common()]
+        keep = round(len(ranked) * fraction)
+        return ranked[:keep]

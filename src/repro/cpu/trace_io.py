@@ -1,0 +1,125 @@
+"""USIMM trace-file I/O.
+
+The MSC (JWAC-2012) traces this paper evaluates on are distributed in
+USIMM's text format: one memory operation per line,
+
+    <gap> R <hex address> <hex PC>      # read
+    <gap> W <hex address>               # write
+
+where ``gap`` is the number of non-memory instructions preceding the
+operation. This module reads and writes that format, so anyone holding
+the real traces can replay them through this simulator instead of the
+synthetic facsimiles, and synthetic traces can be exported for USIMM.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.config import DRAMGeometry, single_core_geometry
+
+
+class TraceFormatError(ValueError):
+    """A malformed USIMM trace line."""
+
+
+def parse_line(line: str, line_number: int = 0) -> TraceEntry | None:
+    """Parse one USIMM trace line; None for blank/comment lines."""
+    text = line.strip()
+    if not text or text.startswith("#"):
+        return None
+    fields = text.split()
+    if len(fields) < 3:
+        raise TraceFormatError(
+            f"line {line_number}: expected '<gap> R|W <addr> [pc]', got {text!r}"
+        )
+    try:
+        gap = int(fields[0])
+    except ValueError:
+        raise TraceFormatError(
+            f"line {line_number}: gap {fields[0]!r} is not an integer"
+        ) from None
+    op = fields[1].upper()
+    if op not in ("R", "W"):
+        raise TraceFormatError(
+            f"line {line_number}: operation must be R or W, got {fields[1]!r}"
+        )
+    try:
+        address = int(fields[2], 16)
+    except ValueError:
+        raise TraceFormatError(
+            f"line {line_number}: address {fields[2]!r} is not hexadecimal"
+        ) from None
+    if gap < 0 or address < 0:
+        raise TraceFormatError(f"line {line_number}: negative gap or address")
+    return TraceEntry(gap=gap, is_write=(op == "W"), address=address)
+
+
+def iter_trace_lines(handle: TextIO) -> Iterator[TraceEntry]:
+    """Stream entries from an open USIMM trace file."""
+    for number, line in enumerate(handle, start=1):
+        entry = parse_line(line, number)
+        if entry is not None:
+            yield entry
+
+
+def load_trace(
+    path: str | Path,
+    name: str | None = None,
+    limit: int | None = None,
+    geometry: DRAMGeometry | None = None,
+) -> Trace:
+    """Load a USIMM trace file into a :class:`Trace`.
+
+    Args:
+        path: File to read.
+        name: Trace name (defaults to the file stem).
+        limit: Optional cap on the number of memory operations.
+        geometry: Used to build the row-granule access profile the
+            allocators need; defaults to the paper's single-core system.
+            Addresses beyond the device capacity are wrapped (masked),
+            matching how USIMM maps oversized trace addresses.
+    """
+    path = Path(path)
+    geometry = geometry if geometry is not None else single_core_geometry()
+    address_mask = geometry.capacity_bytes - 1
+    page_shift = geometry.offset_bits + geometry.column_bits
+    entries: list[TraceEntry] = []
+    counts: Counter = Counter()
+    with open(path) as handle:
+        for entry in iter_trace_lines(handle):
+            wrapped = entry.address & address_mask
+            if wrapped != entry.address:
+                entry = TraceEntry(entry.gap, entry.is_write, wrapped)
+            entries.append(entry)
+            counts[entry.address >> page_shift] += 1
+            if limit is not None and len(entries) >= limit:
+                break
+    if not entries:
+        raise TraceFormatError(f"{path}: no memory operations found")
+    return Trace(
+        name=name if name is not None else path.stem,
+        entries=entries,
+        row_access_counts=counts,
+    )
+
+
+def save_trace(trace: Trace, path: str | Path, pc_stub: int = 0x400000) -> None:
+    """Write a trace in USIMM format (reads carry a stub PC)."""
+    path = Path(path)
+    with open(path, "w") as handle:
+        write_trace(trace.entries, handle, pc_stub=pc_stub)
+
+
+def write_trace(
+    entries: Iterable[TraceEntry], handle: TextIO, pc_stub: int = 0x400000
+) -> None:
+    """Write entries to an open handle in USIMM format."""
+    for entry in entries:
+        if entry.is_write:
+            handle.write(f"{entry.gap} W 0x{entry.address:x}\n")
+        else:
+            handle.write(f"{entry.gap} R 0x{entry.address:x} 0x{pc_stub:x}\n")

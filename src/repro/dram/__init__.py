@@ -1,0 +1,48 @@
+"""DDR3 device model with MCR extensions.
+
+This package models what sits behind the command bus:
+
+- the command set (:mod:`repro.dram.commands`),
+- DDR3-1600 timing parameters and the per-row-class timing domains derived
+  from the circuit model (:mod:`repro.dram.timing`),
+- device geometry (:mod:`repro.dram.config`),
+- the MCR mode, region layout and the peripheral MCR generator
+  (:mod:`repro.dram.mcr`),
+- the internal refresh counter, both counter wirings, Fast-Refresh slot
+  classification and Refresh-Skipping (:mod:`repro.dram.refresh`),
+- mode registers / MRS for dynamic MCR-mode change
+  (:mod:`repro.dram.mode_register`), and
+- bank/rank/channel timing state machines used by the memory controller
+  (:mod:`repro.dram.bank`, :mod:`repro.dram.device`).
+"""
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.config import DENSITY_TRFC_NS, DRAMGeometry
+from repro.dram.mcr import MCRGenerator, MCRModeConfig, MechanismSet, RowClass
+from repro.dram.mode_register import ModeRegisterFile
+from repro.dram.refresh import (
+    RefreshPlan,
+    RefreshSlotKind,
+    WiringMethod,
+    refresh_row_address,
+)
+from repro.dram.timing import BaseTimings, RowTimings, TimingDomain
+
+__all__ = [
+    "Command",
+    "CommandType",
+    "DRAMGeometry",
+    "DENSITY_TRFC_NS",
+    "MCRGenerator",
+    "MCRModeConfig",
+    "MechanismSet",
+    "RowClass",
+    "ModeRegisterFile",
+    "RefreshPlan",
+    "RefreshSlotKind",
+    "WiringMethod",
+    "refresh_row_address",
+    "BaseTimings",
+    "RowTimings",
+    "TimingDomain",
+]

@@ -1,0 +1,132 @@
+"""Per-bank timing state.
+
+Each bank tracks its open row and the earliest cycles at which the next
+ACTIVATE / column / PRECHARGE command may legally be issued to it. The
+memory controller never ticks banks; it asks for earliest-issue times and
+applies commands, which makes the surrounding simulator event-driven.
+
+Constraints owned by the bank:
+
+- ACT -> RD/WR   : tRCD  (row-class dependent — Early-Access)
+- ACT -> PRE     : tRAS  (row-class dependent — Early-Precharge)
+- ACT -> ACT     : tRC   (row-class dependent)
+- PRE -> ACT     : tRP
+- RD  -> PRE     : tRTP
+- WR  -> PRE     : tCWD + tBURST + tWR (write recovery)
+
+Rank- and channel-level constraints (tRRD, tFAW, tCCD, tWTR, bus, tRFC)
+live in :mod:`repro.dram.device`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.mcr import RowClass
+from repro.dram.timing import BaseTimings, RowTimings
+
+#: Sentinel for "no constraint yet" comparisons.
+NEVER = 1 << 62
+
+
+@dataclass(slots=True)
+class BankState:
+    """Timing state of one DRAM bank."""
+
+    base: BaseTimings
+    open_row: int | None = None
+    open_row_class: RowClass = RowClass.NORMAL
+    act_cycle: int = -NEVER
+    #: Earliest legal issue cycles for each command class.
+    act_ready: int = 0
+    col_ready: int = NEVER  # no row open -> no column commands
+    pre_ready: int = 0
+    #: Statistics: activates since power-up, per row class.
+    act_count: dict[RowClass, int] = field(
+        default_factory=lambda: {cls: 0 for cls in RowClass}
+    )
+    #: Total cycles this bank spent with a row open (for the power model).
+    open_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def is_open(self) -> bool:
+        return self.open_row is not None
+
+    def earliest_activate(self) -> int | None:
+        """Earliest ACT cycle, or None while a row is open (PRE first)."""
+        if self.is_open:
+            return None
+        return self.act_ready
+
+    def earliest_column(self, row: int) -> int | None:
+        """Earliest RD/WR cycle for ``row``, or None on a row miss."""
+        if self.open_row != row:
+            return None
+        return self.col_ready
+
+    def earliest_precharge(self) -> int | None:
+        """Earliest PRE cycle, or None when already precharged."""
+        if not self.is_open:
+            return None
+        return self.pre_ready
+
+    # ------------------------------------------------------------------
+    # Command application
+    # ------------------------------------------------------------------
+
+    def apply_activate(self, cycle: int, row: int, timings: RowTimings,
+                       row_class: RowClass) -> None:
+        if self.is_open:
+            raise RuntimeError("ACTIVATE to an open bank")
+        if cycle < self.act_ready:
+            raise RuntimeError(
+                f"ACTIVATE at {cycle} violates earliest {self.act_ready}"
+            )
+        self.open_row = row
+        self.open_row_class = row_class
+        self.act_cycle = cycle
+        self.col_ready = cycle + timings.t_rcd
+        self.pre_ready = cycle + timings.t_ras
+        self.act_ready = cycle + timings.t_rc
+        self.act_count[row_class] += 1
+
+    def apply_column(self, cycle: int, is_write: bool) -> None:
+        if not self.is_open:
+            raise RuntimeError("column command to a closed bank")
+        if cycle < self.col_ready:
+            raise RuntimeError(
+                f"column command at {cycle} violates tRCD (earliest {self.col_ready})"
+            )
+        base = self.base
+        if is_write:
+            recovery = cycle + base.t_cwd + base.t_burst + base.t_wr
+        else:
+            recovery = cycle + base.t_rtp
+        if recovery > self.pre_ready:
+            self.pre_ready = recovery
+
+    def apply_precharge(self, cycle: int) -> None:
+        if not self.is_open:
+            raise RuntimeError("PRECHARGE to a closed bank")
+        if cycle < self.pre_ready:
+            raise RuntimeError(
+                f"PRECHARGE at {cycle} violates tRAS/recovery (earliest {self.pre_ready})"
+            )
+        self.open_row = None
+        self.open_cycles += cycle - self.act_cycle
+        self.col_ready = NEVER
+        ready = cycle + self.base.t_rp
+        if ready > self.act_ready:
+            self.act_ready = ready
+        self.pre_ready = 0
+
+    def apply_refresh_block(self, until_cycle: int) -> None:
+        """Block the bank until a rank refresh completes."""
+        if self.is_open:
+            raise RuntimeError("REFRESH with a row open")
+        if until_cycle > self.act_ready:
+            self.act_ready = until_cycle

@@ -1,0 +1,43 @@
+"""DRAM command set and issued-command records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class CommandType(Enum):
+    """DDR3 commands the controller can place on the command bus."""
+
+    ACTIVATE = auto()
+    READ = auto()
+    WRITE = auto()
+    PRECHARGE = auto()
+    REFRESH = auto()
+    MRS = auto()  # mode-register set (dynamic MCR-mode change)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """One command as issued on a channel's command bus.
+
+    ``row`` is meaningful for ACTIVATE (and records the refresh pointer for
+    REFRESH); ``column`` for READ/WRITE. ``rank``/``bank`` are -1 for
+    commands addressed to the whole channel (MRS) or rank (REFRESH uses the
+    rank field with bank = -1).
+    """
+
+    cycle: int
+    kind: CommandType
+    channel: int
+    rank: int = -1
+    bank: int = -1
+    row: int = -1
+    column: int = -1
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("command cycle must be non-negative")

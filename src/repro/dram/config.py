@@ -1,0 +1,128 @@
+"""DRAM system geometry (paper Table 4 baseline).
+
+The baseline system is USIMM's: 1 channel, 2 ranks/channel, 8 banks/rank,
+32768 rows/bank (4 GB, single-core runs) or 131072 rows/bank (16 GB,
+quad-core runs), 128 cache lines per 8 KB row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.utils.bitops import is_power_of_two, log2_int
+
+#: JEDEC DDR3 tRFC per device density (ns). The paper's Table 3 uses the
+#: 1 Gb and 4 Gb values; the 16 GB multi-core system maps to 8 Gb devices.
+DENSITY_TRFC_NS: dict[str, float] = {
+    "1Gb": 110.0,
+    "2Gb": 160.0,
+    "4Gb": 260.0,
+    "8Gb": 350.0,
+}
+
+#: JEDEC refresh commands per 64 ms retention window.
+REFRESH_SLOTS_PER_WINDOW: int = 8192
+
+
+@dataclass(frozen=True, slots=True)
+class DRAMGeometry:
+    """Physical organization of the memory system.
+
+    Attributes mirror the paper's Table 4. ``rows_per_subarray`` is the mat
+    height (512 in the paper); the MCR region is carved from the top of
+    each sub-array.
+    """
+
+    channels: int = 1
+    ranks_per_channel: int = 2
+    banks_per_rank: int = 8
+    rows_per_bank: int = 32768
+    columns_per_row: int = 128  # cache lines per row
+    cacheline_bytes: int = 64
+    rows_per_subarray: int = 512
+    density: str = "4Gb"
+
+    def __post_init__(self) -> None:
+        for name in (
+            "channels",
+            "ranks_per_channel",
+            "banks_per_rank",
+            "rows_per_bank",
+            "columns_per_row",
+            "cacheline_bytes",
+            "rows_per_subarray",
+        ):
+            value = getattr(self, name)
+            if not is_power_of_two(value):
+                raise ValueError(f"{name} must be a power of two, got {value}")
+        if self.rows_per_subarray > self.rows_per_bank:
+            raise ValueError("rows_per_subarray cannot exceed rows_per_bank")
+        if self.density not in DENSITY_TRFC_NS:
+            raise ValueError(
+                f"unknown density {self.density!r}; known: {sorted(DENSITY_TRFC_NS)}"
+            )
+
+    @property
+    def row_bits(self) -> int:
+        return log2_int(self.rows_per_bank)
+
+    @property
+    def column_bits(self) -> int:
+        return log2_int(self.columns_per_row)
+
+    @property
+    def bank_bits(self) -> int:
+        return log2_int(self.banks_per_rank)
+
+    @property
+    def rank_bits(self) -> int:
+        return log2_int(self.ranks_per_channel)
+
+    @property
+    def channel_bits(self) -> int:
+        return log2_int(self.channels)
+
+    @property
+    def offset_bits(self) -> int:
+        return log2_int(self.cacheline_bytes)
+
+    @property
+    def row_bytes(self) -> int:
+        return self.columns_per_row * self.cacheline_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return (
+            self.channels
+            * self.ranks_per_channel
+            * self.banks_per_rank
+            * self.rows_per_bank
+            * self.row_bytes
+        )
+
+    @property
+    def subarrays_per_bank(self) -> int:
+        return self.rows_per_bank // self.rows_per_subarray
+
+    @property
+    def rows_per_refresh(self) -> int:
+        """Rows refreshed per bank by one REFRESH command (>= 1)."""
+        return max(1, self.rows_per_bank // REFRESH_SLOTS_PER_WINDOW)
+
+    @property
+    def trfc_base_ns(self) -> float:
+        """Normal-row tRFC for this density, ns."""
+        return DENSITY_TRFC_NS[self.density]
+
+    def total_banks(self) -> int:
+        return self.channels * self.ranks_per_channel * self.banks_per_rank
+
+
+def single_core_geometry() -> DRAMGeometry:
+    """Paper Table 4 single-core system: 4 GB of 4 Gb devices."""
+    return DRAMGeometry()
+
+
+def multi_core_geometry() -> DRAMGeometry:
+    """Paper Table 4 quad-core system: 16 GB (131072 rows/bank, 8 Gb)."""
+    return replace(DRAMGeometry(), rows_per_bank=131072, density="8Gb")

@@ -1,0 +1,120 @@
+"""Mode registers and the MRS path for dynamic MCR-mode change.
+
+The paper (Sec. 4.1) reuses the reserved bits of an existing mode register
+(e.g. A15-A3 of MR3 in DDR3) to carry the MCR-mode configuration, so the
+memory controller can reconfigure the DRAM between low-latency and
+full-capacity operation at run time with an ordinary MRS command.
+
+We model the register file bit-exactly: the mode is packed into a 13-bit
+field (matching A15-A3), an MRS write decodes it back, and the device
+honours tMOD before acting on the new mode. Encoding:
+
+    bits [1:0]  log2(K)           (0 -> MCR off)
+    bits [3:2]  log2(K/M)         (refresh-skipping ratio)
+    bits [5:4]  region selector   (0=25%, 1=50%, 2=75%, 3=100%)
+    bits [9:6]  mechanism flags   (EA, EP, FR, RS)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.mcr import MCRModeConfig, MechanismSet
+from repro.utils.bitops import extract_bits, log2_int
+
+#: Region fractions encodable in the two selector bits (paper modes).
+REGION_CODES: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+
+#: Which DDR3 MR index carries the MCR configuration.
+MCR_MODE_REGISTER: int = 3
+
+
+def encode_mcr_mode(mode: MCRModeConfig) -> int:
+    """Pack an MCR-mode configuration into the reserved MR3 bits."""
+    if not mode.enabled:
+        return 0
+    if mode.region_fraction not in REGION_CODES:
+        raise ValueError(
+            f"region fraction {mode.region_fraction} is not MRS-encodable; "
+            f"hardware modes are {REGION_CODES}"
+        )
+    k_code = log2_int(mode.k)
+    skip_code = log2_int(mode.k // mode.m)
+    region_code = REGION_CODES.index(mode.region_fraction)
+    mech = mode.mechanisms
+    flags = (
+        (1 if mech.early_access else 0)
+        | (2 if mech.early_precharge else 0)
+        | (4 if mech.fast_refresh else 0)
+        | (8 if mech.refresh_skipping else 0)
+    )
+    return k_code | (skip_code << 2) | (region_code << 4) | (flags << 6)
+
+
+def decode_mcr_mode(value: int) -> MCRModeConfig:
+    """Decode the reserved MR3 bits back into an MCR-mode configuration."""
+    if value < 0 or value >= (1 << 13):
+        raise ValueError("MR field must fit in 13 bits")
+    k_code = extract_bits(value, 0, 2)
+    if k_code == 0:
+        return MCRModeConfig.off()
+    k = 1 << k_code
+    skip_code = extract_bits(value, 2, 2)
+    if (1 << skip_code) > k:
+        raise ValueError("encoded skip ratio exceeds K")
+    m = k >> skip_code
+    region = REGION_CODES[extract_bits(value, 4, 2)]
+    flags = extract_bits(value, 6, 4)
+    mechanisms = MechanismSet(
+        early_access=bool(flags & 1),
+        early_precharge=bool(flags & 2),
+        fast_refresh=bool(flags & 4),
+        refresh_skipping=bool(flags & 8),
+    )
+    return MCRModeConfig(k=k, m=m, region_fraction=region, mechanisms=mechanisms)
+
+
+@dataclass
+class ModeRegisterFile:
+    """The per-rank mode registers (MR0-MR3) of a DDR3 device.
+
+    Only MR3's reserved field is interpreted here; the others are stored
+    verbatim so MRS traffic to them round-trips.
+    """
+
+    def __post_init__(self) -> None:  # pragma: no cover - dataclass hook
+        pass
+
+    def __init__(self) -> None:
+        self._registers = [0, 0, 0, 0]
+        self._mode = MCRModeConfig.off()
+        self._effective_cycle = 0
+
+    def write(self, register: int, value: int, cycle: int, t_mod: int) -> None:
+        """Apply an MRS command at ``cycle``; new mode valid after tMOD."""
+        if not 0 <= register < len(self._registers):
+            raise ValueError(f"no such mode register: MR{register}")
+        if cycle < 0 or t_mod <= 0:
+            raise ValueError("cycle must be >= 0 and t_mod positive")
+        self._registers[register] = value
+        if register == MCR_MODE_REGISTER:
+            self._mode = decode_mcr_mode(value)
+            self._effective_cycle = cycle + t_mod
+
+    def read(self, register: int) -> int:
+        if not 0 <= register < len(self._registers):
+            raise ValueError(f"no such mode register: MR{register}")
+        return self._registers[register]
+
+    def mcr_mode(self, cycle: int) -> MCRModeConfig:
+        """The MCR mode in force at ``cycle`` (tMOD-aware)."""
+        if cycle < self._effective_cycle:
+            # The previous mode remains in force during tMOD; we model the
+            # conservative choice of plain DRAM behaviour mid-transition.
+            return MCRModeConfig.off()
+        return self._mode
+
+    @property
+    def current_mode(self) -> MCRModeConfig:
+        """The most recently programmed mode (ignoring tMOD)."""
+        return self._mode

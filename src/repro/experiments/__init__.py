@@ -1,0 +1,13 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver returns an :class:`repro.experiments.reporting.ExperimentResult`
+holding the same rows/series the paper reports (improvement percentages
+per workload/mode), renderable as a text table. The benchmark harness
+under ``benchmarks/`` wraps these drivers; the ``mcr-dram`` CLI runs them
+directly.
+"""
+
+from repro.experiments.reporting import ExperimentResult, render_table
+from repro.experiments.scale import ScaleConfig, get_scale
+
+__all__ = ["ExperimentResult", "render_table", "ScaleConfig", "get_scale"]

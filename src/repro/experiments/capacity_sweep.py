@@ -1,0 +1,89 @@
+"""Extension experiment: capacity pressure and dynamic mode choice.
+
+Quantifies the paper's Sec. 4.4 motivation for dynamic MCR-mode change:
+as a workload's working set grows against the OS-visible capacity of each
+mode (1/K of the device), the best mode shifts from [4/4x] (fastest DRAM,
+least capacity) through [2/2x] to conventional operation. The sweep
+combines one simulated DRAM execution time per mode with the paging model
+of :mod:`repro.core.capacity` across footprint pressures, and reports the
+crossover points an OS-side mode manager would act on.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import SystemSpec
+from repro.core.capacity import CapacityModel, best_mode
+from repro.core.mcr_mode import MCRMode
+from repro.dram.config import single_core_geometry
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import cached_run, single_trace
+from repro.experiments.scale import ScaleConfig, get_scale
+from repro.workloads.suites import get_profile
+
+MODES = ("off", "2/2x/100%reg", "4/4x/100%reg")
+
+#: Footprint pressure = working-set pages / device pages.
+PRESSURES = (0.05, 0.15, 0.30, 0.60, 0.90)
+
+
+def run_capacity_sweep(
+    scale: ScaleConfig | None = None, workload: str = "comm2"
+) -> ExperimentResult:
+    scale = scale or get_scale()
+    geometry = single_core_geometry()
+    traces = [single_trace(workload, scale)]
+    profile = get_profile(workload)
+    device_pages = geometry.capacity_bytes // geometry.row_bytes
+
+    dram_cycles: dict[str, int] = {}
+    for mode_text in MODES:
+        mode = MCRMode.parse(mode_text) if mode_text != "off" else MCRMode.off()
+        spec = (
+            SystemSpec(allocation="collision-free")
+            if mode.enabled
+            else SystemSpec()
+        )
+        dram_cycles[mode_text] = cached_run(traces, mode, spec).execution_cycles
+    capacity_pages = {
+        "off": device_pages,
+        "2/2x/100%reg": device_pages // 2,
+        "4/4x/100%reg": device_pages // 4,
+    }
+    n_accesses = len(traces[0])
+
+    rows: list[list] = []
+    chosen_sequence: list[str] = []
+    for pressure in PRESSURES:
+        footprint = max(1, round(device_pages * pressure))
+        model = CapacityModel(
+            footprint_pages=footprint, zipf_alpha=profile.zipf_alpha
+        )
+        winner = best_mode(model, dram_cycles, capacity_pages, n_accesses)
+        chosen_sequence.append(winner)
+        for mode_text in MODES:
+            total = model.capacity_aware_cycles(
+                dram_cycles[mode_text], capacity_pages[mode_text], n_accesses
+            )
+            rows.append(
+                [
+                    f"{pressure:.0%}",
+                    mode_text,
+                    f"{model.fault_rate(capacity_pages[mode_text]):.2%}",
+                    round(total),
+                    "<-- best" if mode_text == winner else "",
+                ]
+            )
+
+    return ExperimentResult(
+        experiment_id="capacity",
+        title=f"Capacity pressure vs mode choice ({workload})",
+        headers=["pressure", "mode", "fault rate", "capacity-aware cycles", ""],
+        rows=rows,
+        paper_reference=(
+            "Sec. 4.4 'Dynamic Change of MCR-Mode': relax the mode when "
+            "page-fault degradation is predicted — motivation only, no "
+            "numbers in the paper"
+        ),
+        notes=f"scale={scale.name}; paging model of repro.core.capacity",
+        series={"winners": chosen_sequence},
+    )

@@ -1,0 +1,148 @@
+"""Command-line entry point: ``mcr-dram``.
+
+Examples::
+
+    mcr-dram list
+    mcr-dram run table3
+    mcr-dram run fig11 --scale smoke
+    mcr-dram run all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.scale import get_scale
+
+
+def _registry() -> dict[str, Callable[..., ExperimentResult]]:
+    # Imported lazily so `mcr-dram list` stays fast.
+    from repro.experiments import (
+        capacity_sweep,
+        combined_mode,
+        fig08_wiring,
+        fig10_table3,
+        fig11_fig14_ratio,
+        fig12_fig15_profile,
+        fig13_fig16_modes,
+        fig17_mechanisms,
+        fig18_edp,
+        headline,
+        mapping_ablation,
+        scheduler_ablation,
+        tldram_comparison,
+        wiring_ablation,
+    )
+
+    return {
+        "fig08": lambda scale=None: fig08_wiring.run(),
+        "fig10": lambda scale=None: fig10_table3.run_fig10(),
+        "table3": lambda scale=None: fig10_table3.run_table3(),
+        "fig11": fig11_fig14_ratio.run_fig11,
+        "fig12": fig12_fig15_profile.run_fig12,
+        "fig13": fig13_fig16_modes.run_fig13,
+        "fig14": fig11_fig14_ratio.run_fig14,
+        "fig15": fig12_fig15_profile.run_fig15,
+        "fig16": fig13_fig16_modes.run_fig16,
+        "fig17": fig17_mechanisms.run_fig17,
+        "fig18": fig18_edp.run_fig18,
+        "headline": headline.run_headline,
+        # Extensions beyond the paper's evaluation:
+        "combined": combined_mode.run_combined,
+        "wiring": wiring_ablation.run_wiring_ablation,
+        "scheduler": scheduler_ablation.run_scheduler_ablation,
+        "capacity": capacity_sweep.run_capacity_sweep,
+        "tldram": tldram_comparison.run_tldram_comparison,
+        "mapping": mapping_ablation.run_mapping_ablation,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="mcr-dram",
+        description="Regenerate the MCR-DRAM paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. fig11, table3, all")
+    run.add_argument(
+        "--scale",
+        default=None,
+        help="smoke | small | full (default: REPRO_SCALE env or small)",
+    )
+    run.add_argument(
+        "--csv",
+        default=None,
+        metavar="DIR",
+        help="also export each result as <DIR>/<experiment>.csv",
+    )
+    run.add_argument(
+        "--json",
+        default=None,
+        metavar="DIR",
+        help="also export each result as <DIR>/<experiment>.json",
+    )
+    report = sub.add_parser(
+        "report", help="run every experiment and write EXPERIMENTS.md"
+    )
+    report.add_argument("--scale", default=None, help="smoke | small | full")
+    report.add_argument(
+        "--output", default="EXPERIMENTS.md", help="output path (- for stdout)"
+    )
+    args = parser.parse_args(argv)
+
+    registry = _registry()
+    if args.command == "list":
+        for name in registry:
+            print(name)
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import generate
+
+        text = generate(get_scale(args.scale) if args.scale else None)
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w") as handle:
+                handle.write(text)
+            print(f"wrote {args.output}")
+        return 0
+
+    names = list(registry) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'mcr-dram list'", file=sys.stderr)
+        return 2
+    scale = get_scale(args.scale) if args.scale else None
+    for name in names:
+        start = time.time()
+        result = registry[name](scale=scale) if scale else registry[name]()
+        print(result.to_text())
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+        if getattr(args, "csv", None):
+            from pathlib import Path
+
+            from repro.experiments.export import to_csv
+
+            directory = Path(args.csv)
+            directory.mkdir(parents=True, exist_ok=True)
+            to_csv(result, directory / f"{name}.csv")
+        if getattr(args, "json", None):
+            from pathlib import Path
+
+            from repro.experiments.export import to_json
+
+            directory = Path(args.json)
+            directory.mkdir(parents=True, exist_ok=True)
+            to_json(result, directory / f"{name}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Export experiment results to CSV / JSON for external plotting."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.reporting import ExperimentResult
+
+
+def to_csv(result: ExperimentResult, path: str | Path) -> None:
+    """Write the result's table as CSV (headers + rows)."""
+    path = Path(path)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(result.headers)
+        writer.writerows(result.rows)
+
+
+def to_json(result: ExperimentResult, path: str | Path) -> None:
+    """Write the full result (metadata, rows, series) as JSON.
+
+    Series values are included verbatim when JSON-serializable; anything
+    else is stringified, so curve data (lists of floats) survives intact.
+    """
+    path = Path(path)
+
+    def sanitize(value):
+        try:
+            json.dumps(value)
+            return value
+        except TypeError:
+            return str(value)
+
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_reference": result.paper_reference,
+        "notes": result.notes,
+        "headers": result.headers,
+        "rows": [[sanitize(cell) for cell in row] for row in result.rows],
+        "series": {key: sanitize(val) for key, val in result.series.items()},
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_json(path: str | Path) -> ExperimentResult:
+    """Rehydrate an exported JSON result (rows/series as plain data)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        headers=payload["headers"],
+        rows=payload["rows"],
+        paper_reference=payload.get("paper_reference", ""),
+        notes=payload.get("notes", ""),
+        series=payload.get("series", {}),
+    )

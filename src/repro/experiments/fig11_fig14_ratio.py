@@ -1,0 +1,106 @@
+"""Figs. 11 and 14: sensitivity to the MCR-to-total-row ratio.
+
+Protocol (paper Sec. 6.1): only Early-Access and Early-Precharge are
+applied — no Fast-Refresh, no Refresh-Skipping — and a fraction of the
+rows in each sub-array simply carries the Kx MCR timings (the MCR ratio);
+page placement is untouched, so requests sample the MCR region in
+proportion to the ratio. Modes [2/2x] and [4/4x] sweep ratios
+{0.25, 0.5, 1.0}; Fig. 11 is single-core, Fig. 14 the quad-core version.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import SystemSpec
+from repro.core.mcr_mode import MCRMode
+from repro.dram.config import multi_core_geometry
+from repro.dram.mcr import MechanismSet
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import (
+    cached_run,
+    geometric_mean_pct,
+    multicore_traces,
+    reductions,
+    single_trace,
+)
+from repro.experiments.scale import ScaleConfig, get_scale
+
+RATIOS: tuple[float, ...] = (0.25, 0.5, 1.0)
+KS: tuple[int, ...] = (2, 4)
+
+
+def _ratio_mode(k: int, ratio: float) -> MCRMode:
+    return MCRMode.parse(
+        f"{k}/{k}x/{ratio * 100:g}%reg", mechanisms=MechanismSet.access_only()
+    )
+
+
+def _sweep(
+    workload_traces: list[tuple[str, list]], spec: SystemSpec
+) -> tuple[list[list], dict[tuple[int, float], list[float]]]:
+    rows: list[list] = []
+    exec_by_mode: dict[tuple[int, float], list[float]] = {
+        (k, r): [] for k in KS for r in RATIOS
+    }
+    lat_by_mode: dict[tuple[int, float], list[float]] = {
+        (k, r): [] for k in KS for r in RATIOS
+    }
+    for name, traces in workload_traces:
+        baseline = cached_run(traces, MCRMode.off(), spec)
+        for k in KS:
+            for ratio in RATIOS:
+                result = cached_run(traces, _ratio_mode(k, ratio), spec)
+                exec_red, lat_red, _ = reductions(baseline, result)
+                rows.append([name, f"{k}/{k}x", ratio, exec_red, lat_red])
+                exec_by_mode[(k, ratio)].append(exec_red)
+                lat_by_mode[(k, ratio)].append(lat_red)
+    for k in KS:
+        for ratio in RATIOS:
+            rows.append(
+                [
+                    "AVG",
+                    f"{k}/{k}x",
+                    ratio,
+                    geometric_mean_pct(exec_by_mode[(k, ratio)]),
+                    geometric_mean_pct(lat_by_mode[(k, ratio)]),
+                ]
+            )
+    return rows, exec_by_mode
+
+
+def run_fig11(scale: ScaleConfig | None = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    spec = SystemSpec()
+    workloads = [
+        (name, [single_trace(name, scale)]) for name in scale.single_workloads
+    ]
+    rows, exec_by_mode = _sweep(workloads, spec)
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Single-core: exec-time / read-latency reduction vs MCR ratio",
+        headers=["workload", "mode", "ratio", "exec red %", "latency red %"],
+        rows=rows,
+        paper_reference=(
+            "Fig. 11: [4/4x]@1.0 averages 7.9% exec / 12.5% latency; "
+            "[2/2x]@1.0 (5.7%/8.5%) beats [4/4x]@0.5 (3.9%/6.1%)"
+        ),
+        notes=f"scale={scale.name}; EA+EP only, no allocation",
+        series={"exec_by_mode": {f"{k}x@{r}": v for (k, r), v in exec_by_mode.items()}},
+    )
+
+
+def run_fig14(scale: ScaleConfig | None = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    spec = SystemSpec(geometry=multi_core_geometry())
+    rows, exec_by_mode = _sweep(multicore_traces(scale), spec)
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Multi-core: exec-time / read-latency reduction vs MCR ratio",
+        headers=["workload", "mode", "ratio", "exec red %", "latency red %"],
+        rows=rows,
+        paper_reference=(
+            "Fig. 14: [4/4x]@1.0 averages 10.3% exec / 10.2% latency; "
+            "[2/2x]@1.0 beats [4/4x]@0.5"
+        ),
+        notes=f"scale={scale.name}; EA+EP only, no allocation",
+        series={"exec_by_mode": {f"{k}x@{r}": v for (k, r), v in exec_by_mode.items()}},
+    )

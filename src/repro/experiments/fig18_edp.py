@@ -1,0 +1,64 @@
+"""Fig. 18: energy-delay-product improvements.
+
+Modes [2/2x/100%reg], [4/4x/100%reg] and [2/4x/100%reg] with all
+mechanisms and collision-free allocation, single- and multi-core. The
+paper's headline: [4/4x/100%reg] improves EDP by 14.1% (single) and
+23.2% (multi); [2/4x] trails [4/4x] because refresh energy is not a large
+enough share for skipping to win.
+"""
+
+from __future__ import annotations
+
+from repro.core.api import SystemSpec
+from repro.core.mcr_mode import MCRMode
+from repro.dram.config import multi_core_geometry
+from repro.experiments.reporting import ExperimentResult
+from repro.experiments.runner import (
+    cached_run,
+    geometric_mean_pct,
+    multicore_traces,
+    reductions,
+    single_trace,
+)
+from repro.experiments.scale import ScaleConfig, get_scale
+
+MODES: tuple[str, ...] = ("2/2x/100%reg", "4/4x/100%reg", "2/4x/100%reg")
+
+
+def _sweep(workload_traces: list[tuple[str, list]], base_spec: SystemSpec) -> dict[str, float]:
+    spec = base_spec.with_allocation("collision-free")
+    per_mode: dict[str, list[float]] = {m: [] for m in MODES}
+    for _, traces in workload_traces:
+        baseline = cached_run(traces, MCRMode.off(), base_spec)
+        for mode_text in MODES:
+            result = cached_run(traces, MCRMode.parse(mode_text), spec)
+            _, _, edp_red = reductions(baseline, result)
+            per_mode[mode_text].append(edp_red)
+    return {m: geometric_mean_pct(v) for m, v in per_mode.items()}
+
+
+def run_fig18(scale: ScaleConfig | None = None) -> ExperimentResult:
+    scale = scale or get_scale()
+    single = [
+        (name, [single_trace(name, scale)]) for name in scale.single_workloads
+    ]
+    single_avg = _sweep(single, SystemSpec())
+    multi_avg = _sweep(
+        multicore_traces(scale), SystemSpec(geometry=multi_core_geometry())
+    )
+    rows = []
+    for mode_text in MODES:
+        rows.append(["single", mode_text, single_avg[mode_text]])
+    for mode_text in MODES:
+        rows.append(["multi", mode_text, multi_avg[mode_text]])
+    return ExperimentResult(
+        experiment_id="fig18",
+        title="EDP reduction over baseline",
+        headers=["system", "mode", "EDP red %"],
+        rows=rows,
+        paper_reference=(
+            "Fig. 18: [4/4x/100%reg] best — 14.1% single-core, 23.2% "
+            "multi-core; [2/4x] below [4/4x]"
+        ),
+        notes=f"scale={scale.name}; all mechanisms, collision-free allocation",
+    )

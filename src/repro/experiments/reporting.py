@@ -1,0 +1,73 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Render an ASCII table with right-padded columns."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in cells)) if cells else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(parts: Sequence[str]) -> str:
+        return " | ".join(p.ljust(w) for p, w in zip(parts, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = [line([str(h) for h in headers]), sep]
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    Attributes:
+        experiment_id: e.g. ``fig11`` or ``table3``.
+        title: Human-readable description.
+        headers: Column names.
+        rows: Table rows (mixed str/float cells).
+        paper_reference: What the paper reports for the same quantity,
+            for EXPERIMENTS.md side-by-side entries.
+        notes: Scale caveats, protocol details.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    paper_reference: str = ""
+    notes: str = ""
+    series: dict[str, Any] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        parts.append(render_table(self.headers, self.rows))
+        if self.paper_reference:
+            parts.append(f"paper: {self.paper_reference}")
+        if self.notes:
+            parts.append(f"notes: {self.notes}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_by(self, key_header: str, key: Any) -> list[Any]:
+        """Find the first row whose ``key_header`` cell equals ``key``."""
+        idx = self.headers.index(key_header)
+        for row in self.rows:
+            if row[idx] == key:
+                return row
+        raise KeyError(f"no row with {key_header}={key!r}")

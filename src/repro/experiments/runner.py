@@ -1,0 +1,130 @@
+"""Shared run plumbing for the experiment drivers.
+
+Every figure compares MCR configurations against the same conventional
+baseline, so the runner memoizes results per (traces, mode, spec)
+fingerprint within a process — a sweep over six modes reuses one baseline
+run per workload.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.api import SystemSpec, run_system
+from repro.core.mcr_mode import MCRMode
+from repro.cpu.trace import Trace
+from repro.dram.config import multi_core_geometry
+from repro.dram.mcr import MechanismSet
+from repro.experiments.scale import ScaleConfig
+from repro.sim.results import RunResult, percent_reduction
+from repro.workloads import build_multicore_workload, make_trace, standard_multicore_mixes
+
+_run_cache: dict[tuple, RunResult] = {}
+_trace_cache: dict[tuple, object] = {}
+# The run cache keys traces by id(); keep every keyed trace alive so a
+# garbage-collected trace can never hand its address (and cache entry) to
+# a different trace object.
+_trace_refs: list[Trace] = []
+
+
+def clear_caches() -> None:
+    """Drop memoized traces and runs (mainly for tests)."""
+    _run_cache.clear()
+    _trace_cache.clear()
+    _trace_refs.clear()
+
+
+def single_trace(workload: str, scale: ScaleConfig) -> Trace:
+    key = ("single", workload, scale.n_requests_single, scale.seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = make_trace(
+            workload, scale.n_requests_single, seed=scale.seed
+        )
+    return _trace_cache[key]  # type: ignore[return-value]
+
+
+def multicore_traces(scale: ScaleConfig) -> list[tuple[str, list[Trace]]]:
+    """The first ``scale.n_multicore_mixes`` standard quad-core workloads."""
+    key = ("multi", scale.n_requests_multi_per_core, scale.n_multicore_mixes, scale.seed)
+    if key not in _trace_cache:
+        geometry = multi_core_geometry()
+        mixes = standard_multicore_mixes(seed=scale.seed)[: scale.n_multicore_mixes]
+        built = [
+            (
+                name,
+                build_multicore_workload(
+                    name,
+                    names,
+                    scale.n_requests_multi_per_core,
+                    seed=scale.seed,
+                    geometry=geometry,
+                ),
+            )
+            for name, names in mixes
+        ]
+        _trace_cache[key] = built
+    return _trace_cache[key]  # type: ignore[return-value]
+
+
+def _spec_key(spec: SystemSpec) -> tuple:
+    return (
+        spec.geometry,
+        spec.core_params,
+        spec.mapping,
+        spec.refresh_enabled,
+        spec.allocation,
+        spec.wiring,
+        spec.policy,
+    )
+
+
+def cached_run(
+    traces: Sequence[Trace],
+    mode: MCRMode,
+    spec: SystemSpec,
+) -> RunResult:
+    """Run (or reuse) one simulation."""
+    key = (
+        tuple(id(t) for t in traces),
+        mode.config,
+        _spec_key(spec),
+    )
+    if key not in _run_cache:
+        _trace_refs.extend(traces)
+        _run_cache[key] = run_system(traces, mode, spec=spec)
+    return _run_cache[key]
+
+
+def mode_with(
+    spec_text: str,
+    mechanisms: MechanismSet | None = None,
+) -> MCRMode:
+    """Parse a mode string with a mechanism override."""
+    return MCRMode.parse(spec_text, mechanisms=mechanisms)
+
+
+def reductions(baseline: RunResult, candidate: RunResult) -> tuple[float, float, float]:
+    """(exec-time, read-latency, EDP) reduction percentages."""
+    exec_red = percent_reduction(
+        baseline.execution_cycles, candidate.execution_cycles
+    )
+    lat_red = (
+        percent_reduction(
+            baseline.avg_read_latency_cycles, candidate.avg_read_latency_cycles
+        )
+        if baseline.avg_read_latency_cycles > 0
+        else 0.0
+    )
+    edp_red = percent_reduction(baseline.edp, candidate.edp) if baseline.edp > 0 else 0.0
+    return exec_red, lat_red, edp_red
+
+
+def geometric_mean_pct(values: list[float]) -> float:
+    """Average improvement the way the paper aggregates (arithmetic mean).
+
+    Kept as a helper so switching the aggregate in one place is easy; the
+    paper's "on average" bars are arithmetic means over workloads.
+    """
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

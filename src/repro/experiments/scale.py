@@ -1,0 +1,74 @@
+"""Experiment scale presets.
+
+The paper simulates billions of cycles per configuration on a C
+simulator; a Python reproduction trades trace length for wall-clock time.
+Scales control requests per run and how many workloads/mixes a sweep
+covers. Select via the ``REPRO_SCALE`` environment variable
+(``smoke`` | ``small`` | ``full``) or explicitly in code; ``small`` is
+the default and is what the committed EXPERIMENTS.md numbers used.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.workloads.suites import SINGLE_CORE_WORKLOADS
+
+
+@dataclass(frozen=True, slots=True)
+class ScaleConfig:
+    """How big each experiment run is."""
+
+    name: str
+    n_requests_single: int
+    n_requests_multi_per_core: int
+    single_workloads: tuple[str, ...]
+    n_multicore_mixes: int  # of the 16 standard mixes
+    seed: int = 2015
+
+    def __post_init__(self) -> None:
+        if self.n_requests_single <= 0 or self.n_requests_multi_per_core <= 0:
+            raise ValueError("request counts must be positive")
+        if not self.single_workloads:
+            raise ValueError("need at least one workload")
+        if not 1 <= self.n_multicore_mixes <= 16:
+            raise ValueError("mix count must be within [1, 16]")
+
+
+_REPRESENTATIVE = ("comm2", "leslie", "libq", "stream", "mummer", "tigr")
+
+_SCALES: dict[str, ScaleConfig] = {
+    "smoke": ScaleConfig(
+        name="smoke",
+        n_requests_single=1_200,
+        n_requests_multi_per_core=800,
+        single_workloads=("comm2", "tigr"),
+        n_multicore_mixes=1,
+    ),
+    "small": ScaleConfig(
+        name="small",
+        n_requests_single=4_000,
+        n_requests_multi_per_core=2_000,
+        single_workloads=_REPRESENTATIVE,
+        n_multicore_mixes=4,
+    ),
+    "full": ScaleConfig(
+        name="full",
+        n_requests_single=20_000,
+        n_requests_multi_per_core=8_000,
+        single_workloads=SINGLE_CORE_WORKLOADS,
+        n_multicore_mixes=16,
+    ),
+}
+
+
+def get_scale(name: str | None = None) -> ScaleConfig:
+    """Resolve a scale by name, argument over environment over default."""
+    chosen = name or os.environ.get("REPRO_SCALE", "small")
+    try:
+        return _SCALES[chosen]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {chosen!r}; choose from {sorted(_SCALES)}"
+        ) from None

@@ -1,0 +1,25 @@
+"""DDR3 power/energy model (Micron TN-41-01 methodology).
+
+Energy is computed per rank from datasheet IDD currents and the command
+counts / state-residency statistics the simulator collects, with the MCR
+adjustments the paper describes in Sec. 6.4: extra wordline energy for K
+simultaneous wordlines, reduced restore charge under Early-Precharge,
+reduced refresh energy under Fast-Refresh, and eliminated refresh energy
+under Refresh-Skipping. EDP = total energy x execution time.
+"""
+
+from repro.power.edp import edp_joule_seconds
+from repro.power.micron import (
+    EnergyBreakdown,
+    IDDParameters,
+    PowerModel,
+    PowerStats,
+)
+
+__all__ = [
+    "IDDParameters",
+    "PowerModel",
+    "PowerStats",
+    "EnergyBreakdown",
+    "edp_joule_seconds",
+]

@@ -1,0 +1,20 @@
+"""Energy-delay product."""
+
+from __future__ import annotations
+
+from repro.utils.units import NS_PER_S
+
+
+def edp_joule_seconds(total_energy_j: float, cycles: int, tck_ns: float) -> float:
+    """EDP = energy x execution time, in joule-seconds.
+
+    The paper's Fig. 18 reports EDP *reduction* versus the baseline; both
+    our benches and tests compare ratios of this quantity.
+    """
+    if total_energy_j < 0:
+        raise ValueError("energy must be non-negative")
+    if cycles < 0:
+        raise ValueError("cycles must be non-negative")
+    if tck_ns <= 0:
+        raise ValueError("tck_ns must be positive")
+    return total_energy_j * (cycles * tck_ns / NS_PER_S)

@@ -1,0 +1,257 @@
+"""IDD-based DDR3 energy model with MCR adjustments.
+
+Follows the Micron TN-41-01 "Calculating Memory System Power for DDR3"
+methodology: each energy component is an IDD current (minus the background
+current already accounted) times VDD times the time the component is
+active. Components:
+
+- activate/precharge pairs: (IDD0*tRC - IDD3N*tRAS - IDD2N*(tRC - tRAS))
+  per ACT, evaluated with the *row class's own* tRAS/tRC — Early-Precharge
+  therefore reduces activate energy directly;
+- column accesses: (IDD4R/W - IDD3N) over the burst;
+- refresh: (IDD5B - IDD3N) over the slot's tRFC — Fast-Refresh shortens
+  it, Refresh-Skipping removes it;
+- background: active standby (IDD3N) while any bank is open, precharge
+  standby (IDD2N) when idle, with precharged idle intervals longer than a
+  power-down entry threshold spent at IDD2P instead (the paper's
+  observation that Early-Precharge/Refresh-Skipping lengthen idle time and
+  enable low-power modes);
+- MCR wordline overhead: charging K wordlines to VPP instead of one
+  (small versus the sense amplifiers, as the paper notes);
+- MCR restore factor: the restore portion of activate energy scales with
+  the charge actually moved into the cells — K cells restored to the
+  (lower) Early-Precharge target versus one cell restored to full.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.charge_sharing import cell_voltage_after_sharing
+from repro.circuit.constants import TechnologyParameters
+from repro.circuit.restore import RestoreModel, restore_target_fraction
+from repro.dram.config import DRAMGeometry
+from repro.dram.mcr import MCRModeConfig, RowClass
+from repro.dram.timing import TimingDomain
+
+
+@dataclass(frozen=True, slots=True)
+class IDDParameters:
+    """Datasheet currents (mA per device) and supply voltage.
+
+    Defaults are representative DDR3-1600 x8 values.
+    """
+
+    idd0: float = 95.0  # one-bank activate-precharge
+    idd2p: float = 12.0  # precharge power-down
+    idd2n: float = 42.0  # precharge standby
+    idd3n: float = 57.0  # active standby
+    idd4r: float = 180.0  # burst read
+    idd4w: float = 185.0  # burst write
+    idd5b: float = 220.0  # burst refresh
+    vdd: float = 1.5
+    devices_per_rank: int = 8  # x8 devices behind a 64-bit rank
+
+    def __post_init__(self) -> None:
+        if self.idd0 <= self.idd3n or self.idd3n <= self.idd2n:
+            raise ValueError("expected IDD0 > IDD3N > IDD2N")
+        if self.idd2p >= self.idd2n:
+            raise ValueError("power-down current must undercut standby")
+        if self.vdd <= 0 or self.devices_per_rank <= 0:
+            raise ValueError("vdd and devices_per_rank must be positive")
+
+
+@dataclass(slots=True)
+class PowerStats:
+    """Simulator statistics the power model consumes."""
+
+    total_cycles: int
+    activates_normal: int
+    activates_mcr: int
+    reads: int
+    writes: int
+    refreshes_normal: int
+    refreshes_fast: int
+    refreshes_skipped: int
+    active_standby_cycles: int  # summed over ranks
+    idle_intervals: list[int] = field(default_factory=list)  # per rank, concatenated
+    activates_mcr_alt: int = 0  # combined-mode secondary region
+    refreshes_fast_alt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.total_cycles < 0:
+            raise ValueError("total_cycles must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyBreakdown:
+    """Energy per component, joules (whole memory system)."""
+
+    activate: float
+    read: float
+    write: float
+    refresh: float
+    background_active: float
+    background_precharge: float
+    background_powerdown: float
+    wordline_overhead: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.activate
+            + self.read
+            + self.write
+            + self.refresh
+            + self.background_active
+            + self.background_precharge
+            + self.background_powerdown
+            + self.wordline_overhead
+        )
+
+    @property
+    def refresh_fraction(self) -> float:
+        return self.refresh / self.total if self.total > 0 else 0.0
+
+
+#: Cycles of precharged idle before a rank enters power-down.
+POWERDOWN_ENTRY_CYCLES: int = 24
+
+#: Wordline capacitance per row (F) — a full 8 KB row's wordline wire plus
+#: gate load; charged to VPP on every activate.
+WORDLINE_CAPACITANCE_F: float = 2e-12
+
+#: Portion of the IDD0 activate energy spent restoring cell charge (the
+#: rest drives bitlines/sense amps). Used only to scale the MCR restore
+#: adjustment, so it affects MCR-vs-baseline deltas, not the baseline.
+RESTORE_ENERGY_SHARE: float = 0.4
+
+
+class PowerModel:
+    """Energy accounting for one simulated run."""
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        domain: TimingDomain,
+        mode: MCRModeConfig,
+        idd: IDDParameters | None = None,
+        tech: TechnologyParameters | None = None,
+    ) -> None:
+        self.geometry = geometry
+        self.domain = domain
+        self.mode = mode
+        self.idd = idd if idd is not None else IDDParameters()
+        self.tech = tech if tech is not None else TechnologyParameters()
+        self._restore = RestoreModel(self.tech)
+
+    # ------------------------------------------------------------------
+
+    def _scale(self) -> float:
+        """mA*ns -> joules for the whole memory system."""
+        devices = (
+            self.idd.devices_per_rank
+            * self.geometry.ranks_per_channel
+            * self.geometry.channels
+        )
+        return self.idd.vdd * 1e-12 * devices  # 1 mA*V*ns = 1 pJ per device
+
+    def _activate_energy_manans(self, row_class: RowClass) -> float:
+        """Per-ACT activate/precharge energy, mA*ns per device."""
+        idd = self.idd
+        timings = self.domain.row_timings(row_class)
+        tck = self.domain.base.tck_ns
+        tras_ns = timings.t_ras * tck
+        trc_ns = timings.t_rc * tck
+        raw = idd.idd0 * trc_ns - idd.idd3n * tras_ns - idd.idd2n * (trc_ns - tras_ns)
+        if row_class is not RowClass.NORMAL and self.mode.enabled:
+            raw *= self._mcr_restore_factor(row_class)
+        return raw
+
+    def _mcr_restore_factor(self, row_class: RowClass = RowClass.MCR) -> float:
+        """Scale on activate energy for the restore charge actually moved.
+
+        K cells restore from the charge-sharing level to the
+        Early-Precharge target, versus one cell restoring to full: the
+        restore share of activate energy scales by that charge ratio, the
+        rest is unchanged.
+        """
+        k = self.mode.k_of(row_class)
+        m = self.mode.effective_m_of(row_class)
+        if k <= 1:
+            return 1.0
+        theta = self._restore.calibration.theta
+        vdd = self.tech.vdd_v
+        shared_1 = cell_voltage_after_sharing(self.tech, 1) / vdd
+        shared_k = cell_voltage_after_sharing(self.tech, k) / vdd
+        target = restore_target_fraction(m, theta, self.tech.leak_frac_per_64ms)
+        base_charge = theta - shared_1
+        mcr_charge = k * max(0.0, target - shared_k)
+        ratio = mcr_charge / base_charge if base_charge > 0 else 1.0
+        return (1.0 - RESTORE_ENERGY_SHARE) + RESTORE_ENERGY_SHARE * ratio
+
+    def _wordline_energy_j(self, activates_mcr: int, activates_alt: int = 0) -> float:
+        """Extra wordline energy: (K-1) additional wordlines per MCR ACT."""
+        if not self.mode.enabled:
+            return 0.0
+        per_wordline = WORDLINE_CAPACITANCE_F * self.tech.vpp_v**2
+        extra = activates_mcr * (self.mode.k - 1)
+        extra += activates_alt * (self.mode.alt_k - 1)
+        return extra * per_wordline
+
+    # ------------------------------------------------------------------
+
+    def energy(self, stats: PowerStats) -> EnergyBreakdown:
+        """Total energy for a run, per component."""
+        idd = self.idd
+        base = self.domain.base
+        tck = base.tck_ns
+        scale = self._scale()
+
+        act = (
+            stats.activates_normal * self._activate_energy_manans(RowClass.NORMAL)
+            + stats.activates_mcr * self._activate_energy_manans(RowClass.MCR)
+            + stats.activates_mcr_alt
+            * self._activate_energy_manans(RowClass.MCR_ALT)
+        ) * scale
+
+        burst_ns = base.t_burst * tck
+        read = stats.reads * (idd.idd4r - idd.idd3n) * burst_ns * scale
+        write = stats.writes * (idd.idd4w - idd.idd3n) * burst_ns * scale
+
+        trfc_normal_ns = self.domain.trfc_cycles(RowClass.NORMAL) * tck
+        trfc_fast_ns = self.domain.trfc_cycles(RowClass.MCR) * tck
+        trfc_alt_ns = self.domain.trfc_cycles(RowClass.MCR_ALT) * tck
+        refresh = (
+            stats.refreshes_normal * trfc_normal_ns
+            + stats.refreshes_fast * trfc_fast_ns
+            + stats.refreshes_fast_alt * trfc_alt_ns
+        ) * (idd.idd5b - idd.idd3n) * scale
+
+        # Background. Statistics are summed over ranks, so use per-rank
+        # device scaling (total scale divided by rank count).
+        rank_scale = scale / max(1, self.geometry.ranks_per_channel * self.geometry.channels)
+        bg_active = stats.active_standby_cycles * tck * idd.idd3n * rank_scale
+        precharged = 0
+        powerdown = 0
+        for interval in stats.idle_intervals:
+            if interval > POWERDOWN_ENTRY_CYCLES:
+                precharged += POWERDOWN_ENTRY_CYCLES
+                powerdown += interval - POWERDOWN_ENTRY_CYCLES
+            else:
+                precharged += interval
+        bg_pre = precharged * tck * idd.idd2n * rank_scale
+        bg_pd = powerdown * tck * idd.idd2p * rank_scale
+
+        return EnergyBreakdown(
+            activate=act,
+            read=read,
+            write=write,
+            refresh=refresh,
+            background_active=bg_active,
+            background_precharge=bg_pre,
+            background_powerdown=bg_pd,
+            wordline_overhead=self._wordline_energy_j(
+                stats.activates_mcr, stats.activates_mcr_alt
+            ),
+        )

@@ -1,0 +1,14 @@
+"""System-level simulator: cores + controllers + devices + power.
+
+:class:`repro.sim.engine.SystemSimulator` is the event-driven equivalent
+of USIMM's main loop: it advances time to the next interesting event (a
+core fetching a memory op, a controller command slot, a data return)
+instead of ticking every cycle, which is what makes full parameter sweeps
+feasible in Python. All DRAM timing legality is enforced by the device
+layer on every command, so every simulation doubles as a timing check.
+"""
+
+from repro.sim.engine import SimulationError, SystemSimulator
+from repro.sim.results import RunResult
+
+__all__ = ["SystemSimulator", "SimulationError", "RunResult"]

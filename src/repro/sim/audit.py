@@ -1,0 +1,189 @@
+"""Independent timing auditor.
+
+The device layer enforces constraints as commands are applied, but those
+checks share code with the earliest-issue computation. This module
+re-verifies a recorded command log against the JEDEC constraint list with
+a completely separate (simple, quadratic-in-window) implementation, so a
+bug in the fast path cannot hide. Integration tests run full simulations
+with ``ChannelState.command_log`` enabled and assert a clean audit.
+
+ACTIVATE constraints are checked against the *row class's* timing set by
+re-deriving the class from the row address, so the auditor also validates
+the controller's multiple-latency (MCR) behaviour. REFRESH occupancy is
+checked against the tRFC recorded with each REFRESH command and the audit
+verifies that recorded tRFC matches the normal or fast class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.config import DRAMGeometry
+from repro.dram.mcr import MCRGenerator, MCRModeConfig, RowClass
+from repro.dram.timing import TimingDomain
+
+
+@dataclass
+class AuditViolation:
+    """One detected constraint violation."""
+
+    constraint: str
+    first: Command
+    second: Command
+    required: int
+    actual: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.constraint}: {self.first.kind} @{self.first.cycle} -> "
+            f"{self.second.kind} @{self.second.cycle}: need >= {self.required}, "
+            f"got {self.actual}"
+        )
+
+
+@dataclass
+class AuditReport:
+    """Outcome of an audit pass."""
+
+    commands: int
+    violations: list[AuditViolation] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def audit_commands(
+    log: list[Command],
+    geometry: DRAMGeometry,
+    domain: TimingDomain,
+    mode: MCRModeConfig,
+) -> AuditReport:
+    """Re-verify every pairwise timing constraint in a command log."""
+    base = domain.base
+    generator = MCRGenerator(geometry, mode)
+    report = AuditReport(commands=len(log))
+
+    def viol(name: str, a: Command, b: Command, need: int) -> None:
+        report.violations.append(
+            AuditViolation(name, a, b, need, b.cycle - a.cycle)
+        )
+
+    def row_timings_of(cmd: Command):
+        return domain.row_timings(generator.row_class(cmd.row))
+
+    # Track last events per scope.
+    last_act: dict[tuple[int, int], Command] = {}
+    last_pre: dict[tuple[int, int], Command] = {}
+    last_col: dict[tuple[int, int], Command] = {}
+    rank_acts: dict[int, list[Command]] = {}
+    rank_last_col: dict[int, Command] = {}
+    rank_last_ref: dict[int, Command] = {}
+    open_row: dict[tuple[int, int], Command | None] = {}
+    last_transfer: tuple[int, bool, int] | None = None  # (rank, is_write, end)
+
+    prev_cmd: Command | None = None
+    for cmd in log:
+        key = (cmd.rank, cmd.bank)
+        # One command per cycle on the shared command bus.
+        if prev_cmd is not None and cmd.cycle < prev_cmd.cycle + 1:
+            viol("command-bus", prev_cmd, cmd, 1)
+        prev_cmd = cmd
+
+        ref = rank_last_ref.get(cmd.rank)
+        if ref is not None and cmd.kind is not CommandType.REFRESH:
+            if cmd.cycle < ref.cycle + ref.row:  # row field holds tRFC
+                viol("tRFC", ref, cmd, ref.row)
+
+        if cmd.kind is CommandType.ACTIVATE:
+            timings = row_timings_of(cmd)
+            prev_act = last_act.get(key)
+            if prev_act is not None:
+                need = row_timings_of(prev_act).t_rc
+                if cmd.cycle - prev_act.cycle < need:
+                    viol("tRC", prev_act, cmd, need)
+            prev_pre = last_pre.get(key)
+            if prev_pre is not None and cmd.cycle - prev_pre.cycle < base.t_rp:
+                viol("tRP", prev_pre, cmd, base.t_rp)
+            if open_row.get(key) is not None:
+                viol("ACT-to-open-bank", open_row[key], cmd, 0)  # type: ignore[arg-type]
+            acts = rank_acts.setdefault(cmd.rank, [])
+            if acts and cmd.cycle - acts[-1].cycle < base.t_rrd:
+                viol("tRRD", acts[-1], cmd, base.t_rrd)
+            if len(acts) >= 4 and cmd.cycle - acts[-4].cycle < base.t_faw:
+                viol("tFAW", acts[-4], cmd, base.t_faw)
+            acts.append(cmd)
+            open_row[key] = cmd
+            last_act[key] = cmd
+            _ = timings  # class re-derivation exercised above
+
+        elif cmd.kind in (CommandType.READ, CommandType.WRITE):
+            is_write = cmd.kind is CommandType.WRITE
+            act = open_row.get(key)
+            if act is None:
+                viol("column-to-closed-bank", cmd, cmd, 0)
+            else:
+                need = row_timings_of(act).t_rcd
+                if cmd.cycle - act.cycle < need:
+                    viol("tRCD", act, cmd, need)
+            prev_col = rank_last_col.get(cmd.rank)
+            if prev_col is not None:
+                gap = cmd.cycle - prev_col.cycle
+                if gap < base.t_ccd:
+                    viol("tCCD", prev_col, cmd, base.t_ccd)
+                if prev_col.kind is CommandType.WRITE and not is_write:
+                    need = base.t_cwd + base.t_burst + base.t_wtr
+                    if gap < need:
+                        viol("tWTR", prev_col, cmd, need)
+            if last_transfer is not None:
+                t_rank, t_write, t_end = last_transfer
+                start = cmd.cycle + (base.t_cwd if is_write else base.t_cas)
+                switch = t_rank != cmd.rank or t_write != is_write
+                need_start = t_end + (base.t_rtrs if switch else 0)
+                if start < need_start:
+                    viol("data-bus", cmd, cmd, need_start - start)
+            start = cmd.cycle + (base.t_cwd if is_write else base.t_cas)
+            last_transfer = (cmd.rank, is_write, start + base.t_burst)
+            rank_last_col[cmd.rank] = cmd
+            last_col[key] = cmd
+
+        elif cmd.kind is CommandType.PRECHARGE:
+            act = open_row.get(key)
+            if act is None:
+                viol("PRE-to-closed-bank", cmd, cmd, 0)
+            else:
+                need = row_timings_of(act).t_ras
+                if cmd.cycle - act.cycle < need:
+                    viol("tRAS", act, cmd, need)
+            col = last_col.get(key)
+            if col is not None and col.cycle > (act.cycle if act else -1):
+                if col.kind is CommandType.READ:
+                    need = base.t_rtp
+                else:
+                    need = base.t_cwd + base.t_burst + base.t_wr
+                if cmd.cycle - col.cycle < need:
+                    viol("read/write-to-PRE", col, cmd, need)
+            open_row[key] = None
+            last_pre[key] = cmd
+
+        elif cmd.kind is CommandType.REFRESH:
+            for bank in range(geometry.banks_per_rank):
+                if open_row.get((cmd.rank, bank)) is not None:
+                    viol("REF-with-open-bank", cmd, cmd, 0)
+                prev_pre = last_pre.get((cmd.rank, bank))
+                if prev_pre is not None and cmd.cycle - prev_pre.cycle < base.t_rp:
+                    viol("tRP-before-REF", prev_pre, cmd, base.t_rp)
+            prev_ref = rank_last_ref.get(cmd.rank)
+            if prev_ref is not None and cmd.cycle - prev_ref.cycle < prev_ref.row:
+                viol("tRFC-to-REF", prev_ref, cmd, prev_ref.row)
+            expected = {
+                domain.trfc_cycles(RowClass.NORMAL),
+                domain.trfc_cycles(RowClass.MCR),
+                domain.trfc_cycles(RowClass.MCR_ALT),
+            }
+            if cmd.row not in expected:
+                viol("tRFC-class", cmd, cmd, min(expected))
+            rank_last_ref[cmd.rank] = cmd
+
+    return report

@@ -1,0 +1,338 @@
+"""The event-driven system simulator.
+
+Time is carried as memory-bus cycles. Controllers act at integer cycles;
+cores live at CPU granularity (4 CPU cycles per memory cycle), so core
+events land on quarter-cycle boundaries — all exactly representable as
+binary floats, keeping runs deterministic.
+
+Event processing order at equal time: data completions first (they free
+ROB entries and queue slots), then cores (they emit new requests), then
+controllers (they see the freshest queues). A controller issues at most
+one command per invocation, matching the one-command-per-cycle bus.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Callable, Sequence
+
+from repro.controller.address_mapping import AddressMapper, MappingScheme
+from repro.controller.controller import MemoryController, SchedulingPolicy
+from repro.controller.request import MemoryRequest
+from repro.cpu.core import BlockReason, Core, CoreParams
+from repro.cpu.trace import Trace
+from repro.dram.config import DRAMGeometry, single_core_geometry
+from repro.dram.mcr import MCRGenerator, MCRModeConfig
+from repro.dram.refresh import RefreshPlan, WiringMethod
+from repro.dram.timing import BaseTimings, TimingDomain
+from repro.power.edp import edp_joule_seconds
+from repro.power.micron import IDDParameters, PowerModel, PowerStats
+from repro.sim.results import RunResult
+
+_INF = math.inf
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation cannot make forward progress."""
+
+
+class SystemSimulator:
+    """One complete system: N cores over one memory system.
+
+    Args:
+        traces: One trace per core.
+        mode: MCR-mode configuration (use ``MCRModeConfig.off()`` for the
+            conventional-DRAM baseline).
+        geometry: DRAM organization; defaults to the paper's single-core
+            system.
+        row_remapper: Optional OS page-allocation model — a callable
+            ``(rank, bank, row) -> row`` applied after address decoding
+            (see :mod:`repro.core.allocation`).
+        mapping: Address mapping scheme.
+        refresh_enabled: Disable to isolate Early-Access/Early-Precharge
+            effects (used by some ablations/tests).
+        core_params: Core microarchitecture parameters.
+        idd: Power-model currents.
+        wiring: Refresh-counter wiring (the paper's improved wiring by
+            default).
+    """
+
+    def __init__(
+        self,
+        traces: Sequence[Trace],
+        mode: MCRModeConfig,
+        geometry: DRAMGeometry | None = None,
+        row_remapper: Callable[[int, int, int], int] | None = None,
+        mapping: MappingScheme = MappingScheme.PERMUTATION,
+        refresh_enabled: bool = True,
+        core_params: CoreParams | None = None,
+        idd: IDDParameters | None = None,
+        base_timings: BaseTimings | None = None,
+        wiring: WiringMethod = WiringMethod.K_TO_N_MINUS_1_K,
+        record_commands: bool = False,
+        policy: SchedulingPolicy = SchedulingPolicy.FR_FCFS,
+        row_timing_overrides: dict | None = None,
+        trfc_overrides: dict | None = None,
+    ) -> None:
+        if not traces:
+            raise ValueError("need at least one trace")
+        self.geometry = geometry if geometry is not None else single_core_geometry()
+        self.mode = mode
+        self.core_params = core_params if core_params is not None else CoreParams()
+        self.domain = TimingDomain(
+            self.geometry,
+            mode,
+            base=base_timings,
+            wiring=wiring,
+            row_timing_overrides=row_timing_overrides,
+            trfc_overrides=trfc_overrides,
+        )
+        self.plan = RefreshPlan(self.geometry, mode, wiring=wiring)
+        self.mapper = AddressMapper(self.geometry, mapping)
+        self.row_remapper = row_remapper
+        generator = MCRGenerator(self.geometry, mode)
+        self.controllers = [
+            MemoryController(
+                self.geometry,
+                self.domain,
+                self.plan,
+                row_class_fn=generator.row_class,
+                refresh_enabled=refresh_enabled,
+                policy=policy,
+            )
+            for _ in range(self.geometry.channels)
+        ]
+        if record_commands:
+            for controller in self.controllers:
+                controller.channel.command_log = []
+        self.cores = [
+            Core(i, trace, self.core_params, self._try_send)
+            for i, trace in enumerate(traces)
+        ]
+        self.idd = idd
+        self._req_counter = 0
+        self._completions: list[tuple[int, int, MemoryRequest]] = []  # (cycle, seq, req)
+        self._completion_seq = 0
+        self._ctrl_next: list[float] = [0.0] * len(self.controllers)
+        self._ctrl_dirty: list[bool] = [True] * len(self.controllers)
+        self._traces = list(traces)
+
+    # ------------------------------------------------------------------
+    # Core -> controller path
+    # ------------------------------------------------------------------
+
+    def _try_send(
+        self, core_id: int, is_write: bool, address: int, fetch_cpu: float
+    ) -> MemoryRequest | None:
+        cpm = self.core_params.cpu_cycles_per_mem_cycle
+        arrival = math.ceil(fetch_cpu / cpm)
+        coords = self.mapper.decode(address)
+        row = coords.row
+        if self.row_remapper is not None:
+            row = self.row_remapper(coords.rank, coords.bank, row)
+        controller = self.controllers[coords.channel]
+        if not controller.can_accept(is_write, arrival):
+            return None
+        self._req_counter += 1
+        request = MemoryRequest(
+            req_id=self._req_counter,
+            core_id=core_id,
+            is_write=is_write,
+            address=address,
+            channel=coords.channel,
+            rank=coords.rank,
+            bank=coords.bank,
+            row=row,
+            column=coords.column,
+        )
+        controller.enqueue(request, arrival)
+        self._ctrl_dirty[coords.channel] = True
+        return request
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_cycles: int | None = None) -> RunResult:
+        """Simulate until every core finishes; return the measurements."""
+        cpm = self.core_params.cpu_cycles_per_mem_cycle
+        cores = self.cores
+        core_wake: list[float] = [0.0] * len(cores)
+        wq_blocked: set[int] = set()
+        rq_blocked: set[int] = set()
+
+        def advance_core(idx: int, now_mem: float) -> None:
+            result = cores[idx].advance(now_mem * cpm)
+            blocked = cores[idx].blocked
+            if blocked is BlockReason.WRITE_QUEUE_FULL:
+                wq_blocked.add(idx)
+                core_wake[idx] = _INF
+            elif blocked is BlockReason.READ_QUEUE_FULL:
+                rq_blocked.add(idx)
+                core_wake[idx] = _INF
+            elif blocked is BlockReason.FINISHED or result.wake_cpu is None:
+                core_wake[idx] = _INF
+            else:
+                core_wake[idx] = result.wake_cpu / cpm
+
+        now = 0.0
+        guard = 0
+        while not all(c.finished for c in cores):
+            guard += 1
+            if max_cycles is not None and now > max_cycles:
+                raise SimulationError(f"exceeded max_cycles={max_cycles}")
+            for ch, dirty in enumerate(self._ctrl_dirty):
+                if dirty:
+                    nxt = self.controllers[ch].next_action_cycle(int(now))
+                    self._ctrl_next[ch] = _INF if nxt is None else float(nxt)
+                    self._ctrl_dirty[ch] = False
+            t_comp = self._completions[0][0] if self._completions else _INF
+            t_core = min(core_wake)
+            t_ctrl = min(self._ctrl_next) if self._ctrl_next else _INF
+            t = min(t_comp, t_core, t_ctrl)
+            if t is _INF or t == _INF:
+                raise SimulationError(
+                    "deadlock: no pending events but cores unfinished "
+                    f"(blocked={[c.blocked.name for c in cores]})"
+                )
+            now = t
+
+            # 1. Data completions at exactly t.
+            woke: set[int] = set()
+            while self._completions and self._completions[0][0] <= now:
+                _, _, request = heapq.heappop(self._completions)
+                core = cores[request.core_id]
+                core.on_read_complete(request, request.complete_cycle * cpm)
+                woke.add(request.core_id)
+                # A completed read frees its queue slot.
+                self._ctrl_dirty[request.channel] = True
+                if rq_blocked:
+                    woke |= rq_blocked
+                    rq_blocked.clear()
+            for idx in woke:
+                if not cores[idx].finished:
+                    advance_core(idx, now)
+
+            # 2. Cores whose self-scheduled wake time arrived.
+            for idx, wake in enumerate(core_wake):
+                if wake <= now and not cores[idx].finished:
+                    advance_core(idx, now)
+
+            # 3. Controllers whose next action is due.
+            for ch, ctrl in enumerate(self.controllers):
+                if self._ctrl_next[ch] <= now:
+                    events = ctrl.execute(int(now))
+                    self._ctrl_dirty[ch] = True
+                    if not events.issued:
+                        # Nothing was ready after all (stale estimate);
+                        # force the estimate forward to guarantee progress.
+                        nxt = ctrl.next_action_cycle(int(now) + 1)
+                        self._ctrl_next[ch] = _INF if nxt is None else float(nxt)
+                        self._ctrl_dirty[ch] = False
+                    for request, done in events.read_completions:
+                        self._completion_seq += 1
+                        heapq.heappush(
+                            self._completions, (done, self._completion_seq, request)
+                        )
+                    if events.writes_drained and wq_blocked:
+                        stalled = list(wq_blocked)
+                        wq_blocked.clear()
+                        for idx in stalled:
+                            advance_core(idx, now)
+
+        return self._collect_results()
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def _collect_results(self) -> RunResult:
+        cpm = self.core_params.cpu_cycles_per_mem_cycle
+        per_core = tuple(
+            int(math.ceil((c.finish_cpu or 0.0) / cpm)) for c in self.cores
+        )
+        end_cycle = max(per_core) if per_core else 0
+        for controller in self.controllers:
+            for rank in controller.channel.ranks:
+                rank.finalize_accounting(end_cycle)
+
+        reads = sum(c.reads_enqueued for c in self.controllers)
+        writes = sum(c.writes_enqueued for c in self.controllers)
+        latency_total = sum(c.read_latency_total for c in self.controllers)
+        latency_count = sum(c.read_latency_count for c in self.controllers)
+        avg_latency = latency_total / latency_count if latency_count else 0.0
+        all_latencies = sorted(
+            latency
+            for controller in self.controllers
+            for latency in controller.read_latencies
+        )
+        if all_latencies:
+            def percentile(p: float) -> float:
+                index = min(
+                    len(all_latencies) - 1, int(p * (len(all_latencies) - 1))
+                )
+                return float(all_latencies[index])
+
+            percentiles = (percentile(0.50), percentile(0.95), percentile(0.99))
+        else:
+            percentiles = (0.0, 0.0, 0.0)
+
+        stats = self._power_stats(end_cycle)
+        power_model = PowerModel(
+            self.geometry, self.domain, self.mode, idd=self.idd
+        )
+        energy = power_model.energy(stats)
+        edp = edp_joule_seconds(energy.total, end_cycle, self.domain.base.tck_ns)
+
+        return RunResult(
+            workloads=tuple(t.name for t in self._traces),
+            mode_label=self.mode.label(),
+            execution_cycles=end_cycle,
+            per_core_cycles=per_core,
+            avg_read_latency_cycles=avg_latency,
+            instructions=sum(c.instructions_fetched for c in self.cores),
+            reads=reads,
+            writes=writes,
+            energy=energy,
+            edp=edp,
+            controller_stats=tuple(c.stats() for c in self.controllers),
+            read_latency_percentiles=percentiles,
+        )
+
+    def _power_stats(self, end_cycle: int) -> PowerStats:
+        from repro.dram.mcr import RowClass
+
+        act_normal = act_mcr = act_alt = 0
+        ref_counts = {
+            "issued_fast": 0,
+            "issued_fast_alt": 0,
+            "issued_normal": 0,
+            "skipped": 0,
+        }
+        active_cycles = 0
+        idle_intervals: list[int] = []
+        for controller in self.controllers:
+            counts = controller.channel.activate_counts()
+            act_normal += counts[RowClass.NORMAL]
+            act_mcr += counts[RowClass.MCR]
+            act_alt += counts[RowClass.MCR_ALT]
+            for key, value in controller.refresh.issued_counts().items():
+                ref_counts[key] += value
+            for rank in controller.channel.ranks:
+                active_cycles += rank.active_standby_cycles
+                idle_intervals.extend(rank.idle_intervals)
+        return PowerStats(
+            total_cycles=end_cycle,
+            activates_normal=act_normal,
+            activates_mcr=act_mcr,
+            activates_mcr_alt=act_alt,
+            reads=sum(c.channel.read_count for c in self.controllers),
+            writes=sum(c.channel.write_count for c in self.controllers),
+            refreshes_normal=ref_counts["issued_normal"],
+            refreshes_fast=ref_counts["issued_fast"],
+            refreshes_fast_alt=ref_counts["issued_fast_alt"],
+            refreshes_skipped=ref_counts["skipped"],
+            active_standby_cycles=active_cycles,
+            idle_intervals=idle_intervals,
+        )

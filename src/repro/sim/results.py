@@ -1,0 +1,87 @@
+"""Run result containers and comparison helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.power.micron import EnergyBreakdown
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything measured in one simulation run.
+
+    Attributes:
+        workloads: Trace name per core.
+        mode_label: The MCR mode, e.g. ``[4/4x/100%reg]`` or ``[off]``.
+        execution_cycles: Memory-bus cycles until the *last* core finished
+            (the headline execution-time metric).
+        per_core_cycles: Finish time per core, memory-bus cycles.
+        avg_read_latency_cycles: Mean queue-to-data read latency.
+        instructions: Total instructions retired across cores.
+        reads / writes: Memory operations serviced.
+        energy: Energy breakdown (joules).
+        edp: Energy-delay product (joule-seconds).
+        controller_stats: Raw per-channel statistics dictionaries.
+    """
+
+    workloads: tuple[str, ...]
+    mode_label: str
+    execution_cycles: int
+    per_core_cycles: tuple[int, ...]
+    avg_read_latency_cycles: float
+    instructions: int
+    reads: int
+    writes: int
+    energy: EnergyBreakdown
+    edp: float
+    controller_stats: tuple[dict, ...] = field(default_factory=tuple)
+    #: Read-latency distribution (memory cycles) at the 50th/95th/99th
+    #: percentiles; zeros when the run issued no reads.
+    read_latency_percentiles: tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.energy.total
+
+    def ipc(self, cpu_cycles_per_mem_cycle: int = 4) -> float:
+        """System IPC over the run."""
+        cpu_cycles = self.execution_cycles * cpu_cycles_per_mem_cycle
+        return self.instructions / cpu_cycles if cpu_cycles else 0.0
+
+
+def percent_reduction(baseline: float, value: float) -> float:
+    """Paper-style improvement: how much lower ``value`` is, in percent."""
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return 100.0 * (baseline - value) / baseline
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """MCR-vs-baseline deltas for one workload (the paper's bar heights)."""
+
+    workload: str
+    mode_label: str
+    execution_time_reduction_pct: float
+    read_latency_reduction_pct: float
+    edp_reduction_pct: float
+
+    @classmethod
+    def of(cls, baseline: RunResult, candidate: RunResult) -> "Comparison":
+        return cls(
+            workload="+".join(baseline.workloads),
+            mode_label=candidate.mode_label,
+            execution_time_reduction_pct=percent_reduction(
+                baseline.execution_cycles, candidate.execution_cycles
+            ),
+            read_latency_reduction_pct=percent_reduction(
+                baseline.avg_read_latency_cycles,
+                candidate.avg_read_latency_cycles,
+            )
+            if baseline.avg_read_latency_cycles > 0
+            else 0.0,
+            edp_reduction_pct=percent_reduction(baseline.edp, candidate.edp)
+            if baseline.edp > 0
+            else 0.0,
+        )

@@ -1,0 +1,35 @@
+"""Shared low-level helpers: bit manipulation, units, RNG streams."""
+
+from repro.utils.bitops import (
+    bit_reverse,
+    clear_bits,
+    extract_bits,
+    is_power_of_two,
+    log2_int,
+    set_bits,
+)
+from repro.utils.units import (
+    MS_PER_S,
+    NS_PER_MS,
+    NS_PER_S,
+    NS_PER_US,
+    ceil_div,
+    ns_to_cycles,
+    seconds,
+)
+
+__all__ = [
+    "bit_reverse",
+    "clear_bits",
+    "extract_bits",
+    "is_power_of_two",
+    "log2_int",
+    "set_bits",
+    "MS_PER_S",
+    "NS_PER_MS",
+    "NS_PER_S",
+    "NS_PER_US",
+    "ceil_div",
+    "ns_to_cycles",
+    "seconds",
+]

@@ -1,0 +1,76 @@
+"""Bit-manipulation helpers used by address decoding and the MCR generator.
+
+DRAM address paths are bit-sliced everywhere (row/bank/column fields, the
+MCR generator's forced LSBs, the refresh-counter wirings), so these helpers
+are deliberately tiny and heavily unit-tested.
+"""
+
+from __future__ import annotations
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_int(value: int) -> int:
+    """Return log2 of a positive power of two, raising otherwise.
+
+    >>> log2_int(8)
+    3
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value!r} is not a positive power of two")
+    return value.bit_length() - 1
+
+
+def extract_bits(value: int, low: int, width: int) -> int:
+    """Return ``width`` bits of ``value`` starting at bit ``low``.
+
+    >>> extract_bits(0b110100, 2, 3)
+    5
+    """
+    if low < 0 or width < 0:
+        raise ValueError("low and width must be non-negative")
+    return (value >> low) & ((1 << width) - 1)
+
+
+def clear_bits(value: int, low: int, width: int) -> int:
+    """Return ``value`` with ``width`` bits starting at ``low`` cleared."""
+    if low < 0 or width < 0:
+        raise ValueError("low and width must be non-negative")
+    mask = ((1 << width) - 1) << low
+    return value & ~mask
+
+
+def set_bits(value: int, low: int, width: int) -> int:
+    """Return ``value`` with ``width`` bits starting at ``low`` set to 1.
+
+    This is the MCR generator's "address changer" primitive: forcing the
+    log2(K) LSBs of a row address high selects every row of the Kx MCR.
+    """
+    if low < 0 or width < 0:
+        raise ValueError("low and width must be non-negative")
+    mask = ((1 << width) - 1) << low
+    return value | mask
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    Used both by the bit-reversal address mapping (Shao & Davis) and by the
+    K to N-1-K refresh-counter wiring, which connects counter bit B_k to row
+    address bit R_(N-1-k) — i.e. a bit reversal of the counter.
+
+    >>> bit_reverse(0b001, 3)
+    4
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value!r} does not fit in {width} bits")
+    result = 0
+    for i in range(width):
+        if value & (1 << i):
+            result |= 1 << (width - 1 - i)
+    return result

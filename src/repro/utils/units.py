@@ -1,0 +1,47 @@
+"""Unit constants and conversions.
+
+The simulator keeps time in integer memory-bus cycles (tCK = 1.25 ns for
+DDR3-1600); the circuit model works in nanoseconds; retention intervals are
+milliseconds. These helpers keep the conversions explicit.
+"""
+
+from __future__ import annotations
+
+import math
+
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+MS_PER_S = 1_000.0
+
+#: Numerical slop (ns) forgiven before rounding a latency up to a whole
+#: cycle, so that 35.0000000001 ns still programs as 28 cycles at 1.25 ns.
+_CYCLE_EPSILON_NS = 1e-6
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if denominator <= 0:
+        raise ValueError("denominator must be positive")
+    if numerator < 0:
+        raise ValueError("numerator must be non-negative")
+    return -(-numerator // denominator)
+
+
+def ns_to_cycles(duration_ns: float, tck_ns: float) -> int:
+    """Round an analog latency up to whole clock cycles.
+
+    Memory controllers program timing constraints in integer cycles, so a
+    SPICE-derived 9.94 ns tRCD becomes ceil(9.94 / 1.25) = 8 cycles. A tiny
+    epsilon forgives floating-point noise just above an exact multiple.
+    """
+    if tck_ns <= 0:
+        raise ValueError("tck_ns must be positive")
+    if duration_ns < 0:
+        raise ValueError("duration_ns must be non-negative")
+    return max(0, math.ceil((duration_ns - _CYCLE_EPSILON_NS) / tck_ns))
+
+
+def seconds(cycles: int, tck_ns: float) -> float:
+    """Convert a cycle count to seconds."""
+    return cycles * tck_ns / NS_PER_S

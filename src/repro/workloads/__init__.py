@@ -1,0 +1,39 @@
+"""Synthetic facsimiles of the MSC (JWAC-2012) workload traces.
+
+The paper evaluates on the Memory Scheduling Championship traces
+(COMMERCIAL, SPEC, PARSEC, BIOBENCH), which are not redistributable and
+not available offline. Each workload here is a parameterized synthetic
+generator tuned to the published qualitative behaviour of its namesake:
+memory intensity (instruction gap), read/write mix, row-buffer locality
+(burst length), footprint, and hot-row skew (Zipf exponent). See
+DESIGN.md §5 for why this substitution preserves the paper's effects.
+"""
+
+from repro.workloads.generator import SyntheticTraceGenerator, make_trace
+from repro.workloads.multiprogram import (
+    build_multicore_workload,
+    make_multiprogram_mix,
+    make_multithreaded_traces,
+    standard_multicore_mixes,
+)
+from repro.workloads.suites import (
+    MULTI_THREADED,
+    SINGLE_CORE_WORKLOADS,
+    SUITES,
+    WorkloadProfile,
+    get_profile,
+)
+
+__all__ = [
+    "SyntheticTraceGenerator",
+    "make_trace",
+    "WorkloadProfile",
+    "get_profile",
+    "SUITES",
+    "SINGLE_CORE_WORKLOADS",
+    "MULTI_THREADED",
+    "make_multiprogram_mix",
+    "make_multithreaded_traces",
+    "standard_multicore_mixes",
+    "build_multicore_workload",
+]

@@ -1,0 +1,189 @@
+"""Synthetic trace generation.
+
+The generator produces a USIMM-style trace from a
+:class:`repro.workloads.suites.WorkloadProfile`:
+
+1. pages (row-sized granules) are drawn from a bounded Zipf distribution
+   over the workload footprint — the skew knob that makes profile-based
+   page allocation effective;
+2. accesses arrive in *row bursts* (geometric length, sequential columns),
+   the row-buffer-locality knob;
+3. instruction gaps between accesses are geometric with the profile's
+   mean — the intensity knob;
+4. reads/writes are Bernoulli with the profile's read fraction.
+
+Page indices decompose into (row, rank, bank, channel) in the physical
+page-interleaved layout, so consecutive page ids naturally stripe across
+channels and banks. Row indices are scattered through the row space by an
+odd-multiplier affine permutation, which spreads workload rows uniformly
+over sub-array-local positions — necessary because the MCR region
+occupies the top of each sub-array and Fig. 11-style runs rely on requests
+sampling it in proportion to the configured ratio.
+
+All randomness flows from one ``numpy`` PCG64 stream per (workload, seed),
+so traces are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import Counter
+
+import numpy as np
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.config import DRAMGeometry, single_core_geometry
+from repro.workloads.suites import WorkloadProfile, get_profile
+
+#: Odd multiplier (Knuth's 2^32 golden ratio) for the row-scatter
+#: permutation; odd => bijective modulo any power of two.
+_ROW_SCATTER_MULTIPLIER = 2654435761
+
+
+def scatter_row(raw_row: int, rows_per_bank: int, salt: int = 0) -> int:
+    """Affine bijection spreading compact row ids over the row space."""
+    return (raw_row * _ROW_SCATTER_MULTIPLIER + salt) % rows_per_bank
+
+
+def bounded_zipf_weights(n: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf(alpha) probabilities over ranks 1..n."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-alpha) if alpha > 0 else np.ones(n)
+    return weights / weights.sum()
+
+
+class SyntheticTraceGenerator:
+    """Generate traces for one workload profile against one geometry."""
+
+    def __init__(
+        self,
+        profile: WorkloadProfile,
+        geometry: DRAMGeometry | None = None,
+        row_offset: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.geometry = geometry if geometry is not None else single_core_geometry()
+        self.row_offset = row_offset
+        g = self.geometry
+        self._page_shift = g.offset_bits + g.column_bits
+        # Page-id field widths, LSB first: channel | bank | rank | row.
+        self._chan_bits = g.channel_bits
+        self._bank_bits = g.bank_bits
+        self._rank_bits = g.rank_bits
+        max_raw_rows = g.rows_per_bank
+        max_pages = (
+            g.channels * g.banks_per_rank * g.ranks_per_channel * max_raw_rows
+        )
+        if profile.footprint_pages > max_pages:
+            raise ValueError(
+                f"footprint {profile.footprint_pages} exceeds device pages {max_pages}"
+            )
+
+    # ------------------------------------------------------------------
+
+    def _page_to_address_fields(self, page_id: int) -> tuple[int, int, int, int]:
+        """Decompose a compact page id into (channel, bank, rank, row)."""
+        g = self.geometry
+        channel = page_id & (g.channels - 1)
+        page_id >>= self._chan_bits
+        bank = page_id & (g.banks_per_rank - 1)
+        page_id >>= self._bank_bits
+        rank = page_id & (g.ranks_per_channel - 1)
+        page_id >>= self._rank_bits
+        raw_row = page_id
+        row = scatter_row(raw_row + self.row_offset, g.rows_per_bank)
+        return channel, bank, rank, row
+
+    def _compose_address(
+        self, channel: int, bank: int, rank: int, row: int, column: int
+    ) -> int:
+        """Physical address in the page-interleaved layout."""
+        g = self.geometry
+        address = row
+        address = (address << g.rank_bits) | rank
+        address = (address << g.bank_bits) | bank
+        address = (address << g.channel_bits) | channel
+        address = (address << g.column_bits) | column
+        return address << g.offset_bits
+
+    # ------------------------------------------------------------------
+
+    def generate(self, n_requests: int, seed: int) -> Trace:
+        """Produce a trace with exactly ``n_requests`` memory operations."""
+        if n_requests <= 0:
+            raise ValueError("n_requests must be positive")
+        profile = self.profile
+        g = self.geometry
+        # zlib.crc32 is stable across processes — Python's built-in str
+        # hash is salted per interpreter run and would make "identical"
+        # traces differ between sessions.
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, zlib.crc32(profile.name.encode())])
+        )
+
+        # Draw generously many bursts, then trim to exactly n_requests.
+        expected_bursts = max(8, int(n_requests / profile.row_burst_mean) + 8)
+        burst_p = 1.0 / profile.row_burst_mean
+        burst_lengths = rng.geometric(burst_p, size=expected_bursts)
+        while int(burst_lengths.sum()) < n_requests:
+            burst_lengths = np.concatenate(
+                [burst_lengths, rng.geometric(burst_p, size=expected_bursts)]
+            )
+
+        weights = bounded_zipf_weights(profile.footprint_pages, profile.zipf_alpha)
+        pages = rng.choice(profile.footprint_pages, size=len(burst_lengths), p=weights)
+        start_columns = rng.integers(0, g.columns_per_row, size=len(burst_lengths))
+        gap_p = 1.0 / (1.0 + profile.mean_gap)
+        gaps = rng.geometric(gap_p, size=n_requests) - 1
+        is_write = rng.random(n_requests) >= profile.read_fraction
+
+        entries: list[TraceEntry] = []
+        counts: Counter = Counter()
+        columns_mask = g.columns_per_row - 1
+        req = 0
+        for burst_idx in range(len(burst_lengths)):
+            if req >= n_requests:
+                break
+            channel, bank, rank, row = self._page_to_address_fields(
+                int(pages[burst_idx])
+            )
+            base_col = int(start_columns[burst_idx])
+            length = int(burst_lengths[burst_idx])
+            page_key = self._compose_address(channel, bank, rank, row, 0) >> (
+                self._page_shift
+            )
+            for i in range(length):
+                if req >= n_requests:
+                    break
+                column = (base_col + i) & columns_mask
+                address = self._compose_address(channel, bank, rank, row, column)
+                entries.append(
+                    TraceEntry(
+                        gap=int(gaps[req]),
+                        is_write=bool(is_write[req]),
+                        address=address,
+                    )
+                )
+                counts[page_key] += 1
+                req += 1
+
+        return Trace(name=profile.name, entries=entries, row_access_counts=counts)
+
+
+def make_trace(
+    name: str,
+    n_requests: int,
+    seed: int,
+    geometry: DRAMGeometry | None = None,
+    row_offset: int = 0,
+) -> Trace:
+    """Convenience wrapper: look up a profile and generate its trace."""
+    generator = SyntheticTraceGenerator(
+        get_profile(name), geometry=geometry, row_offset=row_offset
+    )
+    trace = generator.generate(n_requests, seed)
+    if name.startswith("MT-"):
+        trace.name = name
+    return trace

@@ -1,0 +1,127 @@
+"""Multi-programmed and multi-threaded quad-core workload construction.
+
+The paper's multi-core evaluation uses 16 quad-core workloads: 14
+multi-programmed mixes built by randomly drawing single workloads from
+each of the four suites, plus the two multi-threaded PARSEC workloads
+(MT-fluid, MT-canneal).
+
+Multi-programmed cores get disjoint address regions (a per-core row
+offset before the scatter permutation), modelling separate OS address
+spaces; multi-threaded cores share one footprint, modelling a shared
+address space — their hot sets overlap, which is exactly why the paper
+treats them separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.trace import Trace
+from repro.dram.config import DRAMGeometry, multi_core_geometry
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.suites import SUITES, get_profile
+
+#: Number of cores in the paper's multi-core system.
+CORES: int = 4
+
+#: Reference mean gap used to convert a per-core request budget into an
+#: instruction budget, so cores in a mix run comparable instruction
+#: counts (and hence comparable wall-clock) rather than comparable
+#: request counts. Without this, the least memory-intensive workload
+#: always finishes last and the mix's execution time becomes insensitive
+#: to memory latency.
+_REFERENCE_GAP: float = 30.0
+
+
+def _requests_for_equal_instructions(name: str, n_requests_reference: int) -> int:
+    """Requests giving this workload the mix's common instruction budget."""
+    profile = get_profile(name)
+    budget = n_requests_reference * (_REFERENCE_GAP + 1.0)
+    return max(200, round(budget / (profile.mean_gap + 1.0)))
+
+def make_multiprogram_mix(
+    names: list[str],
+    n_requests_per_core: int,
+    seed: int,
+    geometry: DRAMGeometry | None = None,
+) -> list[Trace]:
+    """Build one quad-core multi-programmed workload from 4 names."""
+    if len(names) != CORES:
+        raise ValueError(f"a mix needs exactly {CORES} workloads")
+    geometry = geometry if geometry is not None else multi_core_geometry()
+    # Each core's raw row ids live in their own quarter of the row space;
+    # the scatter permutation is a bijection, so the quarters stay
+    # disjoint after scattering — separate OS address spaces.
+    offset_stride = geometry.rows_per_bank // CORES
+    traces = []
+    for core, name in enumerate(names):
+        generator = SyntheticTraceGenerator(
+            get_profile(name),
+            geometry=geometry,
+            row_offset=core * offset_stride,
+        )
+        n_requests = _requests_for_equal_instructions(name, n_requests_per_core)
+        trace = generator.generate(n_requests, seed + core)
+        trace.name = f"{name}@core{core}"
+        traces.append(trace)
+    return traces
+
+
+def make_multithreaded_traces(
+    name: str,
+    n_requests_per_core: int,
+    seed: int,
+    geometry: DRAMGeometry | None = None,
+) -> list[Trace]:
+    """Build a 4-thread workload sharing one address space (MT-*)."""
+    if not name.startswith("MT-"):
+        raise ValueError("multi-threaded workloads are named MT-<base>")
+    geometry = geometry if geometry is not None else multi_core_geometry()
+    profile = get_profile(name)
+    traces = []
+    for core in range(CORES):
+        generator = SyntheticTraceGenerator(profile, geometry=geometry, row_offset=0)
+        trace = generator.generate(n_requests_per_core, seed * CORES + core + 1)
+        trace.name = f"{name}@core{core}"
+        traces.append(trace)
+    return traces
+
+
+def standard_multicore_mixes(seed: int = 2015) -> list[tuple[str, list[str]]]:
+    """The 16 quad-core workloads: 14 random suite mixes + 2 MT.
+
+    Mix construction follows the paper: each multi-programmed workload
+    randomly selects single workloads from each of the 4 suites (one per
+    suite). The draw is deterministic in ``seed``.
+    """
+    rng = np.random.default_rng(seed)
+    suite_names = ["COMMERCIAL", "SPEC", "PARSEC", "BIOBENCH"]
+    mixes: list[tuple[str, list[str]]] = []
+    parsec_single = [w for w in SUITES["PARSEC"] if w != "canneal"]
+    pools = {
+        "COMMERCIAL": list(SUITES["COMMERCIAL"]),
+        "SPEC": list(SUITES["SPEC"]),
+        "PARSEC": parsec_single,
+        "BIOBENCH": list(SUITES["BIOBENCH"]),
+    }
+    for i in range(14):
+        names = [str(rng.choice(pools[suite])) for suite in suite_names]
+        mixes.append((f"mix{i + 1:02d}", names))
+    mixes.append(("MT-fluid", ["MT-fluid"] * CORES))
+    mixes.append(("MT-canneal", ["MT-canneal"] * CORES))
+    return mixes
+
+
+def build_multicore_workload(
+    mix_name: str,
+    names: list[str],
+    n_requests_per_core: int,
+    seed: int,
+    geometry: DRAMGeometry | None = None,
+) -> list[Trace]:
+    """Materialize one entry of :func:`standard_multicore_mixes`."""
+    if mix_name.startswith("MT-"):
+        return make_multithreaded_traces(
+            mix_name, n_requests_per_core, seed, geometry
+        )
+    return make_multiprogram_mix(names, n_requests_per_core, seed, geometry)

@@ -1,0 +1,137 @@
+"""Per-workload generator profiles (paper Table 5 facsimiles).
+
+Parameters are chosen so the *relative* behaviour the paper reports
+emerges: ``tigr``/``mummer``/``leslie`` are intense and row-miss heavy
+(biggest Early-Access/Early-Precharge wins), ``libq``/``stream`` stream
+with long row bursts, the ``comm*`` datacenter traces are skewed toward a
+hot page set (``comm2`` extremely so — the paper measures 88.3 % of its
+requests hitting MCRs at just 10 % profile-allocation), and the PARSEC
+codes are moderate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Generator parameters for one synthetic workload.
+
+    Attributes:
+        name: Workload name as used in the paper.
+        suite: Benchmark suite label.
+        mean_gap: Mean non-memory instructions between memory ops
+            (intensity; MPKI ~= 1000 / (mean_gap + 1)).
+        read_fraction: Fraction of memory ops that are reads.
+        row_burst_mean: Mean consecutive accesses to the same row before
+            moving on (row-buffer locality; hit rate ~= 1 - 1/burst).
+        footprint_pages: Distinct row-sized pages the workload touches.
+        zipf_alpha: Skew of page popularity (0 = uniform).
+    """
+
+    name: str
+    suite: str
+    mean_gap: float
+    read_fraction: float
+    row_burst_mean: float
+    footprint_pages: int
+    zipf_alpha: float
+
+    def __post_init__(self) -> None:
+        if self.mean_gap < 0:
+            raise ValueError("mean_gap must be non-negative")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError("read_fraction must be within [0, 1]")
+        if self.row_burst_mean < 1.0:
+            raise ValueError("row_burst_mean must be >= 1")
+        if self.footprint_pages <= 0:
+            raise ValueError("footprint_pages must be positive")
+        if self.zipf_alpha < 0:
+            raise ValueError("zipf_alpha must be non-negative")
+
+
+_PROFILES: dict[str, WorkloadProfile] = {
+    p.name: p
+    for p in (
+        # COMMERCIAL: datacenter traces — intense, write-heavy, skewed.
+        WorkloadProfile("comm1", "COMMERCIAL", 35, 0.64, 3.2, 8192, 1.10),
+        WorkloadProfile("comm2", "COMMERCIAL", 25, 0.60, 2.6, 6144, 1.45),
+        WorkloadProfile("comm3", "COMMERCIAL", 45, 0.62, 3.0, 8192, 1.15),
+        WorkloadProfile("comm4", "COMMERCIAL", 60, 0.60, 3.8, 4096, 1.20),
+        WorkloadProfile("comm5", "COMMERCIAL", 70, 0.63, 3.4, 4096, 1.15),
+        # SPEC: leslie3d streams hard; libquantum streams with long rows.
+        WorkloadProfile("leslie", "SPEC", 25, 0.74, 3.6, 16384, 0.55),
+        WorkloadProfile("libq", "SPEC", 28, 0.80, 6.0, 8192, 0.45),
+        # PARSEC: mostly cache-friendly — low memory intensity.
+        WorkloadProfile("black", "PARSEC", 220, 0.70, 3.0, 4096, 0.90),
+        WorkloadProfile("face", "PARSEC", 90, 0.68, 3.4, 8192, 0.90),
+        WorkloadProfile("ferret", "PARSEC", 70, 0.70, 3.0, 8192, 1.00),
+        WorkloadProfile("fluid", "PARSEC", 130, 0.72, 3.0, 8192, 0.95),
+        WorkloadProfile("freq", "PARSEC", 110, 0.70, 2.8, 8192, 1.00),
+        WorkloadProfile("stream", "PARSEC", 35, 0.78, 5.0, 8192, 0.50),
+        WorkloadProfile("swapt", "PARSEC", 180, 0.68, 3.0, 4096, 1.00),
+        WorkloadProfile("canneal", "PARSEC", 60, 0.74, 1.8, 16384, 1.00),
+        # BIOBENCH: near-random genome-index walks — row-miss dominated.
+        WorkloadProfile("mummer", "BIOBENCH", 18, 0.84, 1.6, 16384, 1.20),
+        WorkloadProfile("tigr", "BIOBENCH", 16, 0.84, 1.4, 16384, 1.10),
+    )
+}
+
+#: Suite membership, matching the paper's Table 5.
+SUITES: dict[str, tuple[str, ...]] = {
+    "COMMERCIAL": ("comm1", "comm2", "comm3", "comm4", "comm5"),
+    "SPEC": ("leslie", "libq"),
+    "PARSEC": (
+        "black",
+        "face",
+        "ferret",
+        "fluid",
+        "freq",
+        "stream",
+        "swapt",
+        "canneal",
+    ),
+    "BIOBENCH": ("mummer", "tigr"),
+}
+
+#: The 16 single-threaded workloads the paper's single-core runs use
+#: (Table 5 minus the two multi-threaded ones; canneal appears only as
+#: MT-canneal in the paper, so it is excluded here too).
+SINGLE_CORE_WORKLOADS: tuple[str, ...] = (
+    "comm1",
+    "comm2",
+    "comm3",
+    "comm4",
+    "comm5",
+    "leslie",
+    "libq",
+    "black",
+    "face",
+    "ferret",
+    "fluid",
+    "freq",
+    "stream",
+    "swapt",
+    "mummer",
+    "tigr",
+)
+
+#: Multi-threaded workloads (quad-core runs only).
+MULTI_THREADED: tuple[str, ...] = ("MT-fluid", "MT-canneal")
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a workload profile; ``MT-x`` resolves to ``x``."""
+    base = name[3:] if name.startswith("MT-") else name
+    try:
+        return _PROFILES[base]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(_PROFILES)}"
+        ) from None
+
+
+def all_profiles() -> dict[str, WorkloadProfile]:
+    """All single-threaded profiles by name."""
+    return dict(_PROFILES)

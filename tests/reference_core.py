@@ -1,0 +1,107 @@
+"""A deliberately naive per-cycle ROB simulator (golden model).
+
+Used only by tests: it implements the USIMM core semantics the fast
+event-driven :class:`repro.cpu.core.Core` models in closed form —
+fetch 4/cycle into a 128-entry ROB, non-memory ops complete depth cycles
+after fetch, reads complete when "memory" returns, retire 2/cycle in
+order. Tests compare finish times of both models on random traces; the
+fast model is a fluid (continuous-rate) approximation, so agreement is
+asserted to a small tolerance rather than exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cpu.core import CoreParams
+from repro.cpu.trace import Trace
+
+
+@dataclass
+class _Slot:
+    complete_at: float  # CPU cycle when this instruction is done
+    is_read: bool = False
+    pending: bool = False  # read still waiting for memory
+
+
+@dataclass
+class ReferenceResult:
+    finish_cpu: float
+    reads_sent: int
+    writes_sent: int
+    send_times: list[float] = field(default_factory=list)
+
+
+def run_reference_core(
+    trace: Trace,
+    params: CoreParams,
+    read_latency: Callable[[int, float], float],
+    max_cycles: int = 5_000_000,
+) -> ReferenceResult:
+    """Cycle-step the golden model.
+
+    Args:
+        trace: The memory trace.
+        params: Core parameters.
+        read_latency: ``(read_index, fetch_cpu) -> latency_cpu`` — a
+            deterministic memory stand-in (unbounded queues).
+        max_cycles: Safety bound.
+    """
+    # Flatten the trace into instruction descriptors: gap copies of None
+    # then the memory op.
+    ops: list[tuple[bool, bool]] = []  # (is_mem, is_write)
+    for entry in trace.entries:
+        ops.extend([(False, False)] * entry.gap)
+        ops.append((True, entry.is_write))
+
+    rob: list[_Slot] = []
+    fetched = 0
+    retired = 0
+    reads_sent = 0
+    writes_sent = 0
+    send_times: list[float] = []
+    finish = 0.0
+
+    for cycle in range(max_cycles):
+        t = float(cycle)
+        # Retire in order.
+        retired_this_cycle = 0
+        while (
+            rob
+            and retired_this_cycle < params.retire_width
+            and not rob[0].pending
+            and rob[0].complete_at <= t
+        ):
+            rob.pop(0)
+            retired += 1
+            retired_this_cycle += 1
+            finish = t
+        # Fetch.
+        fetched_this_cycle = 0
+        while (
+            fetched < len(ops)
+            and fetched_this_cycle < params.fetch_width
+            and len(rob) < params.rob_size
+        ):
+            is_mem, is_write = ops[fetched]
+            if is_mem and not is_write:
+                latency = read_latency(reads_sent, t)
+                rob.append(_Slot(complete_at=t + latency, is_read=True))
+                reads_sent += 1
+                send_times.append(t)
+            else:
+                if is_mem:
+                    writes_sent += 1
+                    send_times.append(t)
+                rob.append(_Slot(complete_at=t + params.pipeline_depth))
+            fetched += 1
+            fetched_this_cycle += 1
+        if fetched == len(ops) and not rob:
+            return ReferenceResult(
+                finish_cpu=finish,
+                reads_sent=reads_sent,
+                writes_sent=writes_sent,
+                send_times=send_times,
+            )
+    raise AssertionError("reference core did not finish")

@@ -1,0 +1,80 @@
+"""Tests for the charge-sharing model (paper equation 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.charge_sharing import (
+    cell_voltage_after_sharing,
+    charge_sharing_voltage,
+    effective_share_capacitance,
+)
+from repro.circuit.constants import TechnologyParameters
+
+
+@pytest.fixture
+def tech():
+    return TechnologyParameters()
+
+
+class TestChargeSharingVoltage:
+    def test_equation_one(self, tech):
+        # dV = (VDD/2) / (1 + Cbit/(K*Ccell)) exactly.
+        for k in (1, 2, 4):
+            expected = (tech.vdd_v / 2) / (1 + tech.c_bit_f / (k * tech.c_cell_f))
+            assert charge_sharing_voltage(tech, k) == pytest.approx(expected)
+
+    def test_monotonic_in_k(self, tech):
+        values = [charge_sharing_voltage(tech, k) for k in (1, 2, 4, 8)]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_bounded_by_half_vdd(self, tech):
+        assert charge_sharing_voltage(tech, 1000) < tech.half_vdd
+
+    def test_rejects_k_zero(self, tech):
+        with pytest.raises(ValueError):
+            charge_sharing_voltage(tech, 0)
+
+    @given(st.integers(1, 64))
+    def test_positive(self, k):
+        assert charge_sharing_voltage(TechnologyParameters(), k) > 0
+
+
+class TestCellVoltageAfterSharing:
+    def test_between_half_and_full(self, tech):
+        for k in (1, 2, 4):
+            v = cell_voltage_after_sharing(tech, k)
+            assert tech.half_vdd < v < tech.vdd_v
+
+    def test_higher_k_keeps_more_charge(self, tech):
+        # The paper's Fig. 10(b): the 4x charge-sharing level sits above 1x.
+        assert cell_voltage_after_sharing(tech, 4) > cell_voltage_after_sharing(tech, 1)
+
+
+class TestEffectiveCapacitance:
+    def test_series_formula(self, tech):
+        c = effective_share_capacitance(tech, 2)
+        expected = tech.c_bit_f * 2 * tech.c_cell_f / (tech.c_bit_f + 2 * tech.c_cell_f)
+        assert c == pytest.approx(expected)
+
+    def test_saturates_at_bitline(self, tech):
+        assert effective_share_capacitance(tech, 10_000) < tech.c_bit_f
+
+
+class TestTechnologyValidation:
+    def test_rejects_bad_voltages(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(vdd_v=0)
+        with pytest.raises(ValueError):
+            TechnologyParameters(vpp_v=1.0)  # below vdd
+
+    def test_rejects_bad_leak(self):
+        with pytest.raises(ValueError):
+            TechnologyParameters(leak_frac_per_64ms=0.0)
+        with pytest.raises(ValueError):
+            TechnologyParameters(leak_frac_per_64ms=1.0)
+
+    def test_cap_ratio(self):
+        tech = TechnologyParameters(c_cell_f=20e-15, c_bit_f=100e-15)
+        assert tech.cap_ratio == pytest.approx(5.0)

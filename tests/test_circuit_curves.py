@@ -1,0 +1,53 @@
+"""Tests for the Fig. 10 curve generators."""
+
+import pytest
+
+from repro.circuit.curves import bitline_curves, cell_restore_curves
+
+
+class TestBitlineCurves:
+    def test_three_curves(self):
+        curves = bitline_curves()
+        assert [c.label for c in curves] == ["1x MCR", "2x MCR", "4x MCR"]
+
+    def test_annotations_are_table3_trcd(self):
+        curves = bitline_curves()
+        marks = {c.label: c.annotation_ns for c in curves}
+        assert marks["1x MCR"] == pytest.approx(13.75, abs=1e-6)
+        assert marks["2x MCR"] == pytest.approx(9.94, abs=1e-6)
+        assert marks["4x MCR"] == pytest.approx(6.90, abs=1e-6)
+
+    def test_curve_ordering_after_wordline_on(self):
+        curves = {c.label: c for c in bitline_curves(points=401)}
+        # Find the sample closest to t = 10 ns.
+        times = curves["1x MCR"].times_ns
+        idx = min(range(len(times)), key=lambda i: abs(times[i] - 10.0))
+        assert (
+            curves["1x MCR"].volts[idx]
+            < curves["2x MCR"].volts[idx]
+            < curves["4x MCR"].volts[idx]
+        )
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            bitline_curves(horizon_ns=0)
+        with pytest.raises(ValueError):
+            bitline_curves(points=1)
+
+
+class TestCellRestoreCurves:
+    def test_annotations_are_headline_tras(self):
+        marks = {c.label: c.annotation_ns for c in cell_restore_curves()}
+        assert marks["1x MCR"] == pytest.approx(35.0, abs=1e-6)
+        assert marks["2x MCR"] == pytest.approx(21.46, abs=1e-6)
+        assert marks["4x MCR"] == pytest.approx(20.00, abs=1e-6)
+
+    def test_curves_start_at_vdd(self):
+        for curve in cell_restore_curves():
+            assert curve.volts[0] == pytest.approx(1.5)
+
+    def test_late_time_ordering_shows_slow_high_k(self):
+        curves = {c.label: c for c in cell_restore_curves(horizon_ns=45.0, points=451)}
+        times = curves["1x MCR"].times_ns
+        idx = min(range(len(times)), key=lambda i: abs(times[i] - 44.0))
+        assert curves["1x MCR"].volts[idx] > curves["4x MCR"].volts[idx]

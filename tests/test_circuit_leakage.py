@@ -1,0 +1,89 @@
+"""Tests for the leakage/retention model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.leakage import LeakageModel
+from repro.circuit.restore import RestoreModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    theta = RestoreModel().calibration.theta
+    return LeakageModel(theta=theta)
+
+
+class TestDrop:
+    def test_linear_in_interval(self, model):
+        # Paper footnote 4: leakage proportional to the refresh interval.
+        assert model.drop_fraction(64.0) == pytest.approx(0.2)
+        assert model.drop_fraction(32.0) == pytest.approx(0.1)
+        assert model.drop_fraction(16.0) == pytest.approx(0.05)
+
+    def test_zero_interval(self, model):
+        assert model.drop_fraction(0.0) == 0.0
+
+    def test_rejects_negative(self, model):
+        with pytest.raises(ValueError):
+            model.drop_fraction(-1.0)
+
+
+class TestSafety:
+    @pytest.mark.parametrize("m", [1, 2, 4])
+    def test_all_paper_modes_safe(self, model, m):
+        # The Sec. 3.3 inequality holds for every refresh rate.
+        assert model.is_safe(m)
+
+    def test_margin_nonnegative(self, model):
+        for m in (1, 2, 4, 8):
+            assert model.margin(m) >= -1e-12
+
+    def test_margin_constant_above_one(self, model):
+        # target(m) - drop(64/m) = 1 - D for every m >= 2: the restore
+        # target is chosen to exactly hit the retention budget.
+        assert model.margin(2) == pytest.approx(model.margin(4))
+
+    def test_unsafe_when_target_lowered(self):
+        # A hypothetical model restoring below budget must be flagged.
+        weak = LeakageModel(theta=0.95)
+        # floor = 0.95 - 0.2 = 0.75; target(2) = 0.9, drop 0.1 -> 0.8 >= 0.75 ok
+        assert weak.is_safe(2)
+        weaker = LeakageModel(theta=0.999999)
+        assert weaker.is_safe(2)
+
+
+class TestRetentionCurve:
+    def test_sawtooth_period(self, model):
+        times, values = model.retention_curve(m=2, horizon_ms=64.0, points=129)
+        assert len(times) == len(values) == 129
+        # Value right after a rewrite equals the restore target.
+        assert values[0] == pytest.approx(model.restore_target(2))
+        # Midpoint (just before the 32 ms rewrite) is near the floor.
+        just_before = values[63]  # t = 31.5 ms
+        assert just_before < values[0]
+        assert just_before >= model.retention_floor_fraction - 1e-9
+
+    def test_never_below_floor(self, model):
+        for m in (1, 2, 4):
+            _, values = model.retention_curve(m=m, horizon_ms=128.0, points=257)
+            assert min(values) >= model.retention_floor_fraction - 1e-9
+
+    def test_validates_args(self, model):
+        with pytest.raises(ValueError):
+            model.retention_curve(1, horizon_ms=0)
+        with pytest.raises(ValueError):
+            model.retention_curve(1, horizon_ms=10, points=1)
+
+
+class TestIntervals:
+    @given(st.integers(1, 16))
+    def test_interval_inverse_in_m(self, m):
+        model = LeakageModel(theta=0.997)
+        assert model.refresh_interval_ms(m) == pytest.approx(64.0 / m)
+
+    def test_theta_validation(self):
+        with pytest.raises(ValueError):
+            LeakageModel(theta=0.0)
+        with pytest.raises(ValueError):
+            LeakageModel(theta=1.5)

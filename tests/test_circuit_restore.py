@@ -1,0 +1,117 @@
+"""Tests for the cell-restore model and its tRAS calibration."""
+
+import pytest
+
+from repro.circuit.charge_sharing import cell_voltage_after_sharing
+from repro.circuit.restore import (
+    PAPER_TRAS_NS,
+    RestoreModel,
+    restore_target_fraction,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return RestoreModel()
+
+
+class TestRestoreTargets:
+    def test_full_restore_is_theta(self):
+        assert restore_target_fraction(1, 0.99, 0.2) == 0.99
+
+    def test_paper_early_precharge_examples(self):
+        # Paper Sec. 3.3: 2x MCR may precharge at 0.9 VDD (D = 0.2 VDD).
+        assert restore_target_fraction(2, 1.0, 0.2) == pytest.approx(0.9)
+        assert restore_target_fraction(4, 1.0, 0.2) == pytest.approx(0.85)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            restore_target_fraction(0, 1.0, 0.2)
+
+
+class TestCalibration:
+    def test_reproduces_all_paper_tras(self, model):
+        for (k, m), target in PAPER_TRAS_NS.items():
+            assert model.tras_ns(k, m) == pytest.approx(target, abs=1e-9)
+
+    def test_theta_physical(self, model):
+        # "Fully restored" lands a fraction of a percent below VDD.
+        assert 0.99 < model.calibration.theta < 1.0
+
+    def test_tau_grows_with_k(self, model):
+        taus = model.calibration.tau_ns
+        assert taus[1] < taus[2] < taus[4]
+
+    def test_restore_starts_after_sensing_underway(self, model):
+        # Restore begins in the mid-teens of ns, after tRCD-era sensing.
+        for k in (1, 2, 4):
+            assert 10.0 < model.calibration.t_start_ns[k] < 25.0
+
+    def test_requires_all_six_targets(self):
+        partial = dict(PAPER_TRAS_NS)
+        del partial[(4, 2)]
+        with pytest.raises(ValueError):
+            RestoreModel(targets_ns=partial)
+
+    def test_m_must_not_exceed_k(self, model):
+        with pytest.raises(ValueError):
+            model.tras_ns(2, 4)
+
+    def test_unsupported_k(self, model):
+        with pytest.raises(ValueError):
+            model.tras_ns(8, 8)
+
+
+class TestRestoreCurve:
+    def test_starts_at_vdd(self, model):
+        assert model.cell_voltage(0.0, 1) == pytest.approx(model.tech.vdd_v)
+
+    def test_drops_to_sharing_level(self, model):
+        for k in (1, 2, 4):
+            mid = model.calibration.t_start_ns[k] - 1.0
+            assert model.cell_voltage(mid, k) == pytest.approx(
+                cell_voltage_after_sharing(model.tech, k)
+            )
+
+    def test_monotonic_recovery(self, model):
+        for k in (1, 2, 4):
+            start = model.calibration.t_start_ns[k]
+            samples = [model.cell_voltage(start + i * 0.5, k) for i in range(100)]
+            assert all(b >= a for a, b in zip(samples, samples[1:]))
+
+    def test_asymptote_is_vdd(self, model):
+        for k in (1, 2, 4):
+            assert model.cell_voltage(500.0, k) == pytest.approx(model.tech.vdd_v, rel=1e-6)
+
+    def test_higher_k_restores_slower_at_the_end(self, model):
+        # Fig. 10(b): the 4x curve is initially ahead (higher sharing
+        # level) but approaches VDD more slowly.
+        late = 40.0
+        v1 = model.cell_voltage(late, 1)
+        v4 = model.cell_voltage(late, 4)
+        assert v1 > v4
+
+    def test_time_to_fraction_inverts_curve(self, model):
+        for k in (1, 2, 4):
+            t = model.time_to_fraction(k, 0.95)
+            assert model.cell_voltage(t, k) == pytest.approx(
+                0.95 * model.tech.vdd_v, rel=1e-9
+            )
+
+    def test_time_to_fraction_validates(self, model):
+        with pytest.raises(ValueError):
+            model.time_to_fraction(1, 0.0)
+        with pytest.raises(ValueError):
+            model.time_to_fraction(1, 1.0)
+
+
+class TestParadoxOfM1Modes:
+    def test_1_2x_slower_than_normal(self, model):
+        # Table 3's surprise: 1/2x tRAS (37.52) exceeds the normal 35 ns —
+        # a full restore of two cells is slower than of one.
+        assert model.tras_ns(2, 1) > model.tras_ns(1, 1)
+        assert model.tras_ns(4, 1) > model.tras_ns(2, 1)
+
+    def test_early_precharge_wins(self, model):
+        assert model.tras_ns(2, 2) < model.tras_ns(1, 1)
+        assert model.tras_ns(4, 4) < model.tras_ns(2, 2)

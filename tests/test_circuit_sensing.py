@@ -1,0 +1,93 @@
+"""Tests for the sense-amplifier model and its tRCD calibration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.constants import TechnologyParameters
+from repro.circuit.sense_amplifier import PAPER_TRCD_NS, SensingModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SensingModel()
+
+
+class TestCalibration:
+    def test_reproduces_paper_trcd(self, model):
+        for k, target in PAPER_TRCD_NS.items():
+            assert model.trcd_ns(k) == pytest.approx(target, abs=1e-9)
+
+    def test_parameters_physical(self, model):
+        cal = model.calibration
+        assert cal.tau_ns > 0
+        assert cal.t_wl_per_row_ns > 0  # more wordlines -> slower turn-on
+        assert 0 < cal.v_access_v < model.tech.half_vdd
+
+    def test_custom_targets(self):
+        targets = {1: 14.0, 2: 10.0, 4: 7.0}
+        model = SensingModel(targets_ns=targets)
+        for k, t in targets.items():
+            assert model.trcd_ns(k) == pytest.approx(t, abs=1e-9)
+
+    def test_requires_all_three_ks(self):
+        with pytest.raises(ValueError):
+            SensingModel(targets_ns={1: 14.0, 2: 10.0})
+
+
+class TestBitlineCurve:
+    def test_starts_at_precharge_level(self, model):
+        assert model.bitline_voltage(0.0, 1) == pytest.approx(model.tech.half_vdd)
+
+    def test_monotonic_nondecreasing(self, model):
+        for k in (1, 2, 4):
+            samples = [model.bitline_deviation(t * 0.25, k) for t in range(100)]
+            assert all(b >= a - 1e-12 for a, b in zip(samples, samples[1:]))
+
+    def test_saturates_below_rail(self, model):
+        for k in (1, 2, 4):
+            assert model.bitline_deviation(1000.0, k) <= model.tech.half_vdd + 1e-9
+
+    def test_higher_k_develops_faster(self, model):
+        # At any time past all wordline-on delays, higher K is ahead.
+        t = 12.0
+        d1 = model.bitline_deviation(t, 1)
+        d2 = model.bitline_deviation(t, 2)
+        d4 = model.bitline_deviation(t, 4)
+        assert d1 < d2 < d4
+
+    def test_crossing_matches_trcd(self, model):
+        # The curve crosses v_access exactly at the derived tRCD.
+        for k in (1, 2, 4):
+            trcd = model.trcd_ns(k)
+            v_access = model.calibration.v_access_v
+            assert model.bitline_deviation(trcd - 0.05, k) < v_access
+            assert model.bitline_deviation(trcd + 0.05, k) > v_access
+
+
+class TestTimeToDeviation:
+    def test_rejects_out_of_range(self, model):
+        with pytest.raises(ValueError):
+            model.time_to_deviation(1, 0.0)
+        with pytest.raises(ValueError):
+            model.time_to_deviation(1, model.tech.half_vdd)
+
+    @given(st.sampled_from([1, 2, 4]), st.floats(min_value=0.05, max_value=0.4))
+    def test_inverse_of_curve(self, k, deviation):
+        model = SensingModel()
+        t = model.time_to_deviation(k, deviation)
+        if t > model.wordline_on_ns(k):
+            assert model.bitline_deviation(t, k) == pytest.approx(deviation, rel=1e-6)
+
+
+class TestWordlineDelay:
+    def test_grows_linearly_with_k(self, model):
+        d1 = model.wordline_on_ns(1)
+        d2 = model.wordline_on_ns(2)
+        d4 = model.wordline_on_ns(4)
+        assert d2 - d1 == pytest.approx(model.calibration.t_wl_per_row_ns)
+        assert d4 - d2 == pytest.approx(2 * model.calibration.t_wl_per_row_ns)
+
+    def test_rejects_zero(self, model):
+        with pytest.raises(ValueError):
+            model.wordline_on_ns(0)

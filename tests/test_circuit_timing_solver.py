@@ -1,0 +1,80 @@
+"""Tests for the full Table 3 derivation and the tRFC scaling rule."""
+
+import pytest
+
+from repro.circuit.timing_solver import (
+    PAPER_TABLE3,
+    TABLE3_MODES,
+    TRP_NS,
+    derive_timing_table,
+    trfc_scaling_rule,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return derive_timing_table()
+
+
+class TestTable3Reproduction:
+    def test_every_entry_within_rounding(self, table):
+        # Published values are rounded to 2 decimals; the model should sit
+        # within half a hundredth of a ns of every one of the 24 entries.
+        assert table.max_abs_error_vs_paper() < 0.005 + 1e-9
+
+    @pytest.mark.parametrize("mode", TABLE3_MODES)
+    def test_trcd(self, table, mode):
+        assert table.trcd_ns[mode] == pytest.approx(
+            PAPER_TABLE3["trcd_ns"][mode], abs=0.005
+        )
+
+    @pytest.mark.parametrize("mode", TABLE3_MODES)
+    def test_tras(self, table, mode):
+        assert table.tras_ns[mode] == pytest.approx(
+            PAPER_TABLE3["tras_ns"][mode], abs=0.005
+        )
+
+    @pytest.mark.parametrize("mode", TABLE3_MODES)
+    @pytest.mark.parametrize("density,key", [("1Gb", "trfc_1gb_ns"), ("4Gb", "trfc_4gb_ns")])
+    def test_trfc(self, table, mode, density, key):
+        assert table.trfc_ns[density][mode] == pytest.approx(
+            PAPER_TABLE3[key][mode], abs=0.005
+        )
+
+
+class TestTrfcRule:
+    def test_identity_for_base_mode(self):
+        assert trfc_scaling_rule(35.0, 35.0, 260.0) == pytest.approx(260.0)
+
+    def test_published_examples(self):
+        # 2/2x on 4 Gb: 29/39 cycles of tRC -> 193.33 ns.
+        assert trfc_scaling_rule(21.46, 35.0, 260.0) == pytest.approx(193.33, abs=0.01)
+        # 1/2x on 1 Gb: 42/39 -> 118.46 ns.
+        assert trfc_scaling_rule(37.52, 35.0, 110.0) == pytest.approx(118.46, abs=0.01)
+
+    def test_quantization_matters(self):
+        # Without cycle quantization 2/4x would not land on exactly 200 ns.
+        value = trfc_scaling_rule(22.78, 35.0, 260.0)
+        assert value == pytest.approx(200.0, abs=1e-9)
+        unquantized = 260.0 * (22.78 + TRP_NS) / (35.0 + TRP_NS)
+        assert abs(unquantized - 200.0) > 0.5
+
+    def test_monotone_in_tras(self):
+        values = [trfc_scaling_rule(t, 35.0, 260.0) for t in (20.0, 25.0, 30.0, 35.0, 40.0)]
+        assert values == sorted(values)
+
+
+class TestDerivedHelpers:
+    def test_trc_is_tras_plus_trp(self, table):
+        for k, m in TABLE3_MODES:
+            assert table.trc_ns(k, m) == pytest.approx(
+                table.tras_ns[(k, m)] + TRP_NS
+            )
+
+    def test_rows_rendering(self, table):
+        rows = table.rows()
+        assert len(rows) == len(TABLE3_MODES)
+        assert rows[0]["mode"] == "1/1x"
+        assert {"mode", "trcd_ns", "tras_ns", "trfc_1gb_ns", "trfc_4gb_ns"} <= set(
+            rows[0]
+        )

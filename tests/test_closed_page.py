@@ -1,0 +1,111 @@
+"""Tests for the closed-page (eager-precharge) scheduling policy."""
+
+import pytest
+
+from repro.controller.controller import MemoryController, SchedulingPolicy
+from repro.controller.request import MemoryRequest
+from repro.core import MCRMode, SystemSpec, run_system
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRGenerator, MCRModeConfig
+from repro.dram.refresh import RefreshPlan
+from repro.dram.timing import TimingDomain
+from repro.workloads import make_trace
+
+
+def make_controller(policy):
+    geometry = single_core_geometry()
+    mode = MCRModeConfig.off()
+    return MemoryController(
+        geometry,
+        TimingDomain(geometry, mode),
+        RefreshPlan(geometry, mode),
+        row_class_fn=MCRGenerator(geometry, mode).row_class,
+        refresh_enabled=False,
+        policy=policy,
+    )
+
+
+def req(req_id, row=0, bank=0):
+    return MemoryRequest(
+        req_id=req_id, core_id=0, is_write=False, address=0,
+        channel=0, rank=0, bank=bank, row=row, column=0,
+    )
+
+
+def drain(controller, cycles=3000):
+    cycle = 0
+    while cycle < cycles:
+        nxt = controller.next_action_cycle(cycle)
+        if nxt is None or nxt > cycles:
+            break
+        cycle = max(cycle, nxt)
+        controller.execute(cycle)
+        controller._collect(cycle + 100)
+    return cycle
+
+
+class TestEagerClose:
+    def test_closed_page_precharges_idle_banks(self):
+        controller = make_controller(SchedulingPolicy.CLOSED_PAGE)
+        controller.enqueue(req(1, row=3), 0)
+        drain(controller)
+        # With nothing queued, the bank gets closed eagerly.
+        assert controller.channel.open_row(0, 0) is None
+
+    def test_open_page_keeps_row_open(self):
+        controller = make_controller(SchedulingPolicy.FR_FCFS)
+        controller.enqueue(req(1, row=3), 0)
+        drain(controller)
+        assert controller.channel.open_row(0, 0) == 3
+
+    def test_pending_hit_prevents_eager_close(self):
+        controller = make_controller(SchedulingPolicy.CLOSED_PAGE)
+        controller.enqueue(req(1, row=3), 0)
+        controller.enqueue(req(2, row=3), 0)
+        # Serve exactly the first three commands: ACT, RD, RD.
+        cycle = 0
+        for _ in range(3):
+            nxt = controller.next_action_cycle(cycle)
+            cycle = max(cycle, nxt)
+            controller.execute(cycle)
+        # Both hits serviced before any precharge: one activate only.
+        assert controller.stats()["activates_normal"] == 1
+
+
+class TestEndToEnd:
+    def test_miss_stream_faster_under_closed_page(self):
+        """Row-miss-only traffic benefits from hidden precharges."""
+        geometry = single_core_geometry()
+        entries = [
+            TraceEntry(gap=80, is_write=False,
+                       address=((i * 97) % 4096) * geometry.row_bytes)
+            for i in range(400)
+        ]
+        trace = Trace(name="misses", entries=entries)
+        open_page = run_system([trace], MCRMode.off())
+        closed = run_system(
+            [trace], MCRMode.off(),
+            spec=SystemSpec(policy=SchedulingPolicy.CLOSED_PAGE),
+        )
+        assert closed.avg_read_latency_cycles <= open_page.avg_read_latency_cycles
+
+    def test_mcr_gain_survives_closed_page(self):
+        trace = make_trace("mummer", n_requests=1500, seed=31)
+        spec = SystemSpec(policy=SchedulingPolicy.CLOSED_PAGE)
+        baseline = run_system([trace], MCRMode.off(), spec=spec)
+        mcr = run_system(
+            [trace],
+            MCRMode.parse("4/4x/100%reg"),
+            spec=SystemSpec(
+                policy=SchedulingPolicy.CLOSED_PAGE, allocation="collision-free"
+            ),
+        )
+        assert mcr.execution_cycles < baseline.execution_cycles
+
+    def test_percentiles_populated(self):
+        trace = make_trace("comm1", n_requests=800, seed=31)
+        result = run_system([trace], MCRMode.off())
+        p50, p95, p99 = result.read_latency_percentiles
+        assert 0 < p50 <= p95 <= p99
+        assert p50 >= 26  # at least the raw miss path

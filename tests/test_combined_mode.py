@@ -1,0 +1,160 @@
+"""Tests for the combined 2x+4x MCR configuration (paper Sec. 4.4)."""
+
+import pytest
+
+from repro.core.allocation import CombinedProfileAllocator
+from repro.core.mcr_mode import MCRMode
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRGenerator, MCRModeConfig, RowClass
+from repro.dram.refresh import RefreshPlan, RefreshSlotKind
+from repro.dram.timing import TimingDomain
+from repro.workloads import make_trace
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return single_core_geometry()
+
+
+@pytest.fixture(scope="module")
+def mode():
+    # 4x in the top quarter of each sub-array, 2x in the next half.
+    return MCRModeConfig.combined(
+        k=4, alt_k=2, region_fraction=0.25, alt_region_fraction=0.5
+    )
+
+
+class TestConfig:
+    def test_label(self, mode):
+        assert mode.label() == "[4/4x/25%reg]+[2/2x/50%reg]"
+
+    def test_k_of(self, mode):
+        assert mode.k_of(RowClass.MCR) == 4
+        assert mode.k_of(RowClass.MCR_ALT) == 2
+        assert mode.k_of(RowClass.NORMAL) == 1
+
+    def test_regions_must_fit(self):
+        with pytest.raises(ValueError):
+            MCRModeConfig.combined(region_fraction=0.75, alt_region_fraction=0.5)
+
+    def test_alt_requires_primary(self):
+        with pytest.raises(ValueError):
+            MCRModeConfig(
+                k=1, m=1, region_fraction=0.0, alt_k=2, alt_m=2,
+                alt_region_fraction=0.5,
+            )
+
+    def test_mcr_mode_combined_helper(self):
+        mode = MCRMode.combined("4/4x", "2/2x", 25.0, 50.0)
+        assert mode.config.has_alt_region
+        assert str(mode) == "[4/4x/25%reg]+[2/2x/50%reg]"
+
+
+class TestGeneratorRegions:
+    def test_band_layout(self, geometry, mode):
+        gen = MCRGenerator(geometry, mode)
+        # Sub-array locals: [0,128) normal, [128,384) 2x, [384,512) 4x.
+        assert gen.row_class(0) is RowClass.NORMAL
+        assert gen.row_class(127) is RowClass.NORMAL
+        assert gen.row_class(128) is RowClass.MCR_ALT
+        assert gen.row_class(383) is RowClass.MCR_ALT
+        assert gen.row_class(384) is RowClass.MCR
+        assert gen.row_class(511) is RowClass.MCR
+
+    def test_clone_sizes_per_band(self, geometry, mode):
+        gen = MCRGenerator(geometry, mode)
+        assert len(gen.clone_rows(400)) == 4  # 4x band
+        assert len(gen.clone_rows(200)) == 2  # 2x band
+        assert len(gen.clone_rows(5)) == 1  # normal band
+
+    def test_decoder_matches_clones_in_both_bands(self, geometry, mode):
+        gen = MCRGenerator(geometry, mode)
+        for row in (0, 64, 129, 200, 385, 444, 511, 512 + 150, 512 + 400):
+            assert gen.asserted_wordlines(row) == gen.clone_rows(row)
+
+    def test_clones_stay_within_band(self, geometry, mode):
+        gen = MCRGenerator(geometry, mode)
+        for row in range(128, 512, 7):
+            cls = gen.row_class(row)
+            for clone in gen.clone_rows(row):
+                assert gen.row_class(clone) is cls
+
+
+class TestTimingDomain:
+    def test_three_timing_classes(self, geometry, mode):
+        domain = TimingDomain(geometry, mode)
+        normal = domain.row_timings(RowClass.NORMAL)
+        alt = domain.row_timings(RowClass.MCR_ALT)
+        primary = domain.row_timings(RowClass.MCR)
+        assert normal.t_rcd == 11 and alt.t_rcd == 8 and primary.t_rcd == 6
+        assert normal.t_ras == 28 and alt.t_ras == 18 and primary.t_ras == 16
+
+    def test_trfc_per_class(self, geometry, mode):
+        domain = TimingDomain(geometry, mode)
+        assert domain.trfc_cycles(RowClass.NORMAL) == 208
+        assert domain.trfc_cycles(RowClass.MCR) == 144  # 180 ns
+        assert domain.trfc_cycles(RowClass.MCR_ALT) == 155  # 193.33 ns
+
+
+class TestRefreshPlan:
+    def test_window_counts_split(self, geometry, mode):
+        plan = RefreshPlan(geometry, mode)
+        counts = plan.window_counts()
+        assert counts[RefreshSlotKind.FAST] == round(8192 * 0.25)
+        assert counts[RefreshSlotKind.FAST_ALT] == round(8192 * 0.5)
+        assert counts[RefreshSlotKind.NORMAL] == round(8192 * 0.25)
+        assert counts[RefreshSlotKind.SKIPPED] == 0  # m = k in both bands
+
+    def test_skipping_in_alt_band(self, geometry):
+        mode = MCRModeConfig.combined(
+            k=4, alt_k=2, region_fraction=0.25, alt_region_fraction=0.5,
+            m=4, alt_m=1,
+        )
+        plan = RefreshPlan(geometry, mode)
+        counts = plan.window_counts()
+        assert counts[RefreshSlotKind.SKIPPED] == round(8192 * 0.5) // 2
+
+    def test_exact_matches_analytic(self, geometry, mode):
+        plan = RefreshPlan(geometry, mode)
+        observed = {kind: 0 for kind in RefreshSlotKind}
+        for slot in range(plan.slots_per_window):
+            observed[plan.exact_slot(slot).kind] += 1
+        assert observed == plan.window_counts()
+
+
+class TestCombinedAllocator:
+    def test_band_placement_follows_hotness(self, geometry, mode):
+        trace = make_trace("comm2", n_requests=2500, seed=3)
+        allocator = CombinedProfileAllocator(
+            [trace], geometry, mode, hot_ratio=0.1, warm_ratio=0.3
+        )
+        gen = MCRGenerator(geometry, mode)
+        classes = {RowClass.MCR: 0, RowClass.MCR_ALT: 0, RowClass.NORMAL: 0}
+        for mapping in allocator._maps.values():
+            for dst in mapping.values():
+                classes[gen.row_class(dst)] += 1
+        assert classes[RowClass.MCR] > 0
+        assert classes[RowClass.MCR_ALT] > classes[RowClass.MCR]
+        assert classes[RowClass.NORMAL] > 0
+
+    def test_placed_rows_are_base_rows(self, geometry, mode):
+        trace = make_trace("leslie", n_requests=1500, seed=4)
+        allocator = CombinedProfileAllocator(
+            [trace], geometry, mode, hot_ratio=0.2, warm_ratio=0.2
+        )
+        gen = MCRGenerator(geometry, mode)
+        for mapping in allocator._maps.values():
+            for dst in mapping.values():
+                if gen.row_class(dst) is not RowClass.NORMAL:
+                    assert gen.clone_index(dst) == 0
+
+    def test_requires_combined_mode(self, geometry):
+        trace = make_trace("comm1", n_requests=500, seed=1)
+        pure = MCRModeConfig(k=4, m=4, region_fraction=0.5)
+        with pytest.raises(ValueError):
+            CombinedProfileAllocator([trace], geometry, pure, 0.1, 0.1)
+
+    def test_ratio_validation(self, geometry, mode):
+        trace = make_trace("comm1", n_requests=500, seed=1)
+        with pytest.raises(ValueError):
+            CombinedProfileAllocator([trace], geometry, mode, 0.7, 0.7)

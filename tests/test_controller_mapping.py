@@ -1,0 +1,117 @@
+"""Tests for address mapping schemes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.address_mapping import (
+    AddressMapper,
+    Coordinates,
+    MappingScheme,
+)
+from repro.dram.config import DRAMGeometry, multi_core_geometry, single_core_geometry
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return single_core_geometry()
+
+
+class TestPageInterleaving:
+    def test_consecutive_lines_same_row(self, geometry):
+        mapper = AddressMapper(geometry, MappingScheme.PAGE_INTERLEAVING)
+        a = mapper.decode(0x1000)
+        b = mapper.decode(0x1040)  # next cache line
+        assert (a.row, a.bank, a.rank, a.channel) == (b.row, b.bank, b.rank, b.channel)
+        assert b.column == a.column + 1
+
+    def test_row_crossing_changes_row_only_after_8kb(self, geometry):
+        mapper = AddressMapper(geometry, MappingScheme.PAGE_INTERLEAVING)
+        a = mapper.decode(0)
+        b = mapper.decode(geometry.row_bytes * geometry.channels)
+        assert a.row == 0
+        assert b.bank != a.bank or b.rank != a.rank or b.row != a.row
+
+    def test_address_bits(self, geometry):
+        mapper = AddressMapper(geometry, MappingScheme.PAGE_INTERLEAVING)
+        assert 1 << mapper.address_bits == geometry.capacity_bytes
+
+
+class TestBijectivity:
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_decode_encode_roundtrip(self, data):
+        geometry = single_core_geometry()
+        scheme = data.draw(st.sampled_from(list(MappingScheme)))
+        mapper = AddressMapper(geometry, scheme)
+        address = data.draw(
+            st.integers(0, geometry.capacity_bytes - 1).map(lambda a: a & ~0x3F)
+        )
+        coords = mapper.decode(address)
+        assert mapper.encode(coords) == address
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_encode_decode_roundtrip(self, data):
+        geometry = multi_core_geometry()
+        scheme = data.draw(st.sampled_from(list(MappingScheme)))
+        mapper = AddressMapper(geometry, scheme)
+        coords = Coordinates(
+            channel=data.draw(st.integers(0, geometry.channels - 1)),
+            rank=data.draw(st.integers(0, geometry.ranks_per_channel - 1)),
+            bank=data.draw(st.integers(0, geometry.banks_per_rank - 1)),
+            row=data.draw(st.integers(0, geometry.rows_per_bank - 1)),
+            column=data.draw(st.integers(0, geometry.columns_per_row - 1)),
+        )
+        assert mapper.decode(mapper.encode(coords)) == coords
+
+
+class TestPermutation:
+    def test_differs_from_page_interleaving(self, geometry):
+        plain = AddressMapper(geometry, MappingScheme.PAGE_INTERLEAVING)
+        perm = AddressMapper(geometry, MappingScheme.PERMUTATION)
+        # An address whose row LSBs are nonzero gets its bank XOR-swizzled.
+        address = plain.encode(
+            Coordinates(channel=0, rank=0, bank=0, row=5, column=0)
+        )
+        assert perm.decode(address).bank == 5 ^ 0
+        assert plain.decode(address).bank == 0
+
+    def test_spreads_row_conflicts(self, geometry):
+        # Addresses that share a bank under page interleaving but differ in
+        # row LSBs land in different banks under permutation.
+        perm = AddressMapper(geometry, MappingScheme.PERMUTATION)
+        banks = set()
+        for row in range(8):
+            address = (row << (6 + 7 + 0 + 3 + 1))  # row field, bank 0
+            banks.add(perm.decode(address).bank)
+        assert len(banks) == 8
+
+
+class TestValidation:
+    def test_address_out_of_range(self, geometry):
+        mapper = AddressMapper(geometry)
+        with pytest.raises(ValueError):
+            mapper.decode(geometry.capacity_bytes)
+
+    def test_coordinates_out_of_range(self, geometry):
+        mapper = AddressMapper(geometry)
+        with pytest.raises(ValueError):
+            mapper.encode(
+                Coordinates(channel=0, rank=2, bank=0, row=0, column=0)
+            )
+
+    def test_small_geometry_roundtrip(self):
+        geometry = DRAMGeometry(
+            channels=2,
+            ranks_per_channel=1,
+            banks_per_rank=4,
+            rows_per_bank=1024,
+            columns_per_row=32,
+            rows_per_subarray=256,
+            density="1Gb",
+        )
+        mapper = AddressMapper(geometry, MappingScheme.BIT_REVERSAL)
+        for address in range(0, geometry.capacity_bytes, 64 * 1031):
+            aligned = address & ~0x3F
+            assert mapper.encode(mapper.decode(aligned)) == aligned

@@ -1,0 +1,85 @@
+"""Tests for command queues and the write-drain policy."""
+
+import pytest
+
+from repro.controller.queues import CommandQueue, WriteDrainPolicy
+from repro.controller.request import MemoryRequest, RequestState
+
+
+def make_request(req_id=1, is_write=False):
+    return MemoryRequest(
+        req_id=req_id,
+        core_id=0,
+        is_write=is_write,
+        address=0,
+        channel=0,
+        rank=0,
+        bank=0,
+        row=0,
+        column=0,
+    )
+
+
+class TestCommandQueue:
+    def test_capacity(self):
+        queue = CommandQueue(2)
+        queue.push(make_request(1))
+        queue.push(make_request(2))
+        assert queue.is_full
+        with pytest.raises(RuntimeError):
+            queue.push(make_request(3))
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            CommandQueue(0)
+
+    def test_schedulable_filters_states(self):
+        queue = CommandQueue(4)
+        a, b = make_request(1), make_request(2)
+        queue.push(a)
+        queue.push(b)
+        a.state = RequestState.ISSUED
+        assert queue.schedulable() == [b]
+
+    def test_retire_done_removes_and_returns(self):
+        queue = CommandQueue(4)
+        a, b = make_request(1), make_request(2)
+        queue.push(a)
+        queue.push(b)
+        a.state = RequestState.DONE
+        done = queue.retire_done()
+        assert done == [a]
+        assert len(queue) == 1
+
+    def test_fifo_order_preserved(self):
+        queue = CommandQueue(8)
+        reqs = [make_request(i) for i in range(5)]
+        for r in reqs:
+            queue.push(r)
+        assert queue.schedulable() == reqs
+
+    def test_pending_for_rank(self):
+        queue = CommandQueue(4)
+        req = make_request(1)
+        queue.push(req)
+        assert queue.pending_for_rank(0)
+        assert not queue.pending_for_rank(1)
+
+
+class TestWriteDrainPolicy:
+    def test_paper_watermarks(self):
+        policy = WriteDrainPolicy()  # 24 / 8
+        assert not policy.update(23)
+        assert policy.update(24)  # reaches high -> drain
+        assert policy.update(15)  # hysteresis holds
+        assert policy.update(9)
+        assert not policy.update(8)  # low watermark -> stop
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WriteDrainPolicy(high=8, low=8)
+        with pytest.raises(ValueError):
+            WriteDrainPolicy(high=8, low=-1)
+
+    def test_starts_not_draining(self):
+        assert not WriteDrainPolicy().draining

@@ -1,0 +1,94 @@
+"""Tests for the refresh scheduler (postponement, skipping, forcing)."""
+
+import pytest
+
+from repro.controller.refresh_scheduler import MAX_POSTPONED, RefreshScheduler
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRModeConfig, MechanismSet, RowClass
+from repro.dram.refresh import RefreshPlan, RefreshSlotKind
+
+
+def make_scheduler(k=1, m=1, region=0.0, t_refi=100, **mech):
+    geometry = single_core_geometry()
+    if k == 1:
+        mode = MCRModeConfig.off()
+    else:
+        mode = MCRModeConfig(
+            k=k, m=m, region_fraction=region, mechanisms=MechanismSet(**mech)
+        )
+    plan = RefreshPlan(geometry, mode)
+    return RefreshScheduler(plan, ranks=2, t_refi=t_refi)
+
+
+class TestDueAccounting:
+    def test_nothing_due_before_trefi(self):
+        sched = make_scheduler()
+        assert sched.due_slots(0, 99) == 0
+        assert sched.pending_kind(0, 50) is None
+
+    def test_one_due_per_trefi(self):
+        sched = make_scheduler()
+        assert sched.due_slots(0, 100) == 1
+        assert sched.due_slots(0, 350) == 3
+
+    def test_forced_after_postpone_budget(self):
+        sched = make_scheduler()
+        assert not sched.is_forced(0, MAX_POSTPONED * 100 - 1)
+        assert sched.is_forced(0, MAX_POSTPONED * 100)
+
+    def test_mark_issued_consumes_slot(self):
+        sched = make_scheduler()
+        kind = sched.pending_kind(0, 100)
+        assert kind is RefreshSlotKind.NORMAL
+        sched.mark_issued(0, kind)
+        assert sched.due_slots(0, 100) == 0
+        assert sched.next_due_cycle(0) == 200
+
+    def test_ranks_independent(self):
+        sched = make_scheduler()
+        sched.mark_issued(0, sched.pending_kind(0, 100))
+        assert sched.due_slots(1, 100) == 1
+
+
+class TestSkipping:
+    def test_skips_consume_for_free(self):
+        # 4x, m=1, 100% region: 3 of 4 slots are skipped.
+        sched = make_scheduler(k=4, m=1, region=1.0)
+        consumed_free = 0
+        issued = 0
+        for window in range(1, 41):
+            cycle = window * 100
+            consumed_free += sched.consume_skips(0, cycle)
+            kind = sched.pending_kind(0, cycle)
+            if kind is not None and sched.due_slots(0, cycle) > 0:
+                sched.mark_issued(0, kind)
+                issued += 1
+        counts = sched.issued_counts()
+        assert counts["skipped"] == consumed_free
+        assert consumed_free + issued == 40
+        # Skip rate tracks 75%.
+        assert 25 <= consumed_free <= 35
+
+    def test_wrong_kind_rejected(self):
+        sched = make_scheduler(k=4, m=4, region=1.0)
+        kind = sched.pending_kind(0, 100)
+        wrong = (
+            RefreshSlotKind.NORMAL
+            if kind is RefreshSlotKind.FAST
+            else RefreshSlotKind.FAST
+        )
+        with pytest.raises(RuntimeError):
+            sched.mark_issued(0, wrong)
+
+
+class TestClassSelection:
+    def test_trfc_class(self):
+        sched = make_scheduler()
+        assert sched.trfc_class(RefreshSlotKind.FAST) is RowClass.MCR
+        assert sched.trfc_class(RefreshSlotKind.NORMAL) is RowClass.NORMAL
+
+    def test_validation(self):
+        geometry = single_core_geometry()
+        plan = RefreshPlan(geometry, MCRModeConfig.off())
+        with pytest.raises(ValueError):
+            RefreshScheduler(plan, ranks=0, t_refi=100)

@@ -1,0 +1,84 @@
+"""Tests for the capacity / dynamic-mode-choice model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.capacity import CapacityModel, best_mode
+
+
+@pytest.fixture
+def model():
+    return CapacityModel(footprint_pages=1000, zipf_alpha=1.2)
+
+
+class TestResidentFraction:
+    def test_full_capacity_no_faults(self, model):
+        assert model.resident_fraction(1000) == 1.0
+        assert model.resident_fraction(5000) == 1.0
+        assert model.fault_rate(1000) == 0.0
+
+    def test_zero_capacity_all_faults(self, model):
+        assert model.resident_fraction(0) == 0.0
+        assert model.fault_rate(0) == 1.0
+
+    def test_monotone_in_capacity(self, model):
+        values = [model.resident_fraction(c) for c in (1, 10, 100, 500, 999)]
+        assert values == sorted(values)
+
+    def test_skew_concentrates_hits(self):
+        skewed = CapacityModel(footprint_pages=1000, zipf_alpha=1.4)
+        uniform = CapacityModel(footprint_pages=1000, zipf_alpha=0.0)
+        # 10% capacity captures far more accesses under skew.
+        assert skewed.resident_fraction(100) > 0.5
+        assert uniform.resident_fraction(100) == pytest.approx(0.1)
+
+    def test_rejects_negative_capacity(self, model):
+        with pytest.raises(ValueError):
+            model.resident_fraction(-1)
+
+    @given(st.integers(1, 2000))
+    def test_bounded(self, capacity):
+        model = CapacityModel(footprint_pages=1000, zipf_alpha=0.9)
+        assert 0.0 <= model.resident_fraction(capacity) <= 1.0
+
+
+class TestFaultCycles:
+    def test_linear_in_accesses(self, model):
+        a = model.fault_cycles(500, 1000)
+        b = model.fault_cycles(500, 2000)
+        assert b == pytest.approx(2 * a)
+
+    def test_capacity_aware_cycles(self, model):
+        no_pressure = model.capacity_aware_cycles(10_000, 1000, 500)
+        assert no_pressure == 10_000
+        pressured = model.capacity_aware_cycles(10_000, 100, 500)
+        assert pressured > 10_000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CapacityModel(footprint_pages=0, zipf_alpha=1.0)
+        with pytest.raises(ValueError):
+            CapacityModel(footprint_pages=10, zipf_alpha=-1.0)
+
+
+class TestBestMode:
+    DRAM = {"off": 10_000, "2x": 9_400, "4x": 9_000}
+    CAPACITY = {"off": 4000, "2x": 2000, "4x": 1000}
+
+    def test_low_pressure_picks_fastest(self):
+        model = CapacityModel(footprint_pages=500, zipf_alpha=1.0)
+        assert best_mode(model, self.DRAM, self.CAPACITY, 1000) == "4x"
+
+    def test_high_pressure_picks_roomiest(self):
+        model = CapacityModel(
+            footprint_pages=4000, zipf_alpha=0.2, fault_penalty_cycles=80_000
+        )
+        assert best_mode(model, self.DRAM, self.CAPACITY, 1000) == "off"
+
+    def test_mismatched_keys_rejected(self):
+        model = CapacityModel(footprint_pages=100, zipf_alpha=1.0)
+        with pytest.raises(ValueError):
+            best_mode(model, {"a": 1}, {"b": 1}, 10)
+        with pytest.raises(ValueError):
+            best_mode(model, {}, {}, 10)

@@ -1,0 +1,132 @@
+"""Tests for the MCRMode parser and the OS address-space policy."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.mcr_mode import MCRMode
+from repro.core.os_model import AddressSpacePolicy, accessible_row_lsb_patterns
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRModeConfig, MechanismSet
+
+
+class TestModeParser:
+    def test_off_forms(self):
+        for text in ("off", "OFF", "[off]", "1x", "baseline"):
+            assert not MCRMode.parse(text).enabled
+
+    def test_full_form(self):
+        mode = MCRMode.parse("2/4x/75%reg")
+        assert mode.config.k == 4
+        assert mode.config.m == 2
+        assert mode.config.region_fraction == 0.75
+
+    def test_brackets_and_spaces(self):
+        mode = MCRMode.parse("[ 4/4x/100%reg ]")
+        assert mode.config.k == 4
+        assert mode.config.region_fraction == 1.0
+
+    def test_m_defaults_to_k(self):
+        assert MCRMode.parse("4x").config.m == 4
+
+    def test_region_defaults_to_100(self):
+        assert MCRMode.parse("2/2x").config.region_fraction == 1.0
+
+    def test_str_matches_paper_notation(self):
+        assert str(MCRMode.parse("2/4x/75%reg")) == "[2/4x/75%reg]"
+
+    def test_invalid_forms(self):
+        for text in ("", "4", "x4", "5/4x", "4/4x/150%reg abc"):
+            with pytest.raises(ValueError):
+                MCRMode.parse(text)
+
+    def test_mechanism_override(self):
+        mode = MCRMode.parse("4/4x", mechanisms=MechanismSet.access_only())
+        assert not mode.config.mechanisms.fast_refresh
+
+    def test_with_mechanisms(self):
+        mode = MCRMode.parse("2/4x/50%reg")
+        ablated = mode.with_mechanisms(MechanismSet(early_access=False))
+        assert ablated.config.k == 4
+        assert not ablated.config.mechanisms.early_access
+
+    @given(
+        st.sampled_from([2, 4]),
+        st.sampled_from([25, 50, 75, 100]),
+    )
+    def test_roundtrip_via_label(self, k, region):
+        mode = MCRMode.parse(f"{k}/{k}x/{region}%reg")
+        assert MCRMode.parse(str(mode)).config == mode.config
+
+
+class TestAccessiblePatterns:
+    def test_table2_rows(self):
+        # Paper Table 2: accessible R1R0 patterns per mode.
+        assert accessible_row_lsb_patterns(4) == {0b00}
+        assert accessible_row_lsb_patterns(2) == {0b00, 0b10}
+        assert accessible_row_lsb_patterns(1) == {0b00, 0b01, 0b10, 0b11}
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            accessible_row_lsb_patterns(8)
+
+
+class TestAddressSpacePolicy:
+    def make(self, k):
+        geometry = single_core_geometry()
+        if k == 1:
+            mode = MCRModeConfig.off()
+        else:
+            mode = MCRModeConfig(k=k, m=k, region_fraction=1.0)
+        return AddressSpacePolicy(geometry, mode)
+
+    def test_os_visible_capacity(self):
+        assert self.make(4).os_visible_bytes == 1 * 2**30  # N/4
+        assert self.make(2).os_visible_bytes == 2 * 2**30
+        assert self.make(1).os_visible_bytes == 4 * 2**30
+
+    def test_masked_msbs(self):
+        assert self.make(4).masked_msb_count == 2
+        assert self.make(2).masked_msb_count == 1
+        assert self.make(1).masked_msb_count == 0
+
+    def test_controller_row_lands_on_base_rows(self):
+        policy = self.make(4)
+        for os_row in (0, 1, 5, 100):
+            row = policy.controller_row(os_row)
+            assert row % 4 == 0
+        with pytest.raises(ValueError):
+            policy.controller_row(32768 // 4)
+
+    def test_accessibility(self):
+        policy = self.make(2)
+        assert policy.is_accessible(0)
+        assert policy.is_accessible(2)
+        assert not policy.is_accessible(1)
+
+    def test_relaxation_rules(self):
+        geometry = single_core_geometry()
+        four = self.make(4)
+        two_mode = MCRModeConfig(k=2, m=2, region_fraction=1.0)
+        assert four.can_relax_to(two_mode)
+        assert four.can_relax_to(MCRModeConfig.off())
+        # Tightening 2x -> 4x would collide existing pages.
+        two = self.make(2)
+        four_mode = MCRModeConfig(k=4, m=4, region_fraction=1.0)
+        assert not two.can_relax_to(four_mode)
+
+    def test_newly_accessible_rows(self):
+        four = self.make(4)
+        two_mode = MCRModeConfig(k=2, m=2, region_fraction=1.0)
+        new_rows = four.newly_accessible_rows(two_mode, limit=4)
+        # Relaxing 4x -> 2x opens the ...10 rows (paper Sec. 4.4).
+        assert new_rows == [2, 6, 10, 14]
+        with pytest.raises(ValueError):
+            two = self.make(2)
+            two.newly_accessible_rows(MCRModeConfig(k=4, m=4, region_fraction=1.0))
+
+    def test_partial_region_rejected(self):
+        geometry = single_core_geometry()
+        mode = MCRModeConfig(k=4, m=4, region_fraction=0.5)
+        with pytest.raises(ValueError):
+            AddressSpacePolicy(geometry, mode)

@@ -1,0 +1,163 @@
+"""Validate the event-driven core against the per-cycle golden model.
+
+The fast core (:class:`repro.cpu.core.Core`) is a fluid approximation of
+the discrete-cycle semantics (fractional fetch/retire rates between
+memory events), so finish times agree to a small tolerance, not exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.core import Core, CoreParams
+from repro.cpu.trace import Trace, TraceEntry
+from tests.reference_core import run_reference_core
+
+
+def drive_fast_core(trace, params, read_latency):
+    """Run the event-driven core against the same memory stand-in.
+
+    A miniature event loop: completions are delivered at their true
+    times (possibly "behind" the core's own wake time — the engine's
+    completion heap behaves the same way).
+    """
+    sent = []
+    pending = []  # (completion_time, token), kept sorted by time
+    reads_seen = 0
+
+    def try_send(core_id, is_write, address, fetch_cpu):
+        nonlocal reads_seen
+        token = object()
+        sent.append((token, is_write, fetch_cpu))
+        if not is_write:
+            done = fetch_cpu + read_latency(reads_seen, fetch_cpu)
+            reads_seen += 1
+            pending.append((done, token))
+            pending.sort(key=lambda p: p[0])
+        return token
+
+    core = Core(0, trace, params, try_send)
+    now = 0.0
+    for _ in range(100_000):
+        result = core.advance(now)
+        if core.finished:
+            return core, sent
+        if result.wake_cpu is not None:
+            # Deliver any completion due before the core's own wake.
+            if pending and pending[0][0] <= result.wake_cpu:
+                done, token = pending.pop(0)
+                core.on_read_complete(token, done)
+                now = max(now, done)
+            else:
+                now = result.wake_cpu
+            continue
+        assert pending, "blocked with nothing outstanding"
+        done, token = pending.pop(0)
+        core.on_read_complete(token, done)
+        now = max(now, done)
+    raise AssertionError("fast core did not finish")
+
+
+@st.composite
+def traces_and_latency(draw):
+    """Random traces with *DRAM-realistic* read latencies.
+
+    The fast core is a fluid approximation: between memory events it
+    models fetch/retire as continuous rates, which is accurate when read
+    round trips dominate (>= ~80 CPU cycles — every latency this
+    simulator ever produces: the raw tRCD+tCAS+tBURST path alone is 104
+    CPU cycles). Short latencies make ROB-saturated fetch gating visible
+    per instruction; see ``test_short_latency_divergence_bounded`` for
+    that regime's documented bound.
+    """
+    n = draw(st.integers(5, 60))
+    entries = []
+    for _ in range(n):
+        gap = draw(st.integers(0, 40))
+        is_write = draw(st.booleans())
+        entries.append(TraceEntry(gap=gap, is_write=is_write, address=0))
+    base_latency = draw(st.integers(80, 500))
+    jitter = draw(st.integers(0, 100))
+    return Trace(name="ref", entries=entries), base_latency, jitter
+
+
+class TestAgainstGoldenModel:
+    @settings(max_examples=40, deadline=None)
+    @given(traces_and_latency())
+    def test_finish_time_matches_fluid_tolerance(self, case):
+        trace, base_latency, jitter = case
+
+        def read_latency(index, fetch_cpu):
+            return float(base_latency + (index * 37 % (jitter + 1)))
+
+        params = CoreParams()
+        reference = run_reference_core(trace, params, read_latency)
+        core, sent = drive_fast_core(trace, params, read_latency)
+
+        assert core.reads_sent == reference.reads_sent
+        assert core.writes_sent == reference.writes_sent
+        # Fluid vs discrete: 2% relative plus the per-run fetch-gating
+        # slack (see test_send_times_close).
+        max_gap = max(e.gap for e in trace.entries)
+        tolerance = 0.02 * reference.finish_cpu + max_gap / 4.0 + 6.0
+        assert core.finish_cpu == pytest.approx(
+            reference.finish_cpu, abs=tolerance
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(traces_and_latency())
+    def test_send_times_close(self, case):
+        """Request issue times (what the DRAM sees) track the golden model."""
+        trace, base_latency, _ = case
+
+        def read_latency(index, fetch_cpu):
+            return float(base_latency)
+
+        params = CoreParams()
+        reference = run_reference_core(trace, params, read_latency)
+        _, sent = drive_fast_core(trace, params, read_latency)
+        fast_times = [fetch for _, _, fetch in sent]
+        assert len(fast_times) == len(reference.send_times)
+        # The fluid model elides per-instruction fetch gating inside a
+        # non-memory run; at ROB-saturation boundaries that costs up to
+        # ~gap/2 - gap/4 cycles per run (<= 10 for the gaps drawn here),
+        # on top of the sub-cycle rate approximations.
+        max_gap = max(e.gap for e in trace.entries)
+        slack = max_gap / 4.0 + 4.0
+        for fast, ref in zip(fast_times, reference.send_times):
+            assert fast == pytest.approx(ref, abs=0.03 * max(ref, 1.0) + slack)
+
+    def test_short_latency_divergence_bounded(self):
+        """Outside the DRAM regime (very short read latencies) the fluid
+        model's per-instruction fetch gating error is visible; document
+        that it stays within ~10% even in an adversarial ROB-saturated
+        case (back-to-back reads followed by space-gated runs)."""
+        entries = (
+            [TraceEntry(0, True, 0), TraceEntry(32, True, 0)]
+            + [TraceEntry(40 if i == 0 else 0, False, 0) for i in range(47)]
+            + [TraceEntry(9, False, 0)]
+            + [TraceEntry(40, False, 0)] * 3
+        )
+        trace = Trace(name="adversarial", entries=entries)
+
+        def read_latency(index, fetch_cpu):
+            return 20.0
+
+        params = CoreParams()
+        reference = run_reference_core(trace, params, read_latency)
+        core, _ = drive_fast_core(trace, params, read_latency)
+        assert core.finish_cpu == pytest.approx(reference.finish_cpu, rel=0.10)
+
+    def test_memory_bound_chain_exact(self):
+        """Serialized dependent reads: both models agree almost exactly
+        (completions resynchronize the fluid clock)."""
+        entries = [TraceEntry(gap=200, is_write=False, address=0) for _ in range(6)]
+        trace = Trace(name="chain", entries=entries)
+
+        def read_latency(index, fetch_cpu):
+            return 500.0
+
+        params = CoreParams()
+        reference = run_reference_core(trace, params, read_latency)
+        core, _ = drive_fast_core(trace, params, read_latency)
+        assert core.finish_cpu == pytest.approx(reference.finish_cpu, abs=12.0)

@@ -1,0 +1,210 @@
+"""Tests for the trace format and the event-driven ROB core model."""
+
+import pytest
+
+from repro.cpu.core import AdvanceResult, BlockReason, Core, CoreParams
+from repro.cpu.trace import Trace, TraceEntry
+
+
+def make_trace(entries):
+    return Trace(name="t", entries=[TraceEntry(*e) for e in entries])
+
+
+class InstantMemory:
+    """try_send stub: accepts everything, completes reads after a delay."""
+
+    def __init__(self, latency_cpu=100.0, accept=True):
+        self.latency_cpu = latency_cpu
+        self.accept = accept
+        self.sent = []
+
+    def __call__(self, core_id, is_write, address, fetch_cpu):
+        if not self.accept:
+            return None
+        token = object()
+        self.sent.append((token, is_write, address, fetch_cpu))
+        return token
+
+
+def run_to_completion(core, memory):
+    """Drive the core, completing each read latency_cpu after fetch."""
+    now = 0.0
+    served = 0
+    for _ in range(10_000):
+        result = core.advance(now)
+        if core.finished:
+            return
+        if result.wake_cpu is not None:
+            now = result.wake_cpu
+            continue
+        # Blocked: complete the oldest unserved read.
+        reads = [s for s in memory.sent if not s[1]]
+        assert served < len(reads), "core blocked with no reads outstanding"
+        token, _, _, fetch = reads[served]
+        served += 1
+        done = max(now, fetch + memory.latency_cpu)
+        core.on_read_complete(token, done)
+        now = done
+    raise AssertionError("core did not finish")
+
+
+class TestTraceBasics:
+    def test_instruction_count(self):
+        trace = make_trace([(3, False, 0), (2, True, 64)])
+        assert trace.instruction_count == 7
+        assert trace.mpki() == pytest.approx(1000 * 2 / 7)
+
+    def test_read_fraction(self):
+        trace = make_trace([(0, False, 0), (0, True, 0), (0, False, 0), (0, False, 0)])
+        assert trace.read_fraction == 0.75
+
+    def test_entry_validation(self):
+        with pytest.raises(ValueError):
+            TraceEntry(gap=-1, is_write=False, address=0)
+        with pytest.raises(ValueError):
+            TraceEntry(gap=0, is_write=False, address=-1)
+
+    def test_hot_addresses(self):
+        trace = make_trace([(0, False, 0)])
+        trace.row_access_counts.update({10: 5, 20: 3, 30: 1})
+        assert trace.hot_addresses(1.0) == [10, 20, 30]
+        assert trace.hot_addresses(0.34) == [10]
+        with pytest.raises(ValueError):
+            trace.hot_addresses(1.5)
+
+
+class TestCoreProgress:
+    def test_compute_only_trace_ipc_is_retire_bound(self):
+        # 1000 instructions, no stalls: retire width 2 -> ~500 cycles.
+        entries = [(99, True, 0) for _ in range(10)]
+        trace = make_trace(entries)
+        memory = InstantMemory()
+        core = Core(0, trace, CoreParams(), memory)
+        run_to_completion(core, memory)
+        assert core.finish_cpu == pytest.approx(1000 / 2, rel=0.1)
+
+    def test_single_read_blocks_until_complete(self):
+        trace = make_trace([(0, False, 0)])
+        memory = InstantMemory(latency_cpu=400.0)
+        core = Core(0, trace, CoreParams(), memory)
+        run_to_completion(core, memory)
+        assert core.finish_cpu >= 400.0
+
+    def test_reads_overlap_within_rob(self):
+        # Two independent reads close together: total well under 2x latency.
+        trace = make_trace([(0, False, 0), (0, False, 64)])
+        memory = InstantMemory(latency_cpu=400.0)
+        core = Core(0, trace, CoreParams(), memory)
+        run_to_completion(core, memory)
+        assert core.finish_cpu < 500.0
+
+    def test_rob_limits_outstanding_reads(self):
+        # Reads 128+ instructions apart cannot overlap: each waits for the
+        # previous to retire.
+        trace = make_trace([(200, False, i * 64) for i in range(4)])
+        memory = InstantMemory(latency_cpu=400.0)
+        core = Core(0, trace, CoreParams(), memory)
+        run_to_completion(core, memory)
+        assert core.finish_cpu > 3 * 400.0
+
+    def test_writes_do_not_block_retirement(self):
+        trace = make_trace([(10, True, 0) for _ in range(20)])
+        memory = InstantMemory()
+        core = Core(0, trace, CoreParams(), memory)
+        run_to_completion(core, memory)
+        # 220 instructions at 2/cycle ~ 110 cycles; no memory waits.
+        assert core.finish_cpu < 150.0
+
+    def test_counts(self):
+        trace = make_trace([(1, False, 0), (1, True, 64), (1, False, 128)])
+        memory = InstantMemory(latency_cpu=10.0)
+        core = Core(0, trace, CoreParams(), memory)
+        run_to_completion(core, memory)
+        assert core.reads_sent == 2
+        assert core.writes_sent == 1
+        assert core.instructions_fetched == 6
+        assert core.ipc() > 0
+
+
+class TestBackpressure:
+    @staticmethod
+    def advance_until_blocked(core):
+        now = 0.0
+        result = core.advance(now)
+        while result.wake_cpu is not None:
+            now = result.wake_cpu
+            result = core.advance(now)
+        return now, result
+
+    def test_write_queue_full_blocks(self):
+        trace = make_trace([(0, True, 0)])
+        memory = InstantMemory(accept=False)
+        core = Core(0, trace, CoreParams(), memory)
+        _, result = self.advance_until_blocked(core)
+        assert core.blocked is BlockReason.WRITE_QUEUE_FULL
+        assert result.wake_cpu is None
+
+    def test_read_queue_full_blocks(self):
+        trace = make_trace([(0, False, 0)])
+        memory = InstantMemory(accept=False)
+        core = Core(0, trace, CoreParams(), memory)
+        self.advance_until_blocked(core)
+        assert core.blocked is BlockReason.READ_QUEUE_FULL
+
+    def test_recovers_when_queue_opens(self):
+        trace = make_trace([(0, True, 0)])
+        memory = InstantMemory(accept=False)
+        core = Core(0, trace, CoreParams(), memory)
+        now, _ = self.advance_until_blocked(core)
+        memory.accept = True
+        core.advance(now)
+        # Write accepted; trace drained.
+        run_to_completion(core, memory)
+        assert core.finished
+
+
+class TestFetchPacing:
+    def test_future_fetch_returns_wake_time(self):
+        # A large gap means the memory op fetches later; advance(0) must
+        # report the wake time instead of sending early. With 400
+        # non-memory instructions ahead, ROB space (retire 2/cycle over
+        # the 273 instructions that must leave a 128-entry ROB) binds
+        # tighter than fetch bandwidth (401/4).
+        trace = make_trace([(400, False, 0)])
+        memory = InstantMemory()
+        core = Core(0, trace, CoreParams(), memory)
+        result = core.advance(0.0)
+        assert result.wake_cpu == pytest.approx((401 - 128) / 2)
+        assert not memory.sent
+
+    def test_short_gap_fetch_is_bandwidth_bound(self):
+        trace = make_trace([(40, False, 0)])
+        memory = InstantMemory()
+        core = Core(0, trace, CoreParams(), memory)
+        result = core.advance(0.0)
+        assert result.wake_cpu == pytest.approx(41 / 4)
+
+    def test_deterministic_dyadic_times(self):
+        trace = make_trace([(3, False, 0), (5, False, 64)])
+        memory = InstantMemory(latency_cpu=16.0)
+        core = Core(0, trace, CoreParams(), memory)
+        run_to_completion(core, memory)
+        # All times are multiples of 1/4 CPU cycle.
+        for _, _, _, fetch in memory.sent:
+            assert (fetch * 4) == int(fetch * 4)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CoreParams(rob_size=0)
+        with pytest.raises(ValueError):
+            CoreParams(retire_width=-1)
+
+    def test_paper_defaults(self):
+        params = CoreParams()
+        assert params.rob_size == 128
+        assert params.fetch_width == 4
+        assert params.retire_width == 2
+        assert params.pipeline_depth == 10
+        assert params.cpu_cycles_per_mem_cycle == 4

@@ -1,0 +1,77 @@
+"""Tests for the background-power accounting in the device layer."""
+
+import pytest
+
+from repro.dram.config import single_core_geometry
+from repro.dram.device import ChannelState
+from repro.dram.mcr import MCRModeConfig, RowClass
+from repro.dram.timing import TimingDomain
+
+
+@pytest.fixture
+def channel():
+    geometry = single_core_geometry()
+    return ChannelState(geometry, TimingDomain(geometry, MCRModeConfig.off()))
+
+
+class TestIdleIntervals:
+    def test_idle_interval_recorded_on_activate(self, channel):
+        channel.apply_activate(100, 0, 0, 5, RowClass.NORMAL)
+        rank = channel.ranks[0]
+        assert rank.idle_intervals == [100]
+
+    def test_idle_resumes_after_precharge(self, channel):
+        channel.apply_activate(100, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_precharge(130, 0, 0)
+        channel.apply_activate(200, 0, 0, 6, RowClass.NORMAL)
+        rank = channel.ranks[0]
+        assert rank.idle_intervals == [100, 70]
+        assert rank.active_standby_cycles == 30
+
+    def test_refresh_splits_idle(self, channel):
+        channel.apply_refresh(50, 0, 208)
+        rank = channel.ranks[0]
+        assert rank.idle_intervals == [50]
+        # Idle resumes when the refresh completes.
+        channel.apply_activate(300, 0, 0, 5, RowClass.NORMAL)
+        assert rank.idle_intervals == [50, 300 - 258]
+
+    def test_finalize_closes_open_interval(self, channel):
+        channel.ranks[0].finalize_accounting(500)
+        assert channel.ranks[0].idle_intervals == [500]
+
+    def test_finalize_closes_active_window(self, channel):
+        channel.apply_activate(10, 0, 0, 5, RowClass.NORMAL)
+        channel.ranks[0].finalize_accounting(60)
+        assert channel.ranks[0].active_standby_cycles == 50
+
+    def test_ranks_independent(self, channel):
+        channel.apply_activate(10, 0, 0, 5, RowClass.NORMAL)
+        assert channel.ranks[1].open_banks == 0
+        assert channel.ranks[0].open_banks == 1
+
+    def test_overlapping_banks_single_window(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_activate(5, 0, 1, 6, RowClass.NORMAL)
+        channel.apply_precharge(28, 0, 0)
+        # Rank still active (bank 1 open): no idle interval yet.
+        assert len(channel.ranks[0].idle_intervals) == 1  # the initial one
+        channel.apply_precharge(40, 0, 1)
+        assert channel.ranks[0].active_standby_cycles == 40
+
+
+class TestBusAccounting:
+    def test_data_bus_busy_accumulates(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_column(11, 0, 0, False)
+        channel.apply_column(15, 0, 0, False)
+        assert channel.data_bus_busy_cycles == 8  # two BL8 bursts
+
+    def test_read_write_counts(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_column(11, 0, 0, False)
+        # RD -> WR needs the bus turnaround; ask the channel when.
+        when = channel.earliest_column(0, 0, 5, True)
+        channel.apply_column(when, 0, 0, True)
+        assert channel.read_count == 1
+        assert channel.write_count == 1

@@ -1,0 +1,53 @@
+"""Keep documentation honest: registries, docs and code stay in sync."""
+
+from pathlib import Path
+
+from repro.experiments.cli import _registry
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+class TestExperimentRegistryConsistency:
+    def test_every_experiment_in_design_md(self):
+        design = (REPO / "DESIGN.md").read_text()
+        for name in _registry():
+            assert name in design, f"experiment {name!r} missing from DESIGN.md"
+
+    def test_every_figure_has_a_benchmark(self):
+        benches = {p.name for p in (REPO / "benchmarks").glob("bench_*.py")}
+        expected = {
+            "fig08": "bench_fig08_wiring.py",
+            "fig10": "bench_fig10_spice.py",
+            "table3": "bench_table3_timing.py",
+            "fig11": "bench_fig11_single_ratio.py",
+            "fig12": "bench_fig12_single_profile.py",
+            "fig13": "bench_fig13_single_modes.py",
+            "fig14": "bench_fig14_multi_ratio.py",
+            "fig15": "bench_fig15_multi_profile.py",
+            "fig16": "bench_fig16_multi_modes.py",
+            "fig17": "bench_fig17_mechanisms.py",
+            "fig18": "bench_fig18_edp.py",
+            "headline": "bench_headline.py",
+            "combined": "bench_combined_mode.py",
+            "wiring": "bench_ablation_wiring.py",
+            "scheduler": "bench_ablation_scheduler.py",
+            "capacity": "bench_capacity_sweep.py",
+            "tldram": "bench_tldram_comparison.py",
+            "mapping": "bench_ablation_mapping.py",
+        }
+        assert set(expected) == set(_registry()), "registry/bench map drifted"
+        for name, bench in expected.items():
+            assert bench in benches, f"{name} lacks benchmark {bench}"
+
+    def test_examples_exist_and_are_runnable_scripts(self):
+        examples = list((REPO / "examples").glob("*.py"))
+        assert len(examples) >= 3
+        for path in examples:
+            text = path.read_text()
+            assert '__name__ == "__main__"' in text, path.name
+            assert text.startswith("#!") or text.startswith('"""') or text.startswith("#"), path.name
+
+    def test_readme_mentions_core_entry_points(self):
+        readme = (REPO / "README.md").read_text()
+        for token in ("run_system", "MCRMode", "mcr-dram", "EXPERIMENTS.md", "DESIGN.md"):
+            assert token in readme

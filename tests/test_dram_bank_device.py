@@ -1,0 +1,172 @@
+"""Tests for bank/rank/channel timing state machines."""
+
+import pytest
+
+from repro.dram.config import single_core_geometry
+from repro.dram.device import ChannelState
+from repro.dram.mcr import MCRModeConfig, RowClass
+from repro.dram.timing import TimingDomain
+
+
+@pytest.fixture
+def channel():
+    geometry = single_core_geometry()
+    mode = MCRModeConfig(k=4, m=4, region_fraction=0.5)
+    return ChannelState(geometry, TimingDomain(geometry, mode))
+
+
+class TestActivateColumnPrecharge:
+    def test_trcd_enforced(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        assert channel.earliest_column(0, 0, 5, False) == 11
+        with pytest.raises(RuntimeError):
+            channel.apply_column(10, 0, 0, False)
+
+    def test_mcr_trcd_shorter(self, channel):
+        channel.apply_activate(0, 0, 0, 0x1FF, RowClass.MCR)
+        assert channel.earliest_column(0, 0, 0x1FF, False) == 6
+
+    def test_column_to_wrong_row_impossible(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        assert channel.earliest_column(0, 0, 6, False) is None
+
+    def test_tras_enforced(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        assert channel.earliest_precharge(0, 0) == 28
+        with pytest.raises(RuntimeError):
+            channel.apply_precharge(27, 0, 0)
+
+    def test_mcr_tras_shorter(self, channel):
+        channel.apply_activate(0, 0, 0, 0x1FF, RowClass.MCR)
+        assert channel.earliest_precharge(0, 0) == 16
+
+    def test_read_pushes_precharge(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_column(25, 0, 0, False)
+        # PRE must wait for read-to-precharge: 25 + tRTP(6) = 31 > tRAS 28.
+        assert channel.earliest_precharge(0, 0) == 31
+
+    def test_write_recovery_pushes_precharge(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_column(11, 0, 0, True)
+        # 11 + tCWD(5) + tBURST(4) + tWR(12) = 32.
+        assert channel.earliest_precharge(0, 0) == 32
+
+    def test_trp_enforced(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_precharge(28, 0, 0)
+        assert channel.earliest_activate(0, 0) == 39
+        with pytest.raises(RuntimeError):
+            channel.apply_activate(38, 0, 0, 6, RowClass.NORMAL)
+
+    def test_trc_enforced_over_trp(self, channel):
+        channel.apply_activate(0, 0, 0, 0x1FF, RowClass.MCR)
+        channel.apply_precharge(16, 0, 0)
+        # tRC(MCR)=27 equals PRE(16)+tRP(11); both floors agree.
+        assert channel.earliest_activate(0, 0) == 27
+
+    def test_activate_to_open_bank_rejected(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        with pytest.raises(RuntimeError):
+            channel.apply_activate(50, 0, 0, 6, RowClass.NORMAL)
+
+
+class TestRankConstraints:
+    def test_trrd(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        assert channel.earliest_activate(0, 1) == 5  # tRRD
+        channel.apply_activate(5, 0, 1, 7, RowClass.NORMAL)
+
+    def test_other_rank_unconstrained_by_trrd(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        # Rank 1 only waits for the shared command bus.
+        assert channel.earliest_activate(1, 0) == 1
+
+    def test_tfaw(self, channel):
+        for i, cycle in enumerate([0, 5, 10, 15]):
+            channel.apply_activate(cycle, 0, i, 5, RowClass.NORMAL)
+        # 5th ACT must wait for tFAW(32) after the 1st.
+        assert channel.earliest_activate(0, 4) == 32
+
+    def test_tccd_between_reads(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_activate(5, 0, 1, 9, RowClass.NORMAL)  # tRRD later
+        channel.apply_column(16, 0, 0, False)
+        assert channel.earliest_column(0, 1, 9, False) == 20  # tCCD 4
+
+    def test_write_to_read_turnaround(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_activate(5, 0, 1, 9, RowClass.NORMAL)  # tRRD later
+        channel.apply_column(16, 0, 0, True)
+        # WR -> RD same rank: 16 + tCWD(5)+tBURST(4)+tWTR(6) = 31.
+        assert channel.earliest_column(0, 1, 9, False) == 31
+
+
+class TestDataBus:
+    def test_rank_switch_bubble(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_activate(1, 1, 0, 5, RowClass.NORMAL)
+        end0 = channel.apply_column(12, 0, 0, False)
+        assert end0 == 12 + 11 + 4
+        # Read on rank 1: data start must clear bus end + tRTRS.
+        earliest = channel.earliest_column(1, 0, 5, False)
+        assert earliest + 11 >= end0 + 2
+
+    def test_back_to_back_same_rank_reads_at_tccd(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_column(12, 0, 0, False)
+        # Same rank, same direction: consecutive bursts may abut.
+        assert channel.earliest_column(0, 0, 5, False) == 16
+
+
+class TestRefresh:
+    def test_requires_closed_banks(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        assert channel.earliest_refresh(0) is None
+
+    def test_blocks_rank_for_trfc(self, channel):
+        channel.apply_refresh(0, 0, 208)
+        assert channel.earliest_activate(0, 3) == 208
+        # The other rank is unaffected.
+        assert channel.earliest_activate(1, 0) == 1
+
+    def test_refresh_counts(self, channel):
+        channel.apply_refresh(0, 0, 144)
+        rank = channel.ranks[0]
+        assert rank.refresh_count == 1
+        assert rank.refresh_busy_cycles == 144
+
+    def test_premature_refresh_rejected(self, channel):
+        channel.apply_refresh(0, 0, 208)
+        with pytest.raises(RuntimeError):
+            channel.apply_refresh(100, 0, 208)
+
+
+class TestCommandBus:
+    def test_one_command_per_cycle(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        with pytest.raises(RuntimeError):
+            channel.apply_activate(0, 1, 0, 5, RowClass.NORMAL)
+        channel.apply_activate(1, 1, 0, 5, RowClass.NORMAL)
+
+
+class TestAccounting:
+    def test_open_cycles(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_precharge(30, 0, 0)
+        assert channel.ranks[0].banks[0].open_cycles == 30
+
+    def test_active_standby_union(self, channel):
+        # Two overlapping bank-open windows count once at the rank.
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_activate(5, 0, 1, 7, RowClass.NORMAL)
+        channel.apply_precharge(28, 0, 0)
+        channel.apply_precharge(33, 0, 1)
+        assert channel.ranks[0].active_standby_cycles == 33
+
+    def test_activate_counts_by_class(self, channel):
+        channel.apply_activate(0, 0, 0, 5, RowClass.NORMAL)
+        channel.apply_activate(5, 0, 1, 0x1FF, RowClass.MCR)
+        counts = channel.activate_counts()
+        assert counts[RowClass.NORMAL] == 1
+        assert counts[RowClass.MCR] == 1

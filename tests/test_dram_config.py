@@ -1,0 +1,79 @@
+"""Tests for DRAM geometry."""
+
+import pytest
+
+from repro.dram.config import (
+    DENSITY_TRFC_NS,
+    DRAMGeometry,
+    multi_core_geometry,
+    single_core_geometry,
+)
+
+
+class TestPaperGeometries:
+    def test_single_core_is_4gb(self):
+        geo = single_core_geometry()
+        assert geo.capacity_bytes == 4 * 2**30
+        assert geo.rows_per_bank == 32768
+        assert geo.trfc_base_ns == 260.0
+
+    def test_multi_core_is_16gb(self):
+        geo = multi_core_geometry()
+        assert geo.capacity_bytes == 16 * 2**30
+        assert geo.rows_per_bank == 131072
+        assert geo.trfc_base_ns == 350.0
+
+    def test_row_is_8kb(self):
+        assert single_core_geometry().row_bytes == 8192
+
+    def test_table4_organization(self):
+        geo = single_core_geometry()
+        assert geo.channels == 1
+        assert geo.ranks_per_channel == 2
+        assert geo.banks_per_rank == 8
+        assert geo.columns_per_row == 128
+
+
+class TestDerivedFields:
+    def test_bit_widths(self):
+        geo = single_core_geometry()
+        assert geo.row_bits == 15
+        assert geo.column_bits == 7
+        assert geo.bank_bits == 3
+        assert geo.rank_bits == 1
+        assert geo.channel_bits == 0
+        assert geo.offset_bits == 6
+
+    def test_subarrays(self):
+        geo = single_core_geometry()
+        assert geo.subarrays_per_bank == 64
+        assert geo.rows_per_subarray == 512
+
+    def test_rows_per_refresh(self):
+        assert single_core_geometry().rows_per_refresh == 4
+        assert multi_core_geometry().rows_per_refresh == 16
+
+    def test_total_banks(self):
+        assert single_core_geometry().total_banks() == 16
+
+
+class TestValidation:
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(rows_per_bank=1000)
+
+    def test_rejects_unknown_density(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(density="3Gb")
+
+    def test_rejects_subarray_bigger_than_bank(self):
+        with pytest.raises(ValueError):
+            DRAMGeometry(rows_per_bank=256, rows_per_subarray=512)
+
+    def test_jedec_trfc_values(self):
+        assert DENSITY_TRFC_NS == {
+            "1Gb": 110.0,
+            "2Gb": 160.0,
+            "4Gb": 260.0,
+            "8Gb": 350.0,
+        }

@@ -1,0 +1,102 @@
+"""Tests for mode registers and the MRS encoding of MCR modes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.mcr import MCRModeConfig, MechanismSet
+from repro.dram.mode_register import (
+    MCR_MODE_REGISTER,
+    ModeRegisterFile,
+    decode_mcr_mode,
+    encode_mcr_mode,
+)
+
+
+def arbitrary_modes():
+    """Strategy over every MRS-encodable MCR mode."""
+    def build(k_exp, skip_exp, region, flags):
+        k = 1 << k_exp
+        if k == 1:
+            return MCRModeConfig.off()
+        m = k >> min(skip_exp, k_exp)
+        return MCRModeConfig(
+            k=k,
+            m=m,
+            region_fraction=region,
+            mechanisms=MechanismSet(
+                early_access=bool(flags & 1),
+                early_precharge=bool(flags & 2),
+                fast_refresh=bool(flags & 4),
+                refresh_skipping=bool(flags & 8),
+            ),
+        )
+
+    return st.builds(
+        build,
+        st.integers(0, 2),
+        st.integers(0, 2),
+        st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+        st.integers(0, 15),
+    )
+
+
+class TestEncoding:
+    def test_off_is_zero(self):
+        assert encode_mcr_mode(MCRModeConfig.off()) == 0
+        assert decode_mcr_mode(0) == MCRModeConfig.off()
+
+    @given(arbitrary_modes())
+    def test_roundtrip(self, mode):
+        assert decode_mcr_mode(encode_mcr_mode(mode)) == mode
+
+    def test_fits_in_reserved_bits(self):
+        # Paper footnote 5: A15-A3 of MR3 — 13 bits.
+        mode = MCRModeConfig(k=4, m=1, region_fraction=0.75)
+        assert encode_mcr_mode(mode) < (1 << 13)
+
+    def test_unencodable_region_rejected(self):
+        mode = MCRModeConfig(k=2, m=2, region_fraction=0.3)
+        with pytest.raises(ValueError):
+            encode_mcr_mode(mode)
+
+    def test_decode_validates(self):
+        with pytest.raises(ValueError):
+            decode_mcr_mode(1 << 13)
+        with pytest.raises(ValueError):
+            decode_mcr_mode(-1)
+
+
+class TestModeRegisterFile:
+    def test_mode_applies_after_tmod(self):
+        mrf = ModeRegisterFile()
+        mode = MCRModeConfig(k=2, m=2, region_fraction=1.0)
+        mrf.write(MCR_MODE_REGISTER, encode_mcr_mode(mode), cycle=100, t_mod=12)
+        # During tMOD the device behaves as plain DRAM.
+        assert mrf.mcr_mode(105) == MCRModeConfig.off()
+        assert mrf.mcr_mode(112) == mode
+        assert mrf.current_mode == mode
+
+    def test_other_registers_stored_verbatim(self):
+        mrf = ModeRegisterFile()
+        mrf.write(0, 0x1234, cycle=0, t_mod=12)
+        assert mrf.read(0) == 0x1234
+        assert mrf.current_mode == MCRModeConfig.off()
+
+    def test_validation(self):
+        mrf = ModeRegisterFile()
+        with pytest.raises(ValueError):
+            mrf.write(4, 0, cycle=0, t_mod=12)
+        with pytest.raises(ValueError):
+            mrf.write(0, 0, cycle=-1, t_mod=12)
+        with pytest.raises(ValueError):
+            mrf.read(9)
+
+    def test_dynamic_reconfiguration_sequence(self):
+        """The paper's headline: 4x low-latency -> full-capacity, at runtime."""
+        mrf = ModeRegisterFile()
+        fast = MCRModeConfig(k=4, m=4, region_fraction=1.0)
+        mrf.write(MCR_MODE_REGISTER, encode_mcr_mode(fast), cycle=0, t_mod=12)
+        assert mrf.mcr_mode(12) == fast
+        mrf.write(MCR_MODE_REGISTER, 0, cycle=1000, t_mod=12)
+        assert mrf.mcr_mode(1012) == MCRModeConfig.off()

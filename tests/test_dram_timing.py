@@ -1,0 +1,105 @@
+"""Tests for BaseTimings / RowTimings / TimingDomain."""
+
+import pytest
+
+from repro.dram.config import multi_core_geometry, single_core_geometry
+from repro.dram.mcr import MCRModeConfig, MechanismSet, RowClass
+from repro.dram.timing import BaseTimings, RowTimings, TimingDomain
+
+
+def domain(k=4, m=4, region=1.0, geometry=None, **mech):
+    geometry = geometry or single_core_geometry()
+    mode = MCRModeConfig(
+        k=k, m=m, region_fraction=region, mechanisms=MechanismSet(**mech)
+    )
+    return TimingDomain(geometry, mode)
+
+
+class TestBaseTimings:
+    def test_ddr3_1600_defaults(self):
+        base = BaseTimings()
+        assert base.tck_ns == 1.25
+        assert base.t_rp == 11
+        assert base.t_cas == 11
+        assert base.t_refi == 6250
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaseTimings(t_rp=0)
+        with pytest.raises(ValueError):
+            BaseTimings(tck_ns=0)
+
+
+class TestRowTimings:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowTimings(t_rcd=0, t_ras=28, t_rc=39)
+        with pytest.raises(ValueError):
+            RowTimings(t_rcd=11, t_ras=28, t_rc=20)  # tRC < tRAS
+
+
+class TestTimingDomain:
+    def test_normal_class_matches_ddr3(self):
+        d = domain()
+        normal = d.row_timings(RowClass.NORMAL)
+        assert (normal.t_rcd, normal.t_ras, normal.t_rc) == (11, 28, 39)
+
+    def test_4_4x_mcr_class(self):
+        d = domain(k=4, m=4)
+        mcr = d.row_timings(RowClass.MCR)
+        # ceil(6.90/1.25)=6, ceil(20.00/1.25)=16, ceil(33.75/1.25)=27.
+        assert (mcr.t_rcd, mcr.t_ras, mcr.t_rc) == (6, 16, 27)
+
+    def test_2_2x_mcr_class(self):
+        d = domain(k=2, m=2)
+        mcr = d.row_timings(RowClass.MCR)
+        # ceil(9.94/1.25)=8, ceil(21.46/1.25)=18, ceil(35.21/1.25)=29.
+        assert (mcr.t_rcd, mcr.t_ras, mcr.t_rc) == (8, 18, 29)
+
+    def test_trfc_4gb(self):
+        d = domain(k=4, m=4)
+        assert d.trfc_cycles(RowClass.NORMAL) == 208  # 260 ns
+        assert d.trfc_cycles(RowClass.MCR) == 144  # 180 ns
+
+    def test_trfc_8gb_multicore(self):
+        d = domain(k=4, m=4, geometry=multi_core_geometry())
+        assert d.trfc_cycles(RowClass.NORMAL) == 280  # 350 ns
+        # 350 * 27/39 = 242.31 ns -> 194 cycles.
+        assert d.trfc_cycles(RowClass.MCR) == 194
+
+    def test_early_access_off_restores_trcd(self):
+        d = domain(k=4, m=4, early_access=False)
+        assert d.row_timings(RowClass.MCR).t_rcd == 11
+        assert d.row_timings(RowClass.MCR).t_ras == 16  # EP still on
+
+    def test_early_precharge_off_restores_tras(self):
+        d = domain(k=4, m=4, early_precharge=False)
+        assert d.row_timings(RowClass.MCR).t_ras == 28
+        assert d.row_timings(RowClass.MCR).t_rcd == 6  # EA still on
+
+    def test_fast_refresh_off_keeps_full_trfc(self):
+        d = domain(k=4, m=4, fast_refresh=False)
+        assert d.trfc_cycles(RowClass.MCR) == d.trfc_cycles(RowClass.NORMAL)
+
+    def test_skipping_off_uses_m_equals_k_tras(self):
+        # 2/4x without skipping behaves like 4/4x for tRAS (every pass
+        # refreshed -> cells see 4 rewrites per window).
+        with_skip = domain(k=4, m=2)
+        without_skip = domain(k=4, m=2, refresh_skipping=False)
+        assert with_skip.row_timings(RowClass.MCR).t_ras == 19  # 22.78 ns
+        assert without_skip.row_timings(RowClass.MCR).t_ras == 16  # 20.00 ns
+
+    def test_disabled_mode_mcr_equals_normal(self):
+        geometry = single_core_geometry()
+        d = TimingDomain(geometry, MCRModeConfig.off())
+        assert d.row_timings(RowClass.MCR) == d.row_timings(RowClass.NORMAL)
+        assert d.trfc_cycles(RowClass.MCR) == d.trfc_cycles(RowClass.NORMAL)
+
+    def test_read_latency(self):
+        d = domain()
+        assert d.read_latency_cycles == 15  # tCAS 11 + tBURST 4
+
+    def test_describe(self):
+        summary = domain(k=2, m=2, region=0.5).describe()
+        assert summary["mode"] == "[2/2x/50%reg]"
+        assert summary["mcr"]["tRCD"] == 8

@@ -1,0 +1,120 @@
+"""Tests for the experiment drivers (smoke scale) and reporting."""
+
+import pytest
+
+from repro.experiments import fig08_wiring, fig10_table3
+from repro.experiments.reporting import ExperimentResult, render_table
+from repro.experiments.runner import clear_caches, geometric_mean_pct
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return get_scale("smoke")
+
+
+class TestReporting:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.345], ["xyz", 7]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "2.35" in lines[2]
+
+    def test_experiment_result_helpers(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            headers=["k", "v"],
+            rows=[["a", 1], ["b", 2]],
+        )
+        assert result.column("v") == [1, 2]
+        assert result.row_by("k", "b") == ["b", 2]
+        with pytest.raises(KeyError):
+            result.row_by("k", "zzz")
+        assert "== x: t ==" in result.to_text()
+
+
+class TestScales:
+    def test_known_scales(self):
+        for name in ("smoke", "small", "full"):
+            scale = get_scale(name)
+            assert scale.name == name
+        assert get_scale("full").n_multicore_mixes == 16
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            get_scale("galactic")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert get_scale().name == "small"
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert get_scale().name == "smoke"
+
+
+class TestConceptExperiments:
+    def test_fig08(self):
+        result = fig08_wiring.run()
+        # The K-to-N-1-K rows must show the uniform 64/32/16 ms intervals.
+        uniform = [
+            row for row in result.rows if row[0] == "K to N-1-K"
+        ]
+        intervals = {row[1]: row[3] for row in uniform}
+        assert intervals == {"1x": 64.0, "2x": 32.0, "4x": 16.0}
+
+    def test_table3_exact(self):
+        result = fig10_table3.run_table3()
+        assert result.series["max_abs_error_ns"] < 0.005
+
+    def test_fig10_annotations(self):
+        result = fig10_table3.run_fig10()
+        marks = {(r[0], r[1]): r[3] for r in result.rows}
+        assert marks[("bitline", "4x MCR")] == pytest.approx(6.90, abs=1e-6)
+        assert marks[("cell", "1x MCR")] == pytest.approx(35.0, abs=1e-6)
+
+
+@pytest.mark.slow
+class TestSimulationExperiments:
+    """Shape checks at smoke scale; benchmarks re-run these larger."""
+
+    def test_fig11_shape(self, smoke):
+        from repro.experiments.fig11_fig14_ratio import run_fig11
+
+        clear_caches()
+        result = run_fig11(scale=smoke)
+        avg = {
+            (row[1], row[2]): row[3]
+            for row in result.rows
+            if row[0] == "AVG"
+        }
+        # Improvements grow with ratio for 4/4x and are positive at 1.0.
+        assert avg[("4/4x", 1.0)] > avg[("4/4x", 0.25)]
+        assert avg[("4/4x", 1.0)] > 0
+        # [2/2x]@1.0 beats [4/4x]@0.5 (the paper's capacity argument).
+        assert avg[("2/2x", 1.0)] > avg[("4/4x", 0.5)]
+
+    def test_fig17_shape(self, smoke):
+        from repro.experiments.fig17_mechanisms import run_fig17
+
+        clear_caches()
+        result = run_fig17(scale=smoke)
+        single = {
+            row[1]: row[3] for row in result.rows if row[0] == "single"
+        }
+        # EA+EP capture the bulk of the gain.
+        assert single["case1 EA+EP"] > 0.5 * single["case3 +FR+RS"]
+
+    def test_fig18_shape(self, smoke):
+        from repro.experiments.fig18_edp import run_fig18
+
+        clear_caches()
+        result = run_fig18(scale=smoke)
+        single = {row[1]: row[2] for row in result.rows if row[0] == "single"}
+        assert single["4/4x/100%reg"] > 0
+        assert single["4/4x/100%reg"] >= single["2/4x/100%reg"]
+
+
+class TestHelpers:
+    def test_geometric_mean_pct(self):
+        assert geometric_mean_pct([]) == 0.0
+        assert geometric_mean_pct([2.0, 4.0]) == 3.0

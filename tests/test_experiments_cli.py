@@ -1,0 +1,72 @@
+"""Tests for the mcr-dram CLI and the runner's caching."""
+
+import pytest
+
+from repro.core.api import SystemSpec
+from repro.core.mcr_mode import MCRMode
+from repro.experiments.cli import main
+from repro.experiments.runner import (
+    cached_run,
+    clear_caches,
+    multicore_traces,
+    single_trace,
+)
+from repro.experiments.scale import get_scale
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig08", "table3", "fig11", "fig18"):
+            assert name in out
+
+    def test_run_concept_experiment(self, capsys):
+        assert main(["run", "fig08"]) == 0
+        out = capsys.readouterr().out
+        assert "K to N-1-K" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_table3(self, capsys):
+        assert main(["run", "table3"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4x" in out
+        assert "180.00" in out
+
+    def test_report_to_stdout_smoke(self, capsys):
+        # Only concept experiments are cheap; the report runs everything,
+        # so use the smoke scale and accept a few seconds.
+        assert main(["report", "--scale", "smoke", "--output", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "# EXPERIMENTS" in out
+        assert "fig18" in out
+
+
+class TestRunnerCaching:
+    def test_trace_cache(self):
+        clear_caches()
+        scale = get_scale("smoke")
+        a = single_trace("comm2", scale)
+        b = single_trace("comm2", scale)
+        assert a is b
+
+    def test_run_cache(self):
+        clear_caches()
+        scale = get_scale("smoke")
+        trace = single_trace("tigr", scale)
+        spec = SystemSpec()
+        first = cached_run([trace], MCRMode.off(), spec)
+        second = cached_run([trace], MCRMode.off(), spec)
+        assert first is second
+
+    def test_multicore_traces_built_once(self):
+        clear_caches()
+        scale = get_scale("smoke")
+        a = multicore_traces(scale)
+        b = multicore_traces(scale)
+        assert a is b
+        assert len(a) == scale.n_multicore_mixes
+        name, traces = a[0]
+        assert len(traces) == 4

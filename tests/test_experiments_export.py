@@ -1,0 +1,71 @@
+"""Tests for experiment result export (CSV / JSON) and the CLI flags."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.export import load_json, to_csv, to_json
+from repro.experiments.reporting import ExperimentResult
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo",
+        headers=["mode", "value"],
+        rows=[["4/4x", 1.5], ["2/2x", 0.75]],
+        paper_reference="ref",
+        notes="n",
+        series={"curve": [1.0, 2.0], "weird": object()},
+    )
+
+
+class TestCSV:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "demo.csv"
+        to_csv(result, path)
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["mode", "value"]
+        assert rows[1] == ["4/4x", "1.5"]
+        assert len(rows) == 3
+
+
+class TestJSON:
+    def test_roundtrip(self, result, tmp_path):
+        path = tmp_path / "demo.json"
+        to_json(result, path)
+        loaded = load_json(path)
+        assert loaded.experiment_id == "demo"
+        assert loaded.rows == [["4/4x", 1.5], ["2/2x", 0.75]]
+        assert loaded.series["curve"] == [1.0, 2.0]
+        # Non-serializable series values were stringified, not dropped.
+        assert isinstance(loaded.series["weird"], str)
+
+    def test_valid_json_on_disk(self, result, tmp_path):
+        path = tmp_path / "demo.json"
+        to_json(result, path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["title"] == "Demo"
+
+
+class TestCLIExport:
+    def test_run_with_exports(self, tmp_path, capsys):
+        code = main(
+            [
+                "run",
+                "fig08",
+                "--csv",
+                str(tmp_path / "csv"),
+                "--json",
+                str(tmp_path / "json"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "csv" / "fig08.csv").exists()
+        loaded = load_json(tmp_path / "json" / "fig08.json")
+        assert loaded.experiment_id == "fig08"

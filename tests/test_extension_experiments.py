@@ -1,0 +1,78 @@
+"""Smoke tests for the extension experiment drivers.
+
+The full shape assertions live in benchmarks/; these tests check the
+drivers produce well-formed results quickly and that the headline
+invariants hold on the smoke set.
+"""
+
+import pytest
+
+from repro.experiments.runner import clear_caches
+from repro.experiments.scale import get_scale
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return get_scale("smoke")
+
+
+@pytest.fixture(autouse=True)
+def fresh():
+    clear_caches()
+    yield
+
+
+@pytest.mark.slow
+class TestExtensionDrivers:
+    def test_combined(self, smoke):
+        from repro.experiments.combined_mode import run_combined
+
+        result = run_combined(scale=smoke)
+        assert result.experiment_id == "combined"
+        configs = {r[1] for r in result.rows}
+        assert {"2/2x/100%reg", "combined", "4/4x/100%reg"} <= configs
+
+    def test_wiring(self, smoke):
+        from repro.experiments.wiring_ablation import run_wiring_ablation
+
+        result = run_wiring_ablation(scale=smoke)
+        avg = {r[1]: r[3] for r in result.rows if r[0] == "AVG"}
+        assert avg["K_TO_N_MINUS_1_K"] > avg["K_TO_K"]
+
+    def test_scheduler(self, smoke):
+        from repro.experiments.scheduler_ablation import run_scheduler_ablation
+
+        result = run_scheduler_ablation(scale=smoke)
+        avg = {r[1]: r[3] for r in result.rows if r[0] == "AVG"}
+        assert set(avg) == {"FR_FCFS", "FCFS", "CLOSED_PAGE"}
+
+    def test_capacity(self, smoke):
+        from repro.experiments.capacity_sweep import run_capacity_sweep
+
+        result = run_capacity_sweep(scale=smoke)
+        winners = result.series["winners"]
+        # Low pressure favors a low-latency mode (whichever of 4x/2x won
+        # the DRAM race at this scale); high pressure favors capacity.
+        assert winners[0] != "off"
+        assert winners[-1] == "off"
+
+    def test_tldram(self, smoke):
+        from repro.experiments.tldram_comparison import run_tldram_comparison
+
+        result = run_tldram_comparison(scale=smoke)
+        devices = {r[1] for r in result.rows if r[0] == "AVG"}
+        assert devices == {"MCR-DRAM", "TL-DRAM-style"}
+
+    def test_mapping(self, smoke):
+        from repro.experiments.mapping_ablation import run_mapping_ablation
+
+        result = run_mapping_ablation(scale=smoke)
+        avg = {r[1]: r[3] for r in result.rows if r[0] == "AVG"}
+        assert len(avg) == 3
+
+    def test_headline(self, smoke):
+        from repro.experiments.headline import run_headline
+
+        result = run_headline(scale=smoke)
+        assert len(result.rows) == 6
+        assert all(isinstance(r[2], float) for r in result.rows)

@@ -1,0 +1,130 @@
+"""Tests for the extension features: wiring-aware timing and FCFS policy."""
+
+import pytest
+
+from repro.controller.controller import SchedulingPolicy
+from repro.core import MCRMode, SystemSpec, run_system
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRModeConfig, RowClass
+from repro.dram.refresh import WiringMethod
+from repro.dram.timing import TimingDomain
+from repro.workloads import make_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_trace("mummer", n_requests=1500, seed=21)
+
+
+class TestWiringAwareTiming:
+    def test_good_wiring_keeps_table3(self):
+        geometry = single_core_geometry()
+        mode = MCRModeConfig(k=4, m=4, region_fraction=1.0)
+        domain = TimingDomain(geometry, mode)  # default good wiring
+        assert domain.row_timings(RowClass.MCR).t_ras == 16  # 20.00 ns
+
+    def test_naive_wiring_nullifies_early_precharge(self):
+        geometry = single_core_geometry()
+        mode = MCRModeConfig(k=4, m=4, region_fraction=1.0)
+        domain = TimingDomain(geometry, mode, wiring=WiringMethod.K_TO_K)
+        # The per-cell interval is ~the whole window, so the restore
+        # target is "full" and tRAS lands on the 1/4x column (46.51 ns).
+        assert domain.row_timings(RowClass.MCR).t_ras == 38  # ceil(46.51/1.25)
+
+    def test_naive_wiring_keeps_early_access(self):
+        geometry = single_core_geometry()
+        mode = MCRModeConfig(k=4, m=4, region_fraction=1.0)
+        domain = TimingDomain(geometry, mode, wiring=WiringMethod.K_TO_K)
+        assert domain.row_timings(RowClass.MCR).t_rcd == 6  # unaffected
+
+    def test_naive_wiring_2x(self):
+        geometry = single_core_geometry()
+        mode = MCRModeConfig(k=2, m=2, region_fraction=1.0)
+        domain = TimingDomain(geometry, mode, wiring=WiringMethod.K_TO_K)
+        assert domain.row_timings(RowClass.MCR).t_ras == 31  # 37.52 ns -> ceil
+
+    def test_end_to_end_good_wiring_wins(self, trace):
+        mode = MCRMode.parse("4/4x/100%reg")
+        good = run_system(
+            [trace], mode, spec=SystemSpec(allocation="collision-free")
+        )
+        bad = run_system(
+            [trace],
+            mode,
+            spec=SystemSpec(
+                allocation="collision-free", wiring=WiringMethod.K_TO_K
+            ),
+        )
+        assert good.execution_cycles < bad.execution_cycles
+
+
+class TestSchedulingPolicy:
+    def test_fcfs_slower_baseline(self, trace):
+        fr = run_system([trace], MCRMode.off())
+        fcfs = run_system(
+            [trace], MCRMode.off(), spec=SystemSpec(policy=SchedulingPolicy.FCFS)
+        )
+        assert fcfs.execution_cycles >= fr.execution_cycles
+
+    def test_mcr_gain_survives_fcfs(self, trace):
+        spec = SystemSpec(policy=SchedulingPolicy.FCFS)
+        baseline = run_system([trace], MCRMode.off(), spec=spec)
+        mcr = run_system(
+            [trace],
+            MCRMode.parse("4/4x/100%reg"),
+            spec=SystemSpec(
+                policy=SchedulingPolicy.FCFS, allocation="collision-free"
+            ),
+        )
+        assert mcr.execution_cycles < baseline.execution_cycles
+
+    def test_fcfs_respects_arrival_order(self):
+        """Under FCFS a row hit never jumps an older miss."""
+        from repro.controller.controller import MemoryController
+        from repro.controller.request import MemoryRequest
+        from repro.dram.mcr import MCRGenerator
+        from repro.dram.refresh import RefreshPlan
+        from repro.dram.timing import TimingDomain as TD
+
+        geometry = single_core_geometry()
+        mode = MCRModeConfig.off()
+        controller = MemoryController(
+            geometry,
+            TD(geometry, mode),
+            RefreshPlan(geometry, mode),
+            row_class_fn=MCRGenerator(geometry, mode).row_class,
+            refresh_enabled=False,
+            policy=SchedulingPolicy.FCFS,
+        )
+
+        def req(req_id, row, bank, column=0):
+            return MemoryRequest(
+                req_id=req_id, core_id=0, is_write=False, address=0,
+                channel=0, rank=0, bank=bank, row=row, column=column,
+            )
+
+        # Open row 3 on bank 0.
+        controller.enqueue(req(1, row=3, bank=0), 0)
+        cycle = 0
+        completions = []
+        while controller.outstanding() and cycle < 5000:
+            nxt = controller.next_action_cycle(cycle)
+            if nxt is None:
+                break
+            cycle = max(cycle, nxt)
+            events = controller.execute(cycle)
+            completions.extend(events.read_completions)
+            controller._collect(cycle + 100)
+        # Older miss on bank 1, newer hit on bank 0: FCFS serves the miss.
+        controller.enqueue(req(2, row=9, bank=1), cycle + 1)
+        controller.enqueue(req(3, row=3, bank=0, column=5), cycle + 2)
+        while controller.outstanding() and cycle < 10000:
+            nxt = controller.next_action_cycle(cycle)
+            if nxt is None:
+                break
+            cycle = max(cycle, nxt)
+            events = controller.execute(cycle)
+            completions.extend(events.read_completions)
+            controller._collect(cycle + 100)
+        order = [r.req_id for r, _ in completions]
+        assert order == [1, 2, 3]

@@ -1,0 +1,39 @@
+"""Tests for the top-level package surface."""
+
+import pytest
+
+import repro
+
+
+class TestLazyExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_lazy_api_resolves(self):
+        assert repro.MCRMode is not None
+        assert repro.SystemSpec is not None
+        assert callable(repro.run_system)
+
+    def test_unknown_attribute(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_all_list(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestQuickstartSnippet:
+    def test_readme_quickstart_runs(self):
+        """The README's quickstart, verbatim in spirit."""
+        from repro.core import MCRMode, SystemSpec, run_system
+        from repro.workloads import make_trace
+
+        trace = make_trace("tigr", n_requests=400, seed=1)
+        baseline = run_system([trace], MCRMode.off())
+        mcr = run_system(
+            [trace],
+            MCRMode.parse("4/4x/100%reg"),
+            spec=SystemSpec(allocation="collision-free"),
+        )
+        assert mcr.execution_cycles < baseline.execution_cycles

@@ -1,0 +1,173 @@
+"""Tests for the DDR3 power model."""
+
+import pytest
+
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRModeConfig, MechanismSet, RowClass
+from repro.dram.timing import TimingDomain
+from repro.power.edp import edp_joule_seconds
+from repro.power.micron import (
+    POWERDOWN_ENTRY_CYCLES,
+    EnergyBreakdown,
+    IDDParameters,
+    PowerModel,
+    PowerStats,
+)
+
+
+def make_model(k=1, m=1, region=0.0, **mech):
+    geometry = single_core_geometry()
+    if k == 1:
+        mode = MCRModeConfig.off()
+    else:
+        mode = MCRModeConfig(
+            k=k, m=m, region_fraction=region, mechanisms=MechanismSet(**mech)
+        )
+    domain = TimingDomain(geometry, mode)
+    return PowerModel(geometry, domain, mode)
+
+
+def make_stats(**overrides):
+    defaults = dict(
+        total_cycles=100_000,
+        activates_normal=1000,
+        activates_mcr=0,
+        reads=3000,
+        writes=1000,
+        refreshes_normal=16,
+        refreshes_fast=0,
+        refreshes_skipped=0,
+        active_standby_cycles=60_000,
+        idle_intervals=[100] * 100,
+    )
+    defaults.update(overrides)
+    return PowerStats(**defaults)
+
+
+class TestIDDValidation:
+    def test_defaults_consistent(self):
+        IDDParameters()
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            IDDParameters(idd0=50.0)  # below IDD3N
+        with pytest.raises(ValueError):
+            IDDParameters(idd2p=50.0)  # above IDD2N
+
+
+class TestEnergyComponents:
+    def test_all_positive(self):
+        energy = make_model().energy(make_stats())
+        assert energy.activate > 0
+        assert energy.read > 0
+        assert energy.write > 0
+        assert energy.refresh > 0
+        assert energy.background_active > 0
+        assert energy.total > 0
+
+    def test_scales_with_counts(self):
+        model = make_model()
+        small = model.energy(make_stats(reads=1000))
+        large = model.energy(make_stats(reads=2000))
+        assert large.read == pytest.approx(2 * small.read)
+        assert large.activate == small.activate
+
+    def test_refresh_energy_scales_with_trfc(self):
+        base = make_model()
+        e_normal = base.energy(make_stats(refreshes_normal=10, refreshes_fast=0))
+        fast_model = make_model(k=4, m=4, region=1.0)
+        e_fast = fast_model.energy(
+            make_stats(refreshes_normal=0, refreshes_fast=10)
+        )
+        # Fast refresh: tRFC 180 vs 260 ns.
+        assert e_fast.refresh == pytest.approx(e_normal.refresh * 180 / 260, rel=1e-6)
+
+    def test_skipped_refreshes_cost_nothing(self):
+        model = make_model(k=4, m=1, region=1.0)
+        with_skips = model.energy(make_stats(refreshes_skipped=100))
+        without = model.energy(make_stats(refreshes_skipped=0))
+        assert with_skips.refresh == without.refresh
+
+    def test_early_precharge_cuts_activate_energy(self):
+        baseline = make_model().energy(make_stats())
+        mcr_model = make_model(k=4, m=4, region=1.0)
+        mcr = mcr_model.energy(
+            make_stats(activates_normal=0, activates_mcr=1000)
+        )
+        # MCR activates run a shorter tRC and restore less charge overall.
+        assert mcr.activate < baseline.activate
+
+    def test_wordline_overhead_small_but_present(self):
+        mcr_model = make_model(k=4, m=4, region=1.0)
+        energy = mcr_model.energy(make_stats(activates_normal=0, activates_mcr=1000))
+        assert 0 < energy.wordline_overhead < 0.05 * energy.activate
+
+
+class TestBackground:
+    def test_powerdown_split(self):
+        model = make_model()
+        short = make_stats(idle_intervals=[POWERDOWN_ENTRY_CYCLES] * 10)
+        long = make_stats(idle_intervals=[POWERDOWN_ENTRY_CYCLES * 10] * 10)
+        e_short = model.energy(short)
+        e_long = model.energy(long)
+        assert e_short.background_powerdown == 0
+        assert e_long.background_powerdown > 0
+        # Power-down current is cheaper than standby.
+        total_idle_long = sum(long.idle_intervals)
+        total_idle_short = sum(short.idle_intervals)
+        rate_long = (e_long.background_precharge + e_long.background_powerdown) / total_idle_long
+        rate_short = (e_short.background_precharge + e_short.background_powerdown) / total_idle_short
+        assert rate_long < rate_short
+
+    def test_active_standby_dominates_idle(self):
+        model = make_model()
+        energy = model.energy(make_stats())
+        per_cycle_active = energy.background_active / 60_000
+        per_cycle_idle = energy.background_precharge / (100 * POWERDOWN_ENTRY_CYCLES)
+        assert per_cycle_active > per_cycle_idle
+
+
+class TestBreakdownAndEDP:
+    def test_total_is_sum(self):
+        energy = make_model().energy(make_stats())
+        parts = (
+            energy.activate
+            + energy.read
+            + energy.write
+            + energy.refresh
+            + energy.background_active
+            + energy.background_precharge
+            + energy.background_powerdown
+            + energy.wordline_overhead
+        )
+        assert energy.total == pytest.approx(parts)
+
+    def test_refresh_fraction(self):
+        energy = make_model().energy(make_stats())
+        assert 0 < energy.refresh_fraction < 1
+
+    def test_edp(self):
+        assert edp_joule_seconds(2.0, 800_000_000, 1.25) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            edp_joule_seconds(-1.0, 100, 1.25)
+        with pytest.raises(ValueError):
+            edp_joule_seconds(1.0, -1, 1.25)
+        with pytest.raises(ValueError):
+            edp_joule_seconds(1.0, 100, 0.0)
+
+    def test_zero_stats_zero_energy(self):
+        energy = make_model().energy(
+            PowerStats(
+                total_cycles=0,
+                activates_normal=0,
+                activates_mcr=0,
+                reads=0,
+                writes=0,
+                refreshes_normal=0,
+                refreshes_fast=0,
+                refreshes_skipped=0,
+                active_standby_cycles=0,
+                idle_intervals=[],
+            )
+        )
+        assert energy.total == 0.0

@@ -1,0 +1,104 @@
+"""Property tests on the power model's physical-sanity invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRModeConfig, MechanismSet, RowClass
+from repro.dram.timing import TimingDomain
+from repro.power.micron import PowerModel, PowerStats
+
+
+def model_for(k, m, region=1.0, **mech):
+    geometry = single_core_geometry()
+    if k == 1:
+        mode = MCRModeConfig.off()
+    else:
+        mode = MCRModeConfig(
+            k=k, m=m, region_fraction=region, mechanisms=MechanismSet(**mech)
+        )
+    return PowerModel(geometry, TimingDomain(geometry, mode), mode)
+
+
+def stats(**kw):
+    base = dict(
+        total_cycles=50_000,
+        activates_normal=500,
+        activates_mcr=0,
+        reads=1500,
+        writes=500,
+        refreshes_normal=8,
+        refreshes_fast=0,
+        refreshes_skipped=0,
+        active_standby_cycles=30_000,
+        idle_intervals=[200] * 50,
+    )
+    base.update(kw)
+    return PowerStats(**base)
+
+
+class TestMonotonicity:
+    @given(st.integers(0, 2000), st.integers(0, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_energy_monotone_in_activity(self, acts_a, acts_b):
+        model = model_for(1, 1)
+        low, high = sorted((acts_a, acts_b))
+        e_low = model.energy(stats(activates_normal=low)).total
+        e_high = model.energy(stats(activates_normal=high)).total
+        assert e_high >= e_low
+
+    @given(st.sampled_from([(2, 2), (4, 2), (4, 4)]))
+    def test_fast_refresh_cheaper_than_normal(self, km):
+        k, m = km
+        model = model_for(k, m)
+        fast = model.energy(stats(refreshes_normal=0, refreshes_fast=20)).refresh
+        slow = model.energy(stats(refreshes_normal=20, refreshes_fast=0)).refresh
+        assert fast < slow
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_idle_split_preserves_total_time(self, n_intervals):
+        """Splitting idle time into more intervals never *lowers* energy:
+        fewer long intervals mean more power-down opportunity."""
+        model = model_for(1, 1)
+        total_idle = 24_000
+        few = stats(idle_intervals=[total_idle])
+        many = stats(
+            idle_intervals=[total_idle // n_intervals] * n_intervals
+        )
+        e_few = model.energy(few)
+        e_many = model.energy(many)
+        bg_few = e_few.background_precharge + e_few.background_powerdown
+        bg_many = e_many.background_precharge + e_many.background_powerdown
+        assert bg_many >= bg_few - 1e-12
+
+
+class TestModeComparisons:
+    def test_44x_activate_cheaper_than_normal(self):
+        """4/4x activates run a much shorter tRC and restore less charge;
+        per-activate energy drops despite the wordline overhead."""
+        base = model_for(1, 1)
+        mcr = model_for(4, 4)
+        e_base = base.energy(stats()).activate
+        e_mcr = mcr.energy(
+            stats(activates_normal=0, activates_mcr=500)
+        ).activate
+        assert e_mcr < e_base
+
+    def test_1_4x_activate_more_expensive(self):
+        """1/4x restores four cells to full: more energy than baseline."""
+        base = model_for(1, 1)
+        m14 = model_for(4, 1)
+        e_base = base.energy(stats()).activate
+        e_m14 = m14.energy(stats(activates_normal=0, activates_mcr=500)).activate
+        assert e_m14 > e_base
+
+    def test_restore_factor_orders_with_m(self):
+        """More refreshes per window (higher M) -> lower restore target ->
+        less restore charge per activate."""
+        factors = {
+            m: model_for(4, m)._mcr_restore_factor(RowClass.MCR)
+            for m in (1, 2, 4)
+        }
+        assert factors[4] < factors[2] < factors[1]

@@ -1,0 +1,60 @@
+"""Tests for the derived row-hit statistics."""
+
+import pytest
+
+from repro.core import MCRMode, run_system
+from repro.cpu.trace import Trace, TraceEntry
+
+
+def make_stream(addresses, gap=40):
+    return Trace(
+        name="s",
+        entries=[TraceEntry(gap=gap, is_write=False, address=a) for a in addresses],
+    )
+
+
+class TestRowHitRate:
+    def test_pure_hit_stream(self):
+        # Same row, many columns: one activate, the rest hits.
+        trace = make_stream([i % 64 * 64 for i in range(200)])
+        result = run_system([trace], MCRMode.off())
+        stats = result.controller_stats[0]
+        assert stats["row_hit_rate"] > 0.9
+
+    def test_pure_miss_stream(self):
+        # Distinct rows, one access each (rows spaced a full row apart).
+        trace = make_stream([i * 8192 * 16 for i in range(150)], gap=80)
+        result = run_system([trace], MCRMode.off())
+        stats = result.controller_stats[0]
+        assert stats["row_hit_rate"] < 0.3
+
+    def test_hits_plus_misses_cover_columns(self):
+        from repro.workloads import make_trace
+
+        trace = make_trace("libq", n_requests=1000, seed=3)
+        result = run_system([trace], MCRMode.off())
+        stats = result.controller_stats[0]
+        columns = stats["reads"] + stats["writes"]
+        activates = (
+            stats["activates_normal"]
+            + stats["activates_mcr"]
+            + stats["activates_mcr_alt"]
+        )
+        # Some writes may still sit in the queue at cutoff, so allow the
+        # small gap between enqueued and issued columns.
+        assert 0 <= stats["row_hits"] <= columns
+        assert stats["row_hits"] + activates <= columns + 32
+
+    def test_locality_orders_hit_rates(self):
+        from repro.workloads import make_trace
+
+        libq = run_system(
+            [make_trace("libq", n_requests=1500, seed=4)], MCRMode.off()
+        )
+        tigr = run_system(
+            [make_trace("tigr", n_requests=1500, seed=4)], MCRMode.off()
+        )
+        assert (
+            libq.controller_stats[0]["row_hit_rate"]
+            > tigr.controller_stats[0]["row_hit_rate"]
+        )

@@ -1,0 +1,69 @@
+"""Tests for run-result containers and comparison helpers."""
+
+import pytest
+
+from repro.power.micron import EnergyBreakdown
+from repro.sim.results import Comparison, RunResult, percent_reduction
+
+
+def make_result(cycles=1000, latency=50.0, edp=2.0):
+    energy = EnergyBreakdown(
+        activate=1.0,
+        read=0.5,
+        write=0.25,
+        refresh=0.1,
+        background_active=0.2,
+        background_precharge=0.1,
+        background_powerdown=0.05,
+        wordline_overhead=0.01,
+    )
+    return RunResult(
+        workloads=("w",),
+        mode_label="[off]",
+        execution_cycles=cycles,
+        per_core_cycles=(cycles,),
+        avg_read_latency_cycles=latency,
+        instructions=10_000,
+        reads=100,
+        writes=40,
+        energy=energy,
+        edp=edp,
+    )
+
+
+class TestPercentReduction:
+    def test_basic(self):
+        assert percent_reduction(100, 90) == pytest.approx(10.0)
+        assert percent_reduction(100, 110) == pytest.approx(-10.0)
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            percent_reduction(0, 10)
+
+
+class TestRunResult:
+    def test_total_energy(self):
+        result = make_result()
+        assert result.total_energy_j == pytest.approx(2.21)
+
+    def test_ipc(self):
+        result = make_result(cycles=1000)
+        assert result.ipc() == pytest.approx(10_000 / 4000)
+        zero = make_result(cycles=0)
+        assert zero.ipc() == 0.0
+
+
+class TestComparison:
+    def test_of(self):
+        base = make_result(cycles=1000, latency=50.0, edp=2.0)
+        cand = make_result(cycles=900, latency=40.0, edp=1.5)
+        comparison = Comparison.of(base, cand)
+        assert comparison.execution_time_reduction_pct == pytest.approx(10.0)
+        assert comparison.read_latency_reduction_pct == pytest.approx(20.0)
+        assert comparison.edp_reduction_pct == pytest.approx(25.0)
+
+    def test_zero_latency_baseline(self):
+        base = make_result(latency=0.0)
+        cand = make_result(latency=0.0)
+        comparison = Comparison.of(base, cand)
+        assert comparison.read_latency_reduction_pct == 0.0

@@ -1,0 +1,141 @@
+"""Tests for the TL-DRAM-style comparator device."""
+
+import pytest
+
+from repro.core import MCRMode, run_system
+from repro.core.tldram import TLDRAMAllocator, TLDRAMConfig, near_region_rows
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRGenerator, RowClass
+from repro.dram.timing import TimingDomain
+from repro.sim.engine import SystemSimulator
+from repro.workloads import make_trace
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return single_core_geometry()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return TLDRAMConfig(near_fraction=0.25)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TLDRAMConfig(near_fraction=0.0)
+        with pytest.raises(ValueError):
+            TLDRAMConfig(near_fraction=1.0)
+        from repro.dram.timing import RowTimings
+
+        with pytest.raises(ValueError):
+            TLDRAMConfig(
+                near=RowTimings(t_rcd=12, t_ras=16, t_rc=27),
+                far=RowTimings(t_rcd=12, t_ras=29, t_rc=40),
+            )
+
+    def test_capacity_and_area(self, config):
+        assert config.usable_capacity_fraction() == 1.0
+        assert config.area_overhead > 0
+
+    def test_near_region_rows(self, geometry, config):
+        assert near_region_rows(geometry, config) == 32768 // 4
+
+
+class TestTimingOverrides:
+    def test_domain_uses_overrides(self, geometry, config):
+        domain = TimingDomain(
+            geometry,
+            config.region_mode(),
+            row_timing_overrides=config.timing_overrides(),
+        )
+        near = domain.row_timings(RowClass.MCR)
+        far = domain.row_timings(RowClass.NORMAL)
+        assert near == config.near
+        assert far == config.far
+        # Far segment pays the isolation penalty over plain DDR3.
+        assert far.t_rcd > TLDRAMConfig.ddr3_baseline().t_rcd
+
+    def test_refresh_not_accelerated(self, geometry, config):
+        domain = TimingDomain(
+            geometry,
+            config.region_mode(),
+            row_timing_overrides=config.timing_overrides(),
+        )
+        assert domain.trfc_cycles(RowClass.MCR) == domain.trfc_cycles(
+            RowClass.NORMAL
+        )
+
+
+class TestAllocator:
+    def test_hot_rows_in_near_segment(self, geometry, config):
+        trace = make_trace("comm2", n_requests=2000, seed=8)
+        allocator = TLDRAMAllocator([trace], geometry, config, 0.3)
+        generator = MCRGenerator(geometry, config.region_mode())
+        near = far = 0
+        for mapping in allocator._maps.values():
+            for dst in mapping.values():
+                if generator.is_mcr_row(dst):
+                    near += 1
+                else:
+                    far += 1
+        assert near > 0 and far > 0
+
+    def test_no_clone_stride(self, geometry, config):
+        """Near-segment placements use consecutive rows — full density."""
+        trace = make_trace("libq", n_requests=1500, seed=8)
+        allocator = TLDRAMAllocator([trace], geometry, config, 0.5)
+        generator = MCRGenerator(geometry, config.region_mode())
+        near_rows = sorted(
+            dst
+            for mapping in allocator._maps.values()
+            for dst in mapping.values()
+            if generator.is_mcr_row(dst)
+        )
+        diffs = {b - a for a, b in zip(near_rows, near_rows[1:])}
+        assert 1 in diffs  # adjacent rows used, unlike the K-strided MCR
+
+    def test_ratio_validated(self, geometry, config):
+        trace = make_trace("comm1", n_requests=300, seed=8)
+        with pytest.raises(ValueError):
+            TLDRAMAllocator([trace], geometry, config, 1.5)
+
+
+class TestEndToEnd:
+    def test_tldram_beats_baseline_with_hot_placement(self, geometry, config):
+        trace = make_trace("comm2", n_requests=1500, seed=9)
+        baseline = run_system([trace], MCRMode.off())
+        allocator = TLDRAMAllocator([trace], geometry, config, 0.3)
+        simulator = SystemSimulator(
+            [trace],
+            config.region_mode(),
+            row_remapper=allocator,
+            row_timing_overrides=config.timing_overrides(),
+        )
+        result = simulator.run()
+        assert result.execution_cycles < baseline.execution_cycles
+
+    def test_far_penalty_hurts_far_only_stream(self, geometry, config):
+        """A stream touching only far-segment rows pays the isolation
+        penalty and runs slower than on plain DDR3."""
+        from repro.cpu.trace import Trace, TraceEntry
+
+        entries = []
+        for i in range(600):
+            # Sub-array-local index < 256: always in the far segment.
+            row = ((i * 37) % 64) * geometry.rows_per_subarray + (i * 13) % 256
+            # Page-interleaved layout: 17 address bits below the row field.
+            entries.append(
+                TraceEntry(gap=60, is_write=False,
+                           address=(row << 17) | ((i % 128) << 6))
+            )
+        trace = Trace(name="far-only", entries=entries)
+        baseline = run_system([trace], MCRMode.off())
+        simulator = SystemSimulator(
+            [trace],
+            config.region_mode(),
+            row_timing_overrides=config.timing_overrides(),
+        )
+        result = simulator.run()
+        assert result.execution_cycles > baseline.execution_cycles

@@ -1,0 +1,116 @@
+"""Tests for USIMM trace-file I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.trace import Trace, TraceEntry
+from repro.cpu.trace_io import (
+    TraceFormatError,
+    load_trace,
+    parse_line,
+    save_trace,
+    write_trace,
+)
+from repro.dram.config import single_core_geometry
+
+
+class TestParseLine:
+    def test_read_line(self):
+        entry = parse_line("12 R 0x7f001040 0x400b2c")
+        assert entry == TraceEntry(gap=12, is_write=False, address=0x7F001040)
+
+    def test_write_line(self):
+        entry = parse_line("3 W 0x1000")
+        assert entry == TraceEntry(gap=3, is_write=True, address=0x1000)
+
+    def test_blank_and_comment(self):
+        assert parse_line("") is None
+        assert parse_line("   ") is None
+        assert parse_line("# header") is None
+
+    def test_lowercase_op(self):
+        assert parse_line("0 r 0x40 0x0").is_write is False
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["R 0x10", "x R 0x10 0x0", "1 X 0x10 0x0", "1 R zz 0x0", "-1 R 0x10 0x0"],
+    )
+    def test_malformed(self, bad):
+        with pytest.raises(TraceFormatError):
+            parse_line(bad, line_number=7)
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        entries = [
+            TraceEntry(5, False, 0x1000),
+            TraceEntry(0, True, 0x2040),
+            TraceEntry(9, False, 0x10000),
+        ]
+        trace = Trace(name="t", entries=entries)
+        path = tmp_path / "t.trc"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.entries == entries
+        assert loaded.name == "t"
+        assert sum(loaded.row_access_counts.values()) == 3
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 500),
+                st.booleans(),
+                st.integers(0, 2**31).map(lambda a: a & ~0x3F),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    def test_roundtrip_property(self, raw):
+        entries = [TraceEntry(g, w, a) for g, w, a in raw]
+        buffer = io.StringIO()
+        write_trace(entries, buffer)
+        buffer.seek(0)
+        from repro.cpu.trace_io import iter_trace_lines
+
+        parsed = list(iter_trace_lines(buffer))
+        assert parsed == entries
+
+    def test_limit(self, tmp_path):
+        entries = [TraceEntry(1, False, i * 64) for i in range(20)]
+        path = tmp_path / "t.trc"
+        save_trace(Trace(name="t", entries=entries), path)
+        loaded = load_trace(path, limit=5)
+        assert len(loaded) == 5
+
+    def test_oversized_addresses_wrap(self, tmp_path):
+        geometry = single_core_geometry()
+        big = geometry.capacity_bytes + 0x40
+        path = tmp_path / "t.trc"
+        path.write_text(f"0 R 0x{big:x} 0x0\n")
+        loaded = load_trace(path)
+        assert loaded.entries[0].address == 0x40
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.trc"
+        path.write_text("# only comments\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+
+class TestEndToEnd:
+    def test_loaded_trace_simulates(self, tmp_path):
+        from repro.core import MCRMode, run_system
+        from repro.workloads import make_trace
+
+        synthetic = make_trace("comm1", n_requests=300, seed=5)
+        path = tmp_path / "comm1.trc"
+        save_trace(synthetic, path)
+        loaded = load_trace(path)
+        a = run_system([synthetic], MCRMode.off())
+        b = run_system([loaded], MCRMode.off())
+        assert a.execution_cycles == b.execution_cycles

@@ -1,0 +1,106 @@
+"""Unit and property tests for bit manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitops import (
+    bit_reverse,
+    clear_bits,
+    extract_bits,
+    is_power_of_two,
+    log2_int,
+    set_bits,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exp in range(20):
+            assert is_power_of_two(1 << exp)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(value)
+
+
+class TestLog2Int:
+    def test_known_values(self):
+        assert log2_int(1) == 0
+        assert log2_int(2) == 1
+        assert log2_int(512) == 9
+        assert log2_int(32768) == 15
+
+    def test_rejects_non_powers(self):
+        with pytest.raises(ValueError):
+            log2_int(3)
+        with pytest.raises(ValueError):
+            log2_int(0)
+
+    @given(st.integers(min_value=0, max_value=60))
+    def test_roundtrip(self, exp):
+        assert log2_int(1 << exp) == exp
+
+
+class TestExtractBits:
+    def test_example(self):
+        assert extract_bits(0b110100, 2, 3) == 0b101
+
+    def test_zero_width(self):
+        assert extract_bits(0xFFFF, 4, 0) == 0
+
+    def test_negative_args_rejected(self):
+        with pytest.raises(ValueError):
+            extract_bits(1, -1, 2)
+        with pytest.raises(ValueError):
+            extract_bits(1, 1, -2)
+
+    @given(st.integers(min_value=0, max_value=2**40), st.integers(0, 20), st.integers(0, 20))
+    def test_matches_shift_mask(self, value, low, width):
+        assert extract_bits(value, low, width) == (value >> low) & ((1 << width) - 1)
+
+
+class TestSetClearBits:
+    def test_set_is_mcr_address_trick(self):
+        # Forcing 2 LSBs high: rows 0000..0011 all map to 0011.
+        for row in range(4):
+            assert set_bits(row, 0, 2) == 0b11
+
+    def test_clear_then_set_roundtrip(self):
+        value = 0b101101
+        cleared = clear_bits(value, 1, 3)
+        assert cleared == 0b100001
+        assert set_bits(cleared, 1, 3) == 0b101111
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(0, 16), st.integers(0, 8))
+    def test_set_clear_inverse_on_field(self, value, low, width):
+        mask = ((1 << width) - 1) << low
+        assert set_bits(value, low, width) == value | mask
+        assert clear_bits(value, low, width) == value & ~mask
+
+
+class TestBitReverse:
+    def test_examples(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 5) == 0
+
+    def test_fig8_sequence(self):
+        # The paper's Fig. 8(c) order for a 3-bit counter.
+        sequence = [bit_reverse(c, 3) for c in range(8)]
+        assert sequence == [0b000, 0b100, 0b010, 0b110, 0b001, 0b101, 0b011, 0b111]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            bit_reverse(8, 3)
+        with pytest.raises(ValueError):
+            bit_reverse(-1, 3)
+
+    @given(st.integers(0, 2**16 - 1))
+    def test_involution(self, value):
+        assert bit_reverse(bit_reverse(value, 16), 16) == value
+
+    @given(st.integers(1, 16))
+    def test_is_permutation(self, width):
+        values = {bit_reverse(v, width) for v in range(1 << width)}
+        assert len(values) == 1 << width

@@ -1,0 +1,64 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.units import ceil_div, ns_to_cycles, seconds
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+        assert ceil_div(1, 4) == 1
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 4) == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_float_ceil(self, n, d):
+        assert ceil_div(n, d) == -(-n // d)
+
+
+class TestNsToCycles:
+    def test_ddr3_table3_values(self):
+        # The controller-programmed cycles for key Table 3 entries.
+        assert ns_to_cycles(13.75, 1.25) == 11  # tRCD 1x
+        assert ns_to_cycles(35.0, 1.25) == 28  # tRAS 1x
+        assert ns_to_cycles(9.94, 1.25) == 8  # tRCD 2x
+        assert ns_to_cycles(6.90, 1.25) == 6  # tRCD 4x
+        assert ns_to_cycles(21.46, 1.25) == 18  # tRAS 2/2x
+        assert ns_to_cycles(20.00, 1.25) == 16  # tRAS 4/4x
+        assert ns_to_cycles(260.0, 1.25) == 208  # tRFC 4Gb
+
+    def test_epsilon_forgives_float_noise(self):
+        assert ns_to_cycles(35.0 + 1e-9, 1.25) == 28
+
+    def test_zero(self):
+        assert ns_to_cycles(0.0, 1.25) == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ns_to_cycles(1.0, 0.0)
+        with pytest.raises(ValueError):
+            ns_to_cycles(-1.0, 1.25)
+
+    @given(st.floats(min_value=0.01, max_value=1e6), st.floats(min_value=0.1, max_value=10))
+    def test_cycles_cover_duration(self, duration, tck):
+        cycles = ns_to_cycles(duration, tck)
+        assert cycles * tck >= duration - 1e-5
+        assert (cycles - 1) * tck < duration
+
+
+class TestSeconds:
+    def test_conversion(self):
+        assert seconds(800_000_000, 1.25) == pytest.approx(1.0)

@@ -1,0 +1,223 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.config import multi_core_geometry, single_core_geometry
+from repro.workloads import (
+    MULTI_THREADED,
+    SINGLE_CORE_WORKLOADS,
+    SUITES,
+    build_multicore_workload,
+    get_profile,
+    make_multiprogram_mix,
+    make_multithreaded_traces,
+    make_trace,
+    standard_multicore_mixes,
+)
+from repro.workloads.generator import (
+    SyntheticTraceGenerator,
+    bounded_zipf_weights,
+    scatter_row,
+)
+
+
+class TestProfiles:
+    def test_table5_membership(self):
+        assert set(SUITES) == {"COMMERCIAL", "SPEC", "PARSEC", "BIOBENCH"}
+        assert len(SINGLE_CORE_WORKLOADS) == 16
+        assert MULTI_THREADED == ("MT-fluid", "MT-canneal")
+
+    def test_mt_resolves_to_base(self):
+        assert get_profile("MT-fluid") is get_profile("fluid")
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_profile("doom")
+
+    def test_biobench_are_row_miss_heavy(self):
+        # The generator parameters must encode the paper's qualitative
+        # characterization: BIOBENCH has the lowest row-buffer locality.
+        tigr = get_profile("tigr")
+        libq = get_profile("libq")
+        assert tigr.row_burst_mean < libq.row_burst_mean
+
+    def test_comm2_is_most_skewed(self):
+        alphas = {w: get_profile(w).zipf_alpha for w in SINGLE_CORE_WORKLOADS}
+        assert max(alphas, key=alphas.get) == "comm2"
+
+
+class TestZipf:
+    def test_weights_normalized(self):
+        weights = bounded_zipf_weights(100, 1.2)
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[0] > weights[-1]
+
+    def test_alpha_zero_uniform(self):
+        weights = bounded_zipf_weights(10, 0.0)
+        assert weights[0] == pytest.approx(weights[-1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bounded_zipf_weights(0, 1.0)
+
+
+class TestScatterRow:
+    @given(st.integers(0, 2**15 - 1))
+    def test_bijective_over_row_space(self, row):
+        # Injectivity via inverse existence: odd multiplier mod 2^15.
+        rows = 32768
+        # Spot-check: two different inputs never collide in a window.
+        a = scatter_row(row, rows)
+        b = scatter_row((row + 1) % rows, rows)
+        assert a != b or row == (row + 1) % rows
+
+    def test_full_bijection_small(self):
+        rows = 4096
+        image = {scatter_row(r, rows) for r in range(rows)}
+        assert len(image) == rows
+
+    def test_spreads_subarray_locals(self):
+        # Compact row ids must spread over sub-array-local positions so
+        # the MCR region (top of each sub-array) is sampled fairly.
+        rows = 32768
+        locals_hit = {scatter_row(r, rows) & 511 for r in range(256)}
+        assert len(locals_hit) > 200
+
+
+class TestTraceGeneration:
+    def test_exact_request_count(self):
+        trace = make_trace("comm1", n_requests=777, seed=1)
+        assert len(trace) == 777
+
+    def test_deterministic(self):
+        a = make_trace("leslie", n_requests=500, seed=42)
+        b = make_trace("leslie", n_requests=500, seed=42)
+        assert [e.address for e in a.entries] == [e.address for e in b.entries]
+
+    def test_deterministic_across_interpreter_runs(self):
+        """Trace generation must not depend on Python's salted str hash
+        (PYTHONHASHSEED): the pinned digest below was produced in a
+        different interpreter process."""
+        import hashlib
+
+        trace = make_trace("comm2", n_requests=500, seed=7)
+        digest = hashlib.sha256(
+            repr([(e.gap, e.is_write, e.address) for e in trace.entries]).encode()
+        ).hexdigest()
+        assert digest == (
+            "54bff8b4fbd2ea66b66904acd5b24aa1d6bcb2c575b0136a40ffefa498e222db"
+        )
+
+    def test_seed_changes_trace(self):
+        a = make_trace("leslie", n_requests=500, seed=1)
+        b = make_trace("leslie", n_requests=500, seed=2)
+        assert [e.address for e in a.entries] != [e.address for e in b.entries]
+
+    def test_read_fraction_tracks_profile(self):
+        profile = get_profile("libq")
+        trace = make_trace("libq", n_requests=4000, seed=3)
+        assert trace.read_fraction == pytest.approx(profile.read_fraction, abs=0.05)
+
+    def test_mean_gap_tracks_profile(self):
+        profile = get_profile("stream")
+        trace = make_trace("stream", n_requests=4000, seed=3)
+        mean_gap = sum(e.gap for e in trace.entries) / len(trace)
+        assert mean_gap == pytest.approx(profile.mean_gap, rel=0.15)
+
+    def test_addresses_in_device_range(self):
+        geometry = single_core_geometry()
+        trace = make_trace("mummer", n_requests=2000, seed=5)
+        assert all(0 <= e.address < geometry.capacity_bytes for e in trace.entries)
+
+    def test_addresses_cacheline_aligned(self):
+        trace = make_trace("black", n_requests=500, seed=5)
+        assert all(e.address % 64 == 0 for e in trace.entries)
+
+    def test_row_counts_collected(self):
+        trace = make_trace("comm2", n_requests=2000, seed=5)
+        assert sum(trace.row_access_counts.values()) == 2000
+        hot = trace.hot_addresses(0.1)
+        assert hot  # skewed workload has a meaningful hot set
+
+    def test_row_locality_differs_by_profile(self):
+        def hit_fraction(name):
+            trace = make_trace(name, n_requests=4000, seed=7)
+            same = 0
+            prev_page = None
+            for e in trace.entries:
+                page = e.address >> 13
+                same += page == prev_page
+                prev_page = page
+            return same / len(trace.entries)
+
+        assert hit_fraction("libq") > hit_fraction("tigr") + 0.2
+
+    def test_footprint_validation(self):
+        profile = get_profile("comm1")
+        generator = SyntheticTraceGenerator(profile)
+        with pytest.raises(ValueError):
+            generator.generate(0, seed=1)
+
+
+class TestMulticoreConstruction:
+    def test_standard_mixes(self):
+        mixes = standard_multicore_mixes()
+        assert len(mixes) == 16
+        assert mixes[-2][0] == "MT-fluid"
+        assert mixes[-1][0] == "MT-canneal"
+        for name, members in mixes[:14]:
+            assert len(members) == 4
+            suites = [
+                next(s for s, ws in SUITES.items() if m in ws) for m in members
+            ]
+            assert suites == ["COMMERCIAL", "SPEC", "PARSEC", "BIOBENCH"]
+
+    def test_mixes_deterministic(self):
+        assert standard_multicore_mixes(7) == standard_multicore_mixes(7)
+
+    def test_multiprogram_disjoint_address_spaces(self):
+        geometry = multi_core_geometry()
+        traces = make_multiprogram_mix(
+            ["comm1", "leslie", "black", "tigr"], 1000, seed=1, geometry=geometry
+        )
+        assert len(traces) == 4
+        page_sets = [
+            {e.address >> 13 for e in t.entries} for t in traces
+        ]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                overlap = page_sets[i] & page_sets[j]
+                assert len(overlap) < 0.01 * min(len(page_sets[i]), len(page_sets[j])) + 1
+
+    def test_multithreaded_share_address_space(self):
+        # Threads draw from one shared page universe, so their *hot* pages
+        # (the head of the Zipf distribution) overlap heavily even though
+        # individual samples differ per thread.
+        geometry = multi_core_geometry()
+        traces = make_multithreaded_traces("MT-fluid", 2000, seed=1, geometry=geometry)
+        hot_sets = [set(t.hot_addresses(0.02)) for t in traces]
+        overlap = hot_sets[0] & hot_sets[1]
+        assert len(overlap) >= 0.3 * min(len(hot_sets[0]), len(hot_sets[1]))
+
+    def test_mix_size_validated(self):
+        with pytest.raises(ValueError):
+            make_multiprogram_mix(["comm1"], 100, seed=1)
+
+    def test_build_dispatches(self):
+        geometry = multi_core_geometry()
+        mt = build_multicore_workload("MT-canneal", [], 200, 1, geometry)
+        assert len(mt) == 4
+        mp = build_multicore_workload(
+            "mix01", ["comm1", "libq", "freq", "tigr"], 200, 1, geometry
+        )
+        assert len(mp) == 4
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.sampled_from(SINGLE_CORE_WORKLOADS), st.integers(1, 1000))
+def test_any_workload_any_seed_generates(workload, seed):
+    trace = make_trace(workload, n_requests=64, seed=seed)
+    assert len(trace) == 64
+    assert trace.name == workload
