@@ -1,0 +1,80 @@
+"""Bench: the execution harness itself — serial vs parallel vs warm cache.
+
+Runs the same reduced Fig. 11 sweep three ways and writes the wall-times
+and cache-hit counters to ``BENCH_harness.json`` at the repo root:
+
+1. serial, cold cache — the pre-harness baseline;
+2. ``--parallel 2``, cold cache — must produce an identical table, and on
+   a machine with >= 2 cores, measurably less wall time;
+3. ``--parallel 2`` again, warm cache — must execute zero simulations and
+   serve everything from disk.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.experiments.fig11_fig14_ratio import run_fig11
+from repro.harness import HarnessConfig, configure
+from repro.harness.planner import plan
+
+
+def _sweep(scale, parallel, cache_dir):
+    """One full fig11 regeneration through a freshly configured session."""
+    session = configure(HarnessConfig(parallel=parallel, cache_dir=cache_dir))
+    start = time.perf_counter()
+    session.prewarm(plan(["fig11"], scale))
+    result = run_fig11(scale=scale)
+    wall = time.perf_counter() - start
+    telemetry = session.telemetry
+    return result, wall, {
+        "wall_s": round(wall, 3),
+        "executed": telemetry.executed,
+        "cache_hits": telemetry.cache_hits,
+        "disk_hits": telemetry.store_hits,
+        "memory_hits": telemetry.memory_hits,
+        "sim_time_s": round(telemetry.total_sim_seconds(), 3),
+    }
+
+
+def test_harness_speedup(benchmark, scale, tmp_path):
+    cache = str(tmp_path / "cache")
+    try:
+        serial_result, serial_wall, serial = run_once(
+            benchmark, _sweep, scale, 1, str(tmp_path / "cache-serial")
+        )
+        parallel_result, parallel_wall, parallel = _sweep(scale, 2, cache)
+        warm_result, warm_wall, warm = _sweep(scale, 2, cache)
+    finally:
+        configure(None)  # don't leak a tmp-dir cache into later benches
+
+    # Correctness: parallel and cached output are bit-identical to serial.
+    assert parallel_result.rows == serial_result.rows
+    assert warm_result.rows == serial_result.rows
+
+    # A warm cache executes nothing and serves every job from disk.
+    assert warm["executed"] == 0
+    assert warm["disk_hits"] > 0
+    assert warm_wall < serial_wall
+
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        assert parallel_wall < serial_wall
+
+    report = {
+        "experiment": "fig11",
+        "scale": scale.name,
+        "cpu_count": cores,
+        "serial": serial,
+        "parallel_2": parallel,
+        "warm_cache": warm,
+        "speedup_parallel": round(serial_wall / parallel_wall, 2),
+        "speedup_warm": round(serial_wall / warm_wall, 2),
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_harness.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print()
+    print(json.dumps(report, indent=2))

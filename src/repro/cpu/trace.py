@@ -13,6 +13,36 @@ from dataclasses import dataclass, field
 
 
 @dataclass(frozen=True, slots=True)
+class TraceProvenance:
+    """How a synthetic trace was produced — enough to rebuild it bit-for-bit.
+
+    The trace generators attach this to every trace they emit. It is the
+    content address of the trace: two traces with equal provenance are
+    byte-identical (generation is deterministic), so the experiment
+    harness can fingerprint, deduplicate and rebuild traces in worker
+    processes without ever serializing the entries themselves.
+
+    Attributes:
+        profile: Workload profile name fed to the generator (``comm2``,
+            ``MT-fluid``, ...).
+        display_name: The trace's final ``name`` (mixes rename per-core
+            traces to ``<workload>@core<i>``).
+        n_requests: Memory operations generated.
+        seed: The fully-resolved RNG seed (per-core offsets applied).
+        row_offset: Row-space offset (multi-programmed address spaces).
+        geometry_key: Canonical tuple of the generator's
+            :class:`~repro.dram.config.DRAMGeometry` fields.
+    """
+
+    profile: str
+    display_name: str
+    n_requests: int
+    seed: int
+    row_offset: int
+    geometry_key: tuple
+
+
+@dataclass(frozen=True, slots=True)
 class TraceEntry:
     """One trace record: ``gap`` non-memory instructions, then a memory op."""
 
@@ -44,6 +74,11 @@ class Trace:
     name: str
     entries: list[TraceEntry]
     row_access_counts: Counter = field(default_factory=Counter)
+    #: Set by the synthetic generators; ``None`` for hand-built or loaded
+    #: traces (the harness then fingerprints the entry contents instead).
+    provenance: TraceProvenance | None = field(
+        default=None, compare=False, repr=False
+    )
 
     def __len__(self) -> int:
         return len(self.entries)

@@ -5,7 +5,16 @@ Examples::
     mcr-dram list
     mcr-dram run table3
     mcr-dram run fig11 --scale smoke
-    mcr-dram run all --scale small
+    mcr-dram run all --scale small --parallel 4
+    mcr-dram run fig11 --no-cache
+    mcr-dram report --scale small --parallel 8
+
+Runs go through the execution harness (:mod:`repro.harness`): results
+are cached on disk under ``.repro-cache/`` (override with
+``--cache-dir``, disable with ``--no-cache``), and with ``--parallel N``
+the planned simulation graph is pre-executed across N worker processes
+before the drivers assemble their tables from the shared cache — output
+is bit-identical to a serial run.
 """
 
 from __future__ import annotations
@@ -61,6 +70,53 @@ def _registry() -> dict[str, Callable[..., ExperimentResult]]:
     }
 
 
+def _add_harness_args(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the simulation graph (default: 1, serial)",
+    )
+    subparser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persistent result cache location (default: .repro-cache)",
+    )
+    subparser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="keep results in memory only; neither read nor write the disk cache",
+    )
+
+
+def _configure_session(args: argparse.Namespace):
+    """Install a harness session reflecting the CLI flags; return it."""
+    from repro.harness import DEFAULT_CACHE_DIR, HarnessConfig, configure
+    from repro.harness.telemetry import stderr_progress
+
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    session = configure(HarnessConfig(parallel=args.parallel, cache_dir=cache_dir))
+    if args.parallel > 1:
+        session.telemetry.progress = stderr_progress
+    return session
+
+
+def _prewarm(session, names: list[str], scale) -> None:
+    """Plan the experiments' job graph and execute it through the session.
+
+    Worth the planning cost whenever the run is parallel or a disk cache
+    is active (the planned graph dedupes shared baselines across every
+    requested experiment before anything executes).
+    """
+    from repro.harness.planner import plan
+
+    jobs = plan(names, scale)
+    if jobs:
+        session.prewarm(jobs)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mcr-dram",
@@ -87,6 +143,7 @@ def main(argv: list[str] | None = None) -> int:
         metavar="DIR",
         help="also export each result as <DIR>/<experiment>.json",
     )
+    _add_harness_args(run)
     report = sub.add_parser(
         "report", help="run every experiment and write EXPERIMENTS.md"
     )
@@ -94,6 +151,7 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument(
         "--output", default="EXPERIMENTS.md", help="output path (- for stdout)"
     )
+    _add_harness_args(report)
     args = parser.parse_args(argv)
 
     registry = _registry()
@@ -105,7 +163,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         from repro.experiments.report import generate
 
+        session = _configure_session(args)
+        _prewarm(session, list(registry), get_scale(args.scale))
         text = generate(get_scale(args.scale) if args.scale else None)
+        print(session.telemetry.summary(), file=sys.stderr)
         if args.output == "-":
             print(text)
         else:
@@ -120,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment(s): {unknown}; try 'mcr-dram list'", file=sys.stderr)
         return 2
     scale = get_scale(args.scale) if args.scale else None
+    session = _configure_session(args)
+    _prewarm(session, names, scale or get_scale())
     for name in names:
         start = time.time()
         result = registry[name](scale=scale) if scale else registry[name]()
@@ -141,6 +204,7 @@ def main(argv: list[str] | None = None) -> int:
             directory = Path(args.json)
             directory.mkdir(parents=True, exist_ok=True)
             to_json(result, directory / f"{name}.json")
+    print(session.telemetry.summary(), file=sys.stderr)
     return 0
 
 

@@ -24,7 +24,7 @@ from repro.core.mcr_mode import MCRMode
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     reductions,
     single_trace,
 )
@@ -74,7 +74,7 @@ def run_combined(scale: ScaleConfig | None = None) -> ExperimentResult:
             rows.append([name, label, CAPACITY[label], exec_red, lat_red])
 
     for label, values in per_config.items():
-        rows.append(["AVG", label, CAPACITY[label], geometric_mean_pct(values), ""])
+        rows.append(["AVG", label, CAPACITY[label], mean_pct(values), ""])
 
     return ExperimentResult(
         experiment_id="combined",

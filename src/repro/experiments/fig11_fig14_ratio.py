@@ -17,7 +17,7 @@ from repro.dram.mcr import MechanismSet
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     multicore_traces,
     reductions,
     single_trace,
@@ -60,8 +60,8 @@ def _sweep(
                     "AVG",
                     f"{k}/{k}x",
                     ratio,
-                    geometric_mean_pct(exec_by_mode[(k, ratio)]),
-                    geometric_mean_pct(lat_by_mode[(k, ratio)]),
+                    mean_pct(exec_by_mode[(k, ratio)]),
+                    mean_pct(lat_by_mode[(k, ratio)]),
                 ]
             )
     return rows, exec_by_mode

@@ -17,7 +17,7 @@ from repro.dram.mcr import MechanismSet
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     multicore_traces,
     reductions,
     single_trace,
@@ -56,8 +56,8 @@ def _sweep(
                 "AVG",
                 f"{k}/{k}x/50%reg",
                 ratio,
-                geometric_mean_pct([v[0] for v in values]),
-                geometric_mean_pct([v[1] for v in values]),
+                mean_pct([v[0] for v in values]),
+                mean_pct([v[1] for v in values]),
             ]
         )
     return rows

@@ -18,7 +18,7 @@ from repro.dram.config import multi_core_geometry
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     multicore_traces,
     reductions,
     single_trace,
@@ -46,7 +46,7 @@ def _sweep(
                 rows.append([name, label, exec_red, lat_red])
                 per_mode.setdefault(label, []).append(exec_red)
     for label, values in per_mode.items():
-        rows.append(["AVG", label, geometric_mean_pct(values), ""])
+        rows.append(["AVG", label, mean_pct(values), ""])
     return rows
 
 

@@ -22,7 +22,7 @@ from repro.dram.mcr import MechanismSet
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     multicore_traces,
     reductions,
     single_trace,
@@ -63,7 +63,7 @@ def _sweep(workload_traces: list[tuple[str, list]], base_spec: SystemSpec) -> li
             result = cached_run(traces, mode, spec)
             exec_red, _, _ = reductions(baseline, result)
             per_case[label].append(exec_red)
-    averages = {label: geometric_mean_pct(vals) for label, vals in per_case.items()}
+    averages = {label: mean_pct(vals) for label, vals in per_case.items()}
     case3 = averages["case3 +FR+RS"]
     rows = []
     for label, mode_text, _ in CASES:

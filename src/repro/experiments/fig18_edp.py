@@ -15,7 +15,7 @@ from repro.dram.config import multi_core_geometry
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     multicore_traces,
     reductions,
     single_trace,
@@ -34,7 +34,7 @@ def _sweep(workload_traces: list[tuple[str, list]], base_spec: SystemSpec) -> di
             result = cached_run(traces, MCRMode.parse(mode_text), spec)
             _, _, edp_red = reductions(baseline, result)
             per_mode[mode_text].append(edp_red)
-    return {m: geometric_mean_pct(v) for m, v in per_mode.items()}
+    return {m: mean_pct(v) for m, v in per_mode.items()}
 
 
 def run_fig18(scale: ScaleConfig | None = None) -> ExperimentResult:

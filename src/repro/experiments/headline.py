@@ -17,7 +17,7 @@ from repro.dram.config import multi_core_geometry
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     multicore_traces,
     reductions,
     single_trace,
@@ -42,9 +42,9 @@ def _average(workload_traces, base_spec):
         lats.append(l)
         edps.append(d)
     return (
-        geometric_mean_pct(execs),
-        geometric_mean_pct(lats),
-        geometric_mean_pct(edps),
+        mean_pct(execs),
+        mean_pct(lats),
+        mean_pct(edps),
     )
 
 

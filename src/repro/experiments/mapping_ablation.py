@@ -16,7 +16,7 @@ from repro.core.mcr_mode import MCRMode
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     reductions,
     single_trace,
 )
@@ -49,7 +49,7 @@ def run_mapping_ablation(scale: ScaleConfig | None = None) -> ExperimentResult:
                 "AVG",
                 scheme_name,
                 baseline_cycles[scheme_name],
-                geometric_mean_pct(values),
+                mean_pct(values),
                 "",
             ]
         )

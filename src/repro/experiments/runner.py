@@ -1,37 +1,36 @@
 """Shared run plumbing for the experiment drivers.
 
 Every figure compares MCR configurations against the same conventional
-baseline, so the runner memoizes results per (traces, mode, spec)
-fingerprint within a process — a sweep over six modes reuses one baseline
-run per workload.
+baseline, so runs are memoized — but the memo lives in the harness
+session (:mod:`repro.harness.session`), keyed by content fingerprints of
+``(traces, mode, spec)``. All drivers therefore share one graph-wide
+cache: a sweep over six modes reuses one baseline run per workload, and
+``fig12`` reuses ``fig11``'s baselines outright. When the CLI configures
+a session with a cache directory, results also persist across processes.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Sequence
 
-from repro.core.api import SystemSpec, run_system
+from repro.core.api import SystemSpec
 from repro.core.mcr_mode import MCRMode
 from repro.cpu.trace import Trace
 from repro.dram.config import multi_core_geometry
 from repro.dram.mcr import MechanismSet
 from repro.experiments.scale import ScaleConfig
+from repro.harness import session
 from repro.sim.results import RunResult, percent_reduction
 from repro.workloads import build_multicore_workload, make_trace, standard_multicore_mixes
 
-_run_cache: dict[tuple, RunResult] = {}
 _trace_cache: dict[tuple, object] = {}
-# The run cache keys traces by id(); keep every keyed trace alive so a
-# garbage-collected trace can never hand its address (and cache entry) to
-# a different trace object.
-_trace_refs: list[Trace] = []
 
 
 def clear_caches() -> None:
     """Drop memoized traces and runs (mainly for tests)."""
-    _run_cache.clear()
     _trace_cache.clear()
-    _trace_refs.clear()
+    session.active().reset_memory()
 
 
 def single_trace(workload: str, scale: ScaleConfig) -> Trace:
@@ -66,33 +65,13 @@ def multicore_traces(scale: ScaleConfig) -> list[tuple[str, list[Trace]]]:
     return _trace_cache[key]  # type: ignore[return-value]
 
 
-def _spec_key(spec: SystemSpec) -> tuple:
-    return (
-        spec.geometry,
-        spec.core_params,
-        spec.mapping,
-        spec.refresh_enabled,
-        spec.allocation,
-        spec.wiring,
-        spec.policy,
-    )
-
-
 def cached_run(
     traces: Sequence[Trace],
     mode: MCRMode,
     spec: SystemSpec,
 ) -> RunResult:
-    """Run (or reuse) one simulation."""
-    key = (
-        tuple(id(t) for t in traces),
-        mode.config,
-        _spec_key(spec),
-    )
-    if key not in _run_cache:
-        _trace_refs.extend(traces)
-        _run_cache[key] = run_system(traces, mode, spec=spec)
-    return _run_cache[key]
+    """Run (or reuse) one simulation via the active harness session."""
+    return session.active().run(traces, mode.config, spec)
 
 
 def mode_with(
@@ -119,7 +98,7 @@ def reductions(baseline: RunResult, candidate: RunResult) -> tuple[float, float,
     return exec_red, lat_red, edp_red
 
 
-def geometric_mean_pct(values: list[float]) -> float:
+def mean_pct(values: list[float]) -> float:
     """Average improvement the way the paper aggregates (arithmetic mean).
 
     Kept as a helper so switching the aggregate in one place is easy; the
@@ -128,3 +107,19 @@ def geometric_mean_pct(values: list[float]) -> float:
     if not values:
         return 0.0
     return sum(values) / len(values)
+
+
+def geometric_mean_pct(values: list[float]) -> float:
+    """Deprecated alias of :func:`mean_pct`.
+
+    The old name promised a geometric mean the implementation never
+    computed (percent reductions can be zero or negative, where a
+    geometric mean is undefined).
+    """
+    warnings.warn(
+        "geometric_mean_pct is deprecated (it was always an arithmetic "
+        "mean); use mean_pct",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return mean_pct(values)

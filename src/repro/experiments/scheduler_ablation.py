@@ -18,7 +18,7 @@ from repro.core.mcr_mode import MCRMode
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     reductions,
     single_trace,
 )
@@ -43,7 +43,7 @@ def run_scheduler_ablation(scale: ScaleConfig | None = None) -> ExperimentResult
                 [name, policy.name, baseline.execution_cycles, exec_red, lat_red]
             )
     for policy_name, values in per_policy.items():
-        rows.append(["AVG", policy_name, "", geometric_mean_pct(values), ""])
+        rows.append(["AVG", policy_name, "", mean_pct(values), ""])
     return ExperimentResult(
         experiment_id="scheduler",
         title="Scheduler ablation: MCR gain under FR-FCFS / FCFS / closed-page",

@@ -24,7 +24,7 @@ from repro.dram.config import single_core_geometry
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     reductions,
     single_trace,
 )
@@ -68,7 +68,7 @@ def run_tldram_comparison(scale: ScaleConfig | None = None) -> ExperimentResult:
             rows.append([name, label, exec_red, lat_red])
 
     for label, values in per_device.items():
-        rows.append(["AVG", label, geometric_mean_pct(values), ""])
+        rows.append(["AVG", label, mean_pct(values), ""])
     rows.append(
         ["COST", "MCR-DRAM", "area +0%", f"capacity x{1 - REGION_FRACTION * 3 / 4:.3g}"]
     )

@@ -23,7 +23,7 @@ from repro.dram.timing import TimingDomain
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.runner import (
     cached_run,
-    geometric_mean_pct,
+    mean_pct,
     reductions,
     single_trace,
 )
@@ -62,7 +62,7 @@ def run_wiring_ablation(scale: ScaleConfig | None = None) -> ExperimentResult:
             per_wiring[wiring.name].append(exec_red)
             rows.append([name, wiring.name, "", exec_red, lat_red])
     for wiring_name, values in per_wiring.items():
-        rows.append(["AVG", wiring_name, "", geometric_mean_pct(values), ""])
+        rows.append(["AVG", wiring_name, "", mean_pct(values), ""])
 
     return ExperimentResult(
         experiment_id="wiring",

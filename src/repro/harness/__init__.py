@@ -1,0 +1,63 @@
+"""Deterministic execution harness for the experiment drivers.
+
+Turns figure sweeps into a planned job graph with content-addressed
+caching and optional process-level parallelism:
+
+- :mod:`repro.harness.fingerprint` — stable job identities (SHA-256 over
+  canonical encodings; no ``id()``, no salted hashes).
+- :mod:`repro.harness.jobs` — :class:`SimJob`, the declarative unit of
+  work (trace provenances + mode + spec).
+- :mod:`repro.harness.planner` — per-experiment job enumeration with
+  graph-wide dedupe (import :mod:`repro.harness.planner` directly; it
+  pulls in the experiment drivers).
+- :mod:`repro.harness.executor` — serial or process-pool execution with
+  retry and submission-ordered collection.
+- :mod:`repro.harness.store` — schema-versioned on-disk JSON results
+  under ``.repro-cache/``.
+- :mod:`repro.harness.session` — the process-wide session
+  ``cached_run`` resolves against.
+- :mod:`repro.harness.telemetry` — counters and progress lines.
+"""
+
+from repro.harness.executor import HarnessConfig, execute_jobs
+from repro.harness.fingerprint import (
+    canonical,
+    digest,
+    fingerprint_mode,
+    fingerprint_run,
+    fingerprint_spec,
+    fingerprint_trace,
+    job_fingerprint,
+)
+from repro.harness.jobs import SimJob, clear_trace_memo
+from repro.harness.session import HarnessSession, active, configure
+from repro.harness.store import (
+    DEFAULT_CACHE_DIR,
+    STORE_SCHEMA_VERSION,
+    ResultStore,
+    schema_hash,
+)
+from repro.harness.telemetry import Telemetry, stderr_progress
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "HarnessConfig",
+    "HarnessSession",
+    "ResultStore",
+    "STORE_SCHEMA_VERSION",
+    "SimJob",
+    "Telemetry",
+    "active",
+    "canonical",
+    "clear_trace_memo",
+    "configure",
+    "digest",
+    "execute_jobs",
+    "fingerprint_mode",
+    "fingerprint_run",
+    "fingerprint_spec",
+    "fingerprint_trace",
+    "job_fingerprint",
+    "schema_hash",
+    "stderr_progress",
+]

@@ -1,0 +1,191 @@
+"""Parallel job execution with retry and ordered collection.
+
+The engine resolves each job against the in-memory memo and the on-disk
+store first; only genuinely missing simulations execute. With
+``parallel <= 1`` they run in-process; otherwise a
+``ProcessPoolExecutor`` fans them out and results are collected **in
+submission order**, so telemetry, store writes and the returned mapping
+are byte-identical between serial and parallel runs (the simulations
+themselves are deterministic functions of the job, so parallelism can
+only reorder wall-clock, never results).
+
+Failure policy: a job whose worker crashes, times out, or whose pool
+breaks is retried exactly once, serially, in the parent process. A job
+failing its retry raises — a broken simulation must surface, not vanish
+into a partial sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.harness.jobs import SimJob
+from repro.harness.store import ResultStore
+from repro.harness.telemetry import Telemetry
+from repro.sim.results import RunResult
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Execution policy for a harness session.
+
+    Attributes:
+        parallel: Worker processes; ``<= 1`` executes in-process.
+        cache_dir: On-disk store root, or ``None`` for memory-only.
+        timeout_s: Per-job wall-clock budget in workers (``None`` = no
+            limit). A timed-out job is retried serially in the parent.
+        retry: Retry a crashed/timed-out job once in the parent.
+    """
+
+    parallel: int = 1
+    cache_dir: str | None = None
+    timeout_s: float | None = None
+    retry: bool = True
+
+
+def _worker(payload: tuple) -> tuple[str, RunResult, float]:
+    """Pool entry point: rebuild the job's traces and simulate.
+
+    Times the simulation in the worker itself, so per-job telemetry
+    reports execution time, not queue wait + worker startup.
+    """
+    job = SimJob.from_payload(payload)
+    start = time.perf_counter()
+    result = job.execute()
+    return job.fingerprint, result, time.perf_counter() - start
+
+
+def _run_in_parent(
+    job: SimJob, telemetry: Telemetry, where: str
+) -> RunResult:
+    started = telemetry.job_started(job.label)
+    result = job.execute()
+    telemetry.job_finished(job.fingerprint, job.label, started, where)
+    return result
+
+
+def execute_jobs(
+    jobs: Sequence[SimJob],
+    config: HarnessConfig,
+    *,
+    memo: dict[str, RunResult],
+    store: ResultStore | None = None,
+    telemetry: Telemetry | None = None,
+) -> dict[str, RunResult]:
+    """Execute ``jobs``, filling ``memo`` (and ``store``); return
+    fingerprint -> result for every requested job, in job order.
+
+    Jobs already present in ``memo`` or ``store`` are cache hits and do
+    not execute. Duplicate fingerprints in ``jobs`` execute once.
+    """
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    results: dict[str, RunResult] = {}
+    pending: list[SimJob] = []
+    seen: set[str] = set()
+
+    for job in jobs:
+        if job.fingerprint in seen:
+            continue
+        seen.add(job.fingerprint)
+        if job.fingerprint in memo:
+            telemetry.cache_hit(from_store=False)
+            results[job.fingerprint] = memo[job.fingerprint]
+            continue
+        if store is not None:
+            cached = store.get(job.fingerprint)
+            if cached is not None:
+                telemetry.cache_hit(from_store=True)
+                memo[job.fingerprint] = cached
+                results[job.fingerprint] = cached
+                continue
+            telemetry.store_misses += 1
+        pending.append(job)
+
+    telemetry.queued += len(pending)
+
+    def complete(job: SimJob, result: RunResult) -> None:
+        # Persist the moment a result exists, not after the whole batch:
+        # an interrupted sweep must keep everything it already computed.
+        memo[job.fingerprint] = result
+        results[job.fingerprint] = result
+        if store is not None:
+            store.put(job.fingerprint, result)
+
+    if config.parallel <= 1 or len(pending) <= 1:
+        for job in pending:
+            complete(job, _run_in_parent(job, telemetry, where="parent"))
+    else:
+        _run_in_pool(pending, config, telemetry, complete)
+
+    # Return in original job order (dict preserves insertion; re-walk to
+    # interleave cache hits and executed jobs the way they were asked).
+    return {
+        job.fingerprint: results[job.fingerprint]
+        for job in jobs
+        if job.fingerprint in results
+    }
+
+
+def _run_in_pool(
+    pending: list[SimJob],
+    config: HarnessConfig,
+    telemetry: Telemetry,
+    complete,
+) -> None:
+    """Fan out to processes; collect in submission order; retry failures.
+
+    ``complete(job, result)`` fires per job as its result is collected
+    (submission order), so partial progress survives an interrupt."""
+    fallback: list[SimJob] = []  # jobs to re-run serially in the parent
+    workers = min(config.parallel, len(pending))
+    starts: dict[str, float] = {}
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = []
+        for job in pending:
+            starts[job.fingerprint] = telemetry.job_started(job.label)
+            futures.append((job, pool.submit(_worker, job.payload())))
+        pool_broken = False
+        for job, future in futures:
+            if pool_broken:
+                # The pool died; everything unfinished goes to fallback.
+                telemetry.running -= 1
+                fallback.append(job)
+                continue
+            try:
+                fingerprint, result, seconds = future.result(timeout=config.timeout_s)
+                telemetry.job_finished(
+                    fingerprint,
+                    job.label,
+                    starts[fingerprint],
+                    where="worker",
+                    seconds=seconds,
+                )
+                complete(job, result)
+            except BrokenProcessPool:
+                pool_broken = True
+                telemetry.running -= 1
+                fallback.append(job)
+            except Exception:  # crash or TimeoutError
+                telemetry.running -= 1
+                future.cancel()
+                fallback.append(job)
+    finally:
+        # cancel_futures so a timeout doesn't wait for stragglers.
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    for job in fallback:
+        if not config.retry:
+            telemetry.failures += 1
+            raise RuntimeError(f"harness job failed in worker: {job.label}")
+        telemetry.retried += 1
+        telemetry.emit(f"[harness] retrying {job.label} in parent")
+        try:
+            complete(job, _run_in_parent(job, telemetry, where="retry"))
+        except Exception:
+            telemetry.failures += 1
+            raise

@@ -1,0 +1,115 @@
+"""Content-addressed fingerprints for simulation jobs.
+
+A job is ``(traces, MCRModeConfig, SystemSpec)``. Its fingerprint is a
+SHA-256 over a *canonical* encoding of the job's content:
+
+- traces hash by provenance (generator name, parameters, seed — see
+  :class:`repro.cpu.trace.TraceProvenance`) when available, or by their
+  actual entries otherwise;
+- the mode config and system spec hash structurally: dataclasses by
+  field, enums by name, floats by ``repr`` (exact for binary64).
+
+The encoding deliberately avoids anything process- or session-local —
+no ``id()``, no ``hash()`` (salted per interpreter), no pickling (which
+embeds protocol details) — so equal configurations hash equally across
+processes, Python versions and machines. That property is what lets the
+on-disk result store survive interrupted sweeps and lets parallel worker
+processes share one cache with the parent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any, Sequence
+
+from repro.core.api import SystemSpec
+from repro.cpu.trace import Trace
+from repro.dram.mcr import MCRModeConfig
+
+
+def canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-serializable structure.
+
+    Supported: ``None``/bool/int/float/str, lists/tuples, dicts (any
+    canonicalizable keys — encoded as sorted key/value pairs), enums and
+    dataclasses. Anything else raises ``TypeError`` so new spec fields
+    must be added here deliberately rather than hashing ambiguously.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips binary64 exactly; avoids locale/format drift.
+        return ["f", repr(obj)]
+    if isinstance(obj, Enum):
+        return ["enum", type(obj).__name__, obj.name]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [
+            "dc",
+            type(obj).__name__,
+            [[f.name, canonical(getattr(obj, f.name))] for f in dataclasses.fields(obj)],
+        ]
+    if isinstance(obj, (list, tuple)):
+        return [canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        pairs = [[canonical(k), canonical(v)] for k, v in obj.items()]
+        pairs.sort(key=lambda pair: json.dumps(pair[0], separators=(",", ":")))
+        return ["map", pairs]
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def digest(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    encoded = json.dumps(canonical(obj), separators=(",", ":"))
+    return hashlib.sha256(encoded.encode()).hexdigest()
+
+
+def fingerprint_trace(trace: Trace) -> str:
+    """Stable content hash of one trace.
+
+    Provenance-backed traces hash their generation recipe (cheap,
+    entry-count independent); traces without provenance — hand-built or
+    loaded from files — hash the entries themselves.
+    """
+    if trace.provenance is not None:
+        return digest(["trace-prov", canonical(trace.provenance)])
+    h = hashlib.sha256(b"trace-content:")
+    h.update(trace.name.encode())
+    for entry in trace.entries:
+        h.update(b"%d,%d,%d;" % (entry.gap, int(entry.is_write), entry.address))
+    return h.hexdigest()
+
+
+def fingerprint_mode(mode: MCRModeConfig) -> str:
+    """Stable hash of an MCR-mode configuration (mechanisms included)."""
+    return digest(["mode", canonical(mode)])
+
+
+def fingerprint_spec(spec: SystemSpec) -> str:
+    """Stable hash of a complete system configuration."""
+    return digest(["spec", canonical(spec)])
+
+
+def job_fingerprint(
+    trace_fingerprints: Sequence[str],
+    mode: MCRModeConfig,
+    spec: SystemSpec,
+) -> str:
+    """Fingerprint of one ``run_system`` invocation."""
+    return digest(
+        [
+            "job",
+            list(trace_fingerprints),
+            canonical(mode),
+            canonical(spec),
+        ]
+    )
+
+
+def fingerprint_run(
+    traces: Sequence[Trace], mode: MCRModeConfig, spec: SystemSpec
+) -> str:
+    """Convenience: fingerprint a job from already-built traces."""
+    return job_fingerprint([fingerprint_trace(t) for t in traces], mode, spec)

@@ -1,0 +1,161 @@
+"""On-disk, content-addressed store of :class:`RunResult`\\ s.
+
+Layout: ``<cache_dir>/v<schema>-<schema_hash[:12]>/<fingerprint>.json``,
+one JSON file per simulation. The schema hash folds in
+
+- the store's own schema version (entry format changes),
+- the package version, and
+- the canonical Table 3 timing values the simulator treats as ground
+  truth (:data:`repro.circuit.timing_solver.PAPER_TABLE3`),
+
+so a timing-model change — the one edit that silently invalidates every
+cached simulation — moves the store to a fresh directory instead of
+serving stale results. Unreadable, corrupted or mismatched entries are
+treated as misses and recomputed; the store never raises on bad cache
+contents.
+
+Writes are atomic (temp file + ``os.replace``) so an interrupted sweep
+leaves only complete entries behind — which is the point: re-running a
+sweep executes exactly the missing jobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+import repro
+from repro.circuit.timing_solver import PAPER_TABLE3
+from repro.harness.fingerprint import digest
+from repro.power.micron import EnergyBreakdown
+from repro.sim.results import RunResult
+
+#: Bump when the entry format below changes shape.
+STORE_SCHEMA_VERSION = 1
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def schema_hash() -> str:
+    """Hash of everything that invalidates cached results wholesale."""
+    return digest(
+        [
+            "store-schema",
+            STORE_SCHEMA_VERSION,
+            repro.__version__,
+            PAPER_TABLE3,
+        ]
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    """Coerce numbers (incl. numpy scalars) and containers to JSON types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        return value.item()  # numpy scalar
+    return value
+
+
+def serialize_result(result: RunResult) -> dict:
+    """``RunResult`` -> JSON-safe dict (floats round-trip exactly)."""
+    return {
+        "workloads": list(result.workloads),
+        "mode_label": result.mode_label,
+        "execution_cycles": result.execution_cycles,
+        "per_core_cycles": list(result.per_core_cycles),
+        "avg_read_latency_cycles": result.avg_read_latency_cycles,
+        "instructions": result.instructions,
+        "reads": result.reads,
+        "writes": result.writes,
+        "energy": dataclasses.asdict(result.energy),
+        "edp": result.edp,
+        "controller_stats": _jsonable(list(result.controller_stats)),
+        "read_latency_percentiles": list(result.read_latency_percentiles),
+    }
+
+
+def deserialize_result(data: dict) -> RunResult:
+    """Inverse of :func:`serialize_result`."""
+    return RunResult(
+        workloads=tuple(data["workloads"]),
+        mode_label=data["mode_label"],
+        execution_cycles=data["execution_cycles"],
+        per_core_cycles=tuple(data["per_core_cycles"]),
+        avg_read_latency_cycles=data["avg_read_latency_cycles"],
+        instructions=data["instructions"],
+        reads=data["reads"],
+        writes=data["writes"],
+        energy=EnergyBreakdown(**data["energy"]),
+        edp=data["edp"],
+        controller_stats=tuple(data["controller_stats"]),
+        read_latency_percentiles=tuple(data["read_latency_percentiles"]),
+    )
+
+
+class ResultStore:
+    """Fingerprint-keyed persistent result cache."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self._schema_hash = schema_hash()
+        self.directory = self.root / f"v{STORE_SCHEMA_VERSION}-{self._schema_hash[:12]}"
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> RunResult | None:
+        """Load a cached result, or ``None`` on miss/corruption/mismatch.
+
+        Raises nothing: a cache must degrade to recomputation, never to a
+        crash. Rejected entries are deleted so they are not re-parsed on
+        every lookup.
+        """
+        path = self.path_for(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            if entry.get("schema_hash") != self._schema_hash:
+                raise ValueError("schema hash mismatch")
+            if entry.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            return deserialize_result(entry["result"])
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt / truncated / stale entry: drop it and recompute.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def put(self, fingerprint: str, result: RunResult) -> None:
+        """Atomically persist one result."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": STORE_SCHEMA_VERSION,
+            "schema_hash": self._schema_hash,
+            "repro_version": repro.__version__,
+            "fingerprint": fingerprint,
+            "result": serialize_result(result),
+        }
+        path = self.path_for(fingerprint)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(entry, handle)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.path_for(fingerprint).is_file()

@@ -1,0 +1,127 @@
+"""Progress and accounting for harness runs.
+
+One :class:`Telemetry` instance accompanies a harness session. The
+executor and the result store report events into it; the CLI prints its
+``summary()`` after a sweep. Counters are deliberately plain ints — the
+telemetry layer must never influence results, only describe them.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass
+class JobRecord:
+    """Wall-clock accounting for one executed job."""
+
+    fingerprint: str
+    label: str
+    seconds: float
+    where: str  # "parent" | "worker" | "retry"
+
+
+@dataclass
+class Telemetry:
+    """Counters for one sweep: queueing, execution, caching.
+
+    Attributes:
+        planned: Jobs the planner enumerated (post-dedupe).
+        queued: Jobs submitted for execution this sweep.
+        running: Jobs currently executing (gauge).
+        executed: Simulations actually run (parent or worker).
+        memory_hits: Results served from the in-process memo.
+        store_hits: Results served from the on-disk store.
+        store_misses: Store lookups that found nothing usable.
+        store_rejected: Store entries ignored (corrupt / wrong schema).
+        retried: Jobs re-run in the parent after a worker crash/timeout.
+        failures: Jobs that failed even after retry.
+    """
+
+    planned: int = 0
+    queued: int = 0
+    running: int = 0
+    executed: int = 0
+    memory_hits: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+    store_rejected: int = 0
+    retried: int = 0
+    failures: int = 0
+    records: list[JobRecord] = field(default_factory=list)
+    #: Progress sink; ``None`` silences per-job lines. The CLI installs
+    #: a stderr printer when ``--parallel`` is active.
+    progress: Callable[[str], None] | None = None
+
+    def emit(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)
+
+    # ------------------------------------------------------------------
+    # events
+
+    def job_started(self, label: str) -> float:
+        self.running += 1
+        return time.perf_counter()
+
+    def job_finished(
+        self,
+        fingerprint: str,
+        label: str,
+        started: float,
+        where: str,
+        seconds: float | None = None,
+    ) -> None:
+        """``seconds`` overrides the started-to-now measurement when the
+        caller timed the job closer to the metal (inside a pool worker)."""
+        self.running -= 1
+        self.executed += 1
+        if seconds is None:
+            seconds = time.perf_counter() - started
+        self.records.append(JobRecord(fingerprint, label, seconds, where))
+        done = self.executed
+        self.emit(f"[harness] {done}/{self.queued} {label} ({seconds:.2f}s, {where})")
+
+    def cache_hit(self, from_store: bool) -> None:
+        if from_store:
+            self.store_hits += 1
+        else:
+            self.memory_hits += 1
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_hits + self.store_hits
+
+    # ------------------------------------------------------------------
+
+    def total_sim_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def summary(self) -> str:
+        """One-line human summary for the CLI."""
+        parts = [
+            f"{self.executed} simulations executed",
+            f"{self.cache_hits} cache hits"
+            f" ({self.store_hits} disk, {self.memory_hits} memory)",
+        ]
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.failures:
+            parts.append(f"{self.failures} FAILED")
+        if self.store_rejected:
+            parts.append(f"{self.store_rejected} stale cache entries ignored")
+        if self.records:
+            parts.append(f"sim time {self.total_sim_seconds():.1f}s")
+        return "harness: " + ", ".join(parts)
+
+    def reset(self) -> None:
+        progress = self.progress
+        self.__init__(progress=progress)
+
+
+def stderr_progress(message: str) -> None:
+    """Default progress sink: one line per event on stderr."""
+    print(message, file=sys.stderr, flush=True)

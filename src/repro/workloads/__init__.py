@@ -9,11 +9,18 @@ memory intensity (instruction gap), read/write mix, row-buffer locality
 DESIGN.md §5 for why this substitution preserves the paper's effects.
 """
 
-from repro.workloads.generator import SyntheticTraceGenerator, make_trace
+from repro.workloads.generator import (
+    SyntheticTraceGenerator,
+    geometry_from_key,
+    geometry_key,
+    make_trace,
+    trace_from_provenance,
+)
 from repro.workloads.multiprogram import (
     build_multicore_workload,
     make_multiprogram_mix,
     make_multithreaded_traces,
+    multicore_workload_provenances,
     standard_multicore_mixes,
 )
 from repro.workloads.suites import (
@@ -27,6 +34,10 @@ from repro.workloads.suites import (
 __all__ = [
     "SyntheticTraceGenerator",
     "make_trace",
+    "trace_from_provenance",
+    "geometry_key",
+    "geometry_from_key",
+    "multicore_workload_provenances",
     "WorkloadProfile",
     "get_profile",
     "SUITES",

@@ -26,14 +26,26 @@ so traces are reproducible bit-for-bit.
 
 from __future__ import annotations
 
+import dataclasses
 import zlib
 from collections import Counter
 
 import numpy as np
 
-from repro.cpu.trace import Trace, TraceEntry
+from repro.cpu.trace import Trace, TraceEntry, TraceProvenance
 from repro.dram.config import DRAMGeometry, single_core_geometry
 from repro.workloads.suites import WorkloadProfile, get_profile
+
+
+def geometry_key(geometry: DRAMGeometry | None) -> tuple:
+    """Canonical tuple of a geometry's fields (``None`` = single-core)."""
+    resolved = geometry if geometry is not None else single_core_geometry()
+    return dataclasses.astuple(resolved)
+
+
+def geometry_from_key(key: tuple) -> DRAMGeometry:
+    """Rebuild a :class:`DRAMGeometry` from :func:`geometry_key` output."""
+    return DRAMGeometry(*key)
 
 #: Odd multiplier (Knuth's 2^32 golden ratio) for the row-scatter
 #: permutation; odd => bijective modulo any power of two.
@@ -180,10 +192,32 @@ def make_trace(
     row_offset: int = 0,
 ) -> Trace:
     """Convenience wrapper: look up a profile and generate its trace."""
-    generator = SyntheticTraceGenerator(
-        get_profile(name), geometry=geometry, row_offset=row_offset
+    return trace_from_provenance(
+        TraceProvenance(
+            profile=name,
+            display_name=name,
+            n_requests=n_requests,
+            seed=seed,
+            row_offset=row_offset,
+            geometry_key=geometry_key(geometry),
+        )
     )
-    trace = generator.generate(n_requests, seed)
-    if name.startswith("MT-"):
-        trace.name = name
+
+
+def trace_from_provenance(provenance: TraceProvenance) -> Trace:
+    """Materialize a trace from its provenance record.
+
+    Generation is fully deterministic, so this reproduces the original
+    trace bit-for-bit — harness worker processes use it to rebuild job
+    inputs from a few dozen bytes of provenance instead of unpickling
+    whole traces.
+    """
+    generator = SyntheticTraceGenerator(
+        get_profile(provenance.profile),
+        geometry=geometry_from_key(provenance.geometry_key),
+        row_offset=provenance.row_offset,
+    )
+    trace = generator.generate(provenance.n_requests, provenance.seed)
+    trace.name = provenance.display_name
+    trace.provenance = provenance
     return trace

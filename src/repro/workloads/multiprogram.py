@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cpu.trace import Trace
+from repro.cpu.trace import Trace, TraceProvenance
 from repro.dram.config import DRAMGeometry, multi_core_geometry
-from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.generator import geometry_key, trace_from_provenance
 from repro.workloads.suites import SUITES, get_profile
 
 #: Number of cores in the paper's multi-core system.
@@ -39,13 +39,19 @@ def _requests_for_equal_instructions(name: str, n_requests_reference: int) -> in
     budget = n_requests_reference * (_REFERENCE_GAP + 1.0)
     return max(200, round(budget / (profile.mean_gap + 1.0)))
 
-def make_multiprogram_mix(
+def multiprogram_provenances(
     names: list[str],
     n_requests_per_core: int,
     seed: int,
     geometry: DRAMGeometry | None = None,
-) -> list[Trace]:
-    """Build one quad-core multi-programmed workload from 4 names."""
+) -> tuple[TraceProvenance, ...]:
+    """Provenance records for one quad-core multi-programmed workload.
+
+    This is the mix construction recipe in declarative form; both
+    :func:`make_multiprogram_mix` and the experiment harness's job
+    planner use it, so planned jobs and driver-built traces can never
+    disagree about what a mix contains.
+    """
     if len(names) != CORES:
         raise ValueError(f"a mix needs exactly {CORES} workloads")
     geometry = geometry if geometry is not None else multi_core_geometry()
@@ -53,18 +59,55 @@ def make_multiprogram_mix(
     # the scatter permutation is a bijection, so the quarters stay
     # disjoint after scattering — separate OS address spaces.
     offset_stride = geometry.rows_per_bank // CORES
-    traces = []
-    for core, name in enumerate(names):
-        generator = SyntheticTraceGenerator(
-            get_profile(name),
-            geometry=geometry,
+    key = geometry_key(geometry)
+    return tuple(
+        TraceProvenance(
+            profile=name,
+            display_name=f"{name}@core{core}",
+            n_requests=_requests_for_equal_instructions(name, n_requests_per_core),
+            seed=seed + core,
             row_offset=core * offset_stride,
+            geometry_key=key,
         )
-        n_requests = _requests_for_equal_instructions(name, n_requests_per_core)
-        trace = generator.generate(n_requests, seed + core)
-        trace.name = f"{name}@core{core}"
-        traces.append(trace)
-    return traces
+        for core, name in enumerate(names)
+    )
+
+
+def multithreaded_provenances(
+    name: str,
+    n_requests_per_core: int,
+    seed: int,
+    geometry: DRAMGeometry | None = None,
+) -> tuple[TraceProvenance, ...]:
+    """Provenance records for a 4-thread shared-address-space workload."""
+    if not name.startswith("MT-"):
+        raise ValueError("multi-threaded workloads are named MT-<base>")
+    geometry = geometry if geometry is not None else multi_core_geometry()
+    key = geometry_key(geometry)
+    return tuple(
+        TraceProvenance(
+            profile=name,
+            display_name=f"{name}@core{core}",
+            n_requests=n_requests_per_core,
+            seed=seed * CORES + core + 1,
+            row_offset=0,
+            geometry_key=key,
+        )
+        for core in range(CORES)
+    )
+
+
+def make_multiprogram_mix(
+    names: list[str],
+    n_requests_per_core: int,
+    seed: int,
+    geometry: DRAMGeometry | None = None,
+) -> list[Trace]:
+    """Build one quad-core multi-programmed workload from 4 names."""
+    return [
+        trace_from_provenance(p)
+        for p in multiprogram_provenances(names, n_requests_per_core, seed, geometry)
+    ]
 
 
 def make_multithreaded_traces(
@@ -74,17 +117,10 @@ def make_multithreaded_traces(
     geometry: DRAMGeometry | None = None,
 ) -> list[Trace]:
     """Build a 4-thread workload sharing one address space (MT-*)."""
-    if not name.startswith("MT-"):
-        raise ValueError("multi-threaded workloads are named MT-<base>")
-    geometry = geometry if geometry is not None else multi_core_geometry()
-    profile = get_profile(name)
-    traces = []
-    for core in range(CORES):
-        generator = SyntheticTraceGenerator(profile, geometry=geometry, row_offset=0)
-        trace = generator.generate(n_requests_per_core, seed * CORES + core + 1)
-        trace.name = f"{name}@core{core}"
-        traces.append(trace)
-    return traces
+    return [
+        trace_from_provenance(p)
+        for p in multithreaded_provenances(name, n_requests_per_core, seed, geometry)
+    ]
 
 
 def standard_multicore_mixes(seed: int = 2015) -> list[tuple[str, list[str]]]:
@@ -112,6 +148,19 @@ def standard_multicore_mixes(seed: int = 2015) -> list[tuple[str, list[str]]]:
     return mixes
 
 
+def multicore_workload_provenances(
+    mix_name: str,
+    names: list[str],
+    n_requests_per_core: int,
+    seed: int,
+    geometry: DRAMGeometry | None = None,
+) -> tuple[TraceProvenance, ...]:
+    """Provenances for one entry of :func:`standard_multicore_mixes`."""
+    if mix_name.startswith("MT-"):
+        return multithreaded_provenances(mix_name, n_requests_per_core, seed, geometry)
+    return multiprogram_provenances(names, n_requests_per_core, seed, geometry)
+
+
 def build_multicore_workload(
     mix_name: str,
     names: list[str],
@@ -120,8 +169,9 @@ def build_multicore_workload(
     geometry: DRAMGeometry | None = None,
 ) -> list[Trace]:
     """Materialize one entry of :func:`standard_multicore_mixes`."""
-    if mix_name.startswith("MT-"):
-        return make_multithreaded_traces(
-            mix_name, n_requests_per_core, seed, geometry
+    return [
+        trace_from_provenance(p)
+        for p in multicore_workload_provenances(
+            mix_name, names, n_requests_per_core, seed, geometry
         )
-    return make_multiprogram_mix(names, n_requests_per_core, seed, geometry)
+    ]

@@ -1,0 +1,14 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.harness import session
+
+
+@pytest.fixture(autouse=True)
+def _reset_harness_session():
+    """Start every test from the default harness session (serial,
+    memory-only), so a CLI test that configured parallelism or a disk
+    cache can never leak that state into later tests."""
+    session.configure(None)
+    yield

@@ -4,7 +4,7 @@ import pytest
 
 from repro.experiments import fig08_wiring, fig10_table3
 from repro.experiments.reporting import ExperimentResult, render_table
-from repro.experiments.runner import clear_caches, geometric_mean_pct
+from repro.experiments.runner import clear_caches, geometric_mean_pct, mean_pct
 from repro.experiments.scale import get_scale
 
 
@@ -115,6 +115,10 @@ class TestSimulationExperiments:
 
 
 class TestHelpers:
-    def test_geometric_mean_pct(self):
-        assert geometric_mean_pct([]) == 0.0
-        assert geometric_mean_pct([2.0, 4.0]) == 3.0
+    def test_mean_pct(self):
+        assert mean_pct([]) == 0.0
+        assert mean_pct([2.0, 4.0]) == 3.0
+
+    def test_geometric_mean_pct_deprecated_alias(self):
+        with pytest.warns(DeprecationWarning):
+            assert geometric_mean_pct([2.0, 4.0]) == 3.0

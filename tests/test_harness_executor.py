@@ -1,0 +1,88 @@
+"""Executor: parallel output equals serial output; dedupe; failure policy."""
+
+import pytest
+
+from repro.core.api import SystemSpec
+from repro.core.mcr_mode import MCRMode
+from repro.cpu.trace import TraceProvenance
+from repro.harness import HarnessConfig, SimJob, Telemetry, execute_jobs
+from repro.workloads import geometry_key
+
+
+def _jobs():
+    """A small sweep: two workloads × (baseline + one MCR mode)."""
+    spec = SystemSpec()
+    cf = SystemSpec(allocation="collision-free")
+    jobs = []
+    for profile in ("comm2", "libq"):
+        provenance = TraceProvenance(
+            profile=profile,
+            display_name=profile,
+            n_requests=250,
+            seed=11,
+            row_offset=0,
+            geometry_key=geometry_key(None),
+        )
+        jobs.append(SimJob.from_provenances([provenance], MCRMode.off(), spec))
+        jobs.append(
+            SimJob.from_provenances([provenance], MCRMode.parse("4/4x/100%reg"), cf)
+        )
+    return jobs
+
+
+@pytest.mark.slow
+def test_parallel_results_equal_serial():
+    serial = execute_jobs(_jobs(), HarnessConfig(parallel=1), memo={})
+    parallel = execute_jobs(_jobs(), HarnessConfig(parallel=2), memo={})
+    assert list(serial) == list(parallel)  # same fingerprints, same order
+    assert serial == parallel  # bit-identical RunResults
+
+
+def test_duplicate_jobs_execute_once():
+    job = _jobs()[0]
+    telemetry = Telemetry()
+    results = execute_jobs(
+        [job, job, job], HarnessConfig(), memo={}, telemetry=telemetry
+    )
+    assert telemetry.executed == 1
+    assert list(results) == [job.fingerprint]
+
+
+def test_memo_hit_skips_execution():
+    job = _jobs()[0]
+    memo = {}
+    execute_jobs([job], HarnessConfig(), memo=memo)
+    telemetry = Telemetry()
+    execute_jobs([job], HarnessConfig(), memo=memo, telemetry=telemetry)
+    assert telemetry.executed == 0
+    assert telemetry.memory_hits == 1
+
+
+@pytest.mark.slow
+def test_broken_job_surfaces_after_retry():
+    """A job that crashes in its worker is retried in the parent; a job
+    that fails both raises instead of silently vanishing from the sweep."""
+    bad = SimJob.from_provenances(
+        [
+            TraceProvenance(
+                profile="no-such-workload",
+                display_name="bad",
+                n_requests=100,
+                seed=1,
+                row_offset=0,
+                geometry_key=geometry_key(None),
+            )
+        ],
+        MCRMode.off(),
+        SystemSpec(),
+    )
+    telemetry = Telemetry()
+    with pytest.raises(Exception):
+        execute_jobs(
+            [_jobs()[0], bad],  # two jobs so the pool path actually runs
+            HarnessConfig(parallel=2),
+            memo={},
+            telemetry=telemetry,
+        )
+    assert telemetry.retried == 1
+    assert telemetry.failures == 1

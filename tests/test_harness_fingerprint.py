@@ -1,0 +1,143 @@
+"""Fingerprint stability: equal content ⇒ equal hash, any perturbation ⇒ new hash."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import SystemSpec
+from repro.core.mcr_mode import MCRMode
+from repro.cpu.trace import TraceProvenance
+from repro.dram.config import multi_core_geometry
+from repro.dram.refresh import WiringMethod
+from repro.harness import SimJob, canonical, digest, fingerprint_run
+from repro.harness.fingerprint import fingerprint_trace
+from repro.workloads import geometry_key, make_trace
+
+
+def _provenance(profile="comm2", n_requests=300, seed=7, row_offset=0, geometry=None):
+    return TraceProvenance(
+        profile=profile,
+        display_name=profile,
+        n_requests=n_requests,
+        seed=seed,
+        row_offset=row_offset,
+        geometry_key=geometry_key(geometry),
+    )
+
+
+def _job(provenance, mode="4/4x/100%reg", spec=None):
+    return SimJob.from_provenances(
+        [provenance], MCRMode.parse(mode), spec or SystemSpec()
+    )
+
+
+class TestProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31), n=st.integers(200, 10_000))
+    def test_equal_recipes_hash_equal(self, seed, n):
+        a = _job(_provenance(seed=seed, n_requests=n))
+        b = _job(_provenance(seed=seed, n_requests=n))
+        assert a.fingerprint == b.fingerprint
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_perturbed_seed_hashes_differently(self, seed):
+        assert (
+            _job(_provenance(seed=seed)).fingerprint
+            != _job(_provenance(seed=seed + 1)).fingerprint
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_perturbed_mode_hashes_differently(self, seed):
+        p = _provenance(seed=seed)
+        assert _job(p, "4/4x/100%reg").fingerprint != _job(p, "2/2x/100%reg").fingerprint
+        assert _job(p, "4/4x/100%reg").fingerprint != _job(p, "4/4x/50%reg").fingerprint
+
+
+class TestPerturbations:
+    def test_spec_fields_reach_the_hash(self):
+        p = _provenance()
+        base = _job(p).fingerprint
+        assert _job(p, spec=SystemSpec(allocation="collision-free")).fingerprint != base
+        assert _job(p, spec=SystemSpec(wiring=WiringMethod.K_TO_K)).fingerprint != base
+        assert _job(p, spec=SystemSpec(refresh_enabled=False)).fingerprint != base
+
+    def test_geometry_reaches_the_hash(self):
+        assert (
+            _job(_provenance()).fingerprint
+            != _job(_provenance(geometry=multi_core_geometry())).fingerprint
+        )
+
+    def test_trace_count_and_order_matter(self):
+        a, b = _provenance(profile="comm2"), _provenance(profile="libq")
+        mode, spec = MCRMode.parse("4/4x/100%reg"), SystemSpec()
+        ab = SimJob.from_provenances([a, b], mode, spec)
+        ba = SimJob.from_provenances([b, a], mode, spec)
+        just_a = SimJob.from_provenances([a], mode, spec)
+        assert len({ab.fingerprint, ba.fingerprint, just_a.fingerprint}) == 3
+
+
+class TestTraceFingerprints:
+    def test_built_trace_collides_with_planned_job(self):
+        """from_traces and from_provenances must agree, or the planner's
+        prewarmed results would never be found by the drivers."""
+        trace = make_trace("comm2", n_requests=300, seed=7)
+        planned = _job(trace.provenance)
+        driven = SimJob.from_traces([trace], MCRMode.parse("4/4x/100%reg"), SystemSpec())
+        assert planned.fingerprint == driven.fingerprint
+
+    def test_literal_trace_hashes_its_entries(self):
+        trace = make_trace("comm2", n_requests=300, seed=7)
+        bare = make_trace("comm2", n_requests=300, seed=7)
+        bare.provenance = None
+        assert fingerprint_trace(trace) != fingerprint_trace(bare)
+        rebuilt = make_trace("comm2", n_requests=300, seed=7)
+        rebuilt.provenance = None
+        assert fingerprint_trace(bare) == fingerprint_trace(rebuilt)
+        bare.entries[0] = type(bare.entries[0])(
+            gap=bare.entries[0].gap + 1,
+            is_write=bare.entries[0].is_write,
+            address=bare.entries[0].address,
+        )
+        assert fingerprint_trace(bare) != fingerprint_trace(rebuilt)
+
+
+class TestCrossProcess:
+    def test_fingerprint_is_stable_across_processes(self):
+        """The property the on-disk store depends on: a fresh interpreter
+        computes the same fingerprint for the same job."""
+        trace = make_trace("comm2", n_requests=200, seed=3)
+        here = fingerprint_run([trace], MCRMode.parse("4/4x/100%reg").config, SystemSpec())
+        script = (
+            "from repro.core.api import SystemSpec\n"
+            "from repro.core.mcr_mode import MCRMode\n"
+            "from repro.harness import fingerprint_run\n"
+            "from repro.workloads import make_trace\n"
+            "t = make_trace('comm2', n_requests=200, seed=3)\n"
+            "print(fingerprint_run([t], MCRMode.parse('4/4x/100%reg').config, SystemSpec()))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env=os.environ.copy(),
+        )
+        assert out.stdout.strip() == here
+
+
+class TestCanonical:
+    def test_rejects_unknown_types(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+    def test_dict_key_order_is_irrelevant(self):
+        assert digest({"a": 1, "b": 2}) == digest({"b": 2, "a": 1})
+
+    def test_float_int_and_bool_do_not_collide(self):
+        assert len({digest(1), digest(1.0), digest(True)}) == 3

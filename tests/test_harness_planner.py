@@ -1,0 +1,56 @@
+"""Planner: registry lockstep with the CLI, and prewarm actually covering drivers."""
+
+import pytest
+
+from repro.experiments.cli import _registry
+from repro.experiments.scale import ScaleConfig
+from repro.harness import session
+from repro.harness.planner import plan, PLANNERS
+
+TINY = ScaleConfig(
+    name="tiny",
+    n_requests_single=250,
+    n_requests_multi_per_core=200,
+    single_workloads=("comm2",),
+    n_multicore_mixes=1,
+)
+
+
+def test_planner_registry_matches_cli_registry():
+    """Every CLI experiment has a planner entry (possibly a no-op one),
+    and no planner plans an experiment the CLI cannot run."""
+    assert set(PLANNERS) == set(_registry())
+
+
+def test_plan_dedupes_across_experiments():
+    """fig11 and headline share every conventional baseline; planning
+    both must not plan those jobs twice."""
+    separately = len(plan(["fig11"], TINY)) + len(plan(["headline"], TINY))
+    together = len(plan(["fig11", "headline"], TINY))
+    assert together < separately
+
+
+def test_plan_is_deterministic():
+    first = [job.fingerprint for job in plan(["fig11", "fig13"], TINY)]
+    second = [job.fingerprint for job in plan(["fig11", "fig13"], TINY)]
+    assert first == second
+
+
+def test_unknown_experiment_plans_nothing():
+    assert plan(["not-an-experiment"], TINY) == []
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", ["fig11", "headline", "wiring"])
+def test_prewarmed_plan_covers_the_driver(name):
+    """The lockstep guarantee: after prewarming the planned graph, the
+    driver finds every simulation it needs in the cache and executes
+    nothing new. This is what keeps planner sweeps and driver sweeps
+    from silently drifting apart."""
+    active = session.active()
+    active.prewarm(plan([name], TINY))
+    executed_by_prewarm = active.telemetry.executed
+    assert executed_by_prewarm > 0
+
+    _registry()[name](scale=TINY)
+    assert active.telemetry.executed == executed_by_prewarm

@@ -1,0 +1,103 @@
+"""On-disk result store: persistence, corruption tolerance, stale-cache guard."""
+
+import json
+
+import pytest
+
+from repro.core.api import SystemSpec
+from repro.core.mcr_mode import MCRMode
+from repro.harness import HarnessConfig, HarnessSession, ResultStore
+from repro.harness.jobs import SimJob
+from repro.harness.store import serialize_result, deserialize_result
+from repro.workloads import make_trace
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    trace = make_trace("comm2", n_requests=200, seed=3)
+    job = SimJob.from_traces([trace], MCRMode.off(), SystemSpec())
+    return job.fingerprint, job.execute()
+
+
+def test_roundtrip(tmp_path, tiny_result):
+    fingerprint, result = tiny_result
+    store = ResultStore(tmp_path)
+    assert store.get(fingerprint) is None
+    store.put(fingerprint, result)
+    assert fingerprint in store
+    assert store.get(fingerprint) == result
+    assert deserialize_result(serialize_result(result)) == result
+
+
+def test_corrupted_entry_is_a_miss_and_gets_dropped(tmp_path, tiny_result):
+    fingerprint, result = tiny_result
+    store = ResultStore(tmp_path)
+    store.put(fingerprint, result)
+    path = store.path_for(fingerprint)
+    path.write_text("{ this is not json")
+    assert store.get(fingerprint) is None
+    assert not path.exists()  # rejected entries are deleted, not re-parsed
+
+
+def test_schema_hash_mismatch_is_a_miss(tmp_path, tiny_result):
+    fingerprint, result = tiny_result
+    store = ResultStore(tmp_path)
+    store.put(fingerprint, result)
+    path = store.path_for(fingerprint)
+    entry = json.loads(path.read_text())
+    entry["schema_hash"] = "0" * 64
+    path.write_text(json.dumps(entry))
+    assert store.get(fingerprint) is None
+
+
+def test_version_bump_moves_the_store_directory(tmp_path, monkeypatch, tiny_result):
+    """The stale-cache guard: package version is folded into the schema
+    hash, so a release invalidates every cached simulation wholesale."""
+    fingerprint, result = tiny_result
+    old = ResultStore(tmp_path)
+    old.put(fingerprint, result)
+    monkeypatch.setattr("repro.__version__", "999.0.0")
+    bumped = ResultStore(tmp_path)
+    assert bumped.directory != old.directory
+    assert bumped.get(fingerprint) is None
+
+
+def test_table3_change_moves_the_store_directory(tmp_path, monkeypatch, tiny_result):
+    """Same guard for the canonical timing values: editing the timing
+    model must never serve results simulated under the old constraints."""
+    fingerprint, result = tiny_result
+    old = ResultStore(tmp_path)
+    old.put(fingerprint, result)
+    monkeypatch.setattr("repro.harness.store.PAPER_TABLE3", {"edited": {}})
+    bumped = ResultStore(tmp_path)
+    assert bumped.directory != old.directory
+    assert bumped.get(fingerprint) is None
+
+
+def test_second_run_is_all_store_hits(tmp_path):
+    trace = make_trace("comm2", n_requests=200, seed=3)
+    first = HarnessSession(HarnessConfig(cache_dir=str(tmp_path)))
+    result = first.run([trace], MCRMode.off().config, SystemSpec())
+    assert first.telemetry.executed == 1
+
+    # A fresh session (fresh process, conceptually): memo is empty, so the
+    # result must come off disk without executing anything.
+    second = HarnessSession(HarnessConfig(cache_dir=str(tmp_path)))
+    again = second.run([trace], MCRMode.off().config, SystemSpec())
+    assert again == result
+    assert second.telemetry.executed == 0
+    assert second.telemetry.store_hits == 1
+
+
+def test_corrupt_cache_entry_recomputes(tmp_path):
+    trace = make_trace("comm2", n_requests=200, seed=3)
+    session = HarnessSession(HarnessConfig(cache_dir=str(tmp_path)))
+    result = session.run([trace], MCRMode.off().config, SystemSpec())
+    store = session.store
+    job = SimJob.from_traces([trace], MCRMode.off(), SystemSpec())
+    store.path_for(job.fingerprint).write_text("garbage")
+
+    fresh = HarnessSession(HarnessConfig(cache_dir=str(tmp_path)))
+    again = fresh.run([trace], MCRMode.off().config, SystemSpec())
+    assert again == result
+    assert fresh.telemetry.executed == 1  # recomputed, not crashed
