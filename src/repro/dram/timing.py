@@ -227,3 +227,34 @@ class TimingDomain:
             "tRFC_normal": self._trfc_cycles[RowClass.NORMAL],
             "tRFC_mcr": self._trfc_cycles[RowClass.MCR],
         }
+
+    def constraint_table(self) -> dict[str, int]:
+        """Every inter-command spacing constraint, by the name the
+        observability layer (tracer gates, invariant checker) uses.
+
+        Row-class-dependent constraints are suffixed with the class name;
+        channel-wide constraints appear once.
+        """
+        base = self.base
+        table: dict[str, int] = {
+            "tRP": base.t_rp,
+            "tCAS": base.t_cas,
+            "tCWD": base.t_cwd,
+            "tBURST": base.t_burst,
+            "tRRD": base.t_rrd,
+            "tFAW": base.t_faw,
+            "tWR": base.t_wr,
+            "tWTR": base.t_wtr,
+            "tRTP": base.t_rtp,
+            "tCCD": base.t_ccd,
+            "tRTRS": base.t_rtrs,
+            "tREFI": base.t_refi,
+        }
+        for row_class in RowClass:
+            suffix = row_class.name.lower()
+            timings = self._row_timings[row_class]
+            table[f"tRCD.{suffix}"] = timings.t_rcd
+            table[f"tRAS.{suffix}"] = timings.t_ras
+            table[f"tRC.{suffix}"] = timings.t_rc
+            table[f"tRFC.{suffix}"] = self._trfc_cycles[row_class]
+        return table

@@ -8,6 +8,9 @@ Examples::
     mcr-dram run all --scale small --parallel 4
     mcr-dram run fig11 --no-cache
     mcr-dram report --scale small --parallel 8
+    mcr-dram report --scale smoke --metrics
+    mcr-dram trace comm2 --mode 4/4x/100%reg --requests 300
+    mcr-dram trace libq --format jsonl --out libq.jsonl
 
 Runs go through the execution harness (:mod:`repro.harness`): results
 are cached on disk under ``.repro-cache/`` (override with
@@ -117,6 +120,50 @@ def _prewarm(session, names: list[str], scale) -> None:
         session.prewarm(jobs)
 
 
+def _run_trace(args: argparse.Namespace) -> int:
+    """``mcr-dram trace``: one observed run, timeline or JSONL out."""
+    from repro.obs import ObservabilityConfig, format_metrics, observe_run
+    from repro.workloads import make_trace
+
+    trace = make_trace(args.workload, n_requests=args.requests, seed=args.seed)
+    result, hub = observe_run(
+        [trace],
+        args.mode,
+        config=ObservabilityConfig.full(metrics=args.metrics),
+    )
+    tracer = hub.tracer
+    if args.format == "jsonl":
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                count = tracer.write_jsonl(handle)
+            print(f"wrote {count} events to {args.out}", file=sys.stderr)
+        else:
+            print(tracer.to_jsonl())
+    else:
+        text = tracer.timeline(limit=args.limit)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            print(f"wrote {len(tracer)} events to {args.out}", file=sys.stderr)
+        else:
+            print(text)
+    print(
+        f"[{trace.name} mode={result.mode_label} "
+        f"{len(tracer)} commands in {result.execution_cycles} cycles]",
+        file=sys.stderr,
+    )
+    if args.metrics:
+        print(format_metrics(hub.metrics_snapshot()))
+    if hub.violations:
+        print(
+            f"INVARIANT VIOLATIONS ({len(hub.violations)}):", file=sys.stderr
+        )
+        for violation in hub.violations[:10]:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mcr-dram",
@@ -151,8 +198,50 @@ def main(argv: list[str] | None = None) -> int:
     report.add_argument(
         "--output", default="EXPERIMENTS.md", help="output path (- for stdout)"
     )
+    report.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the harness metrics registry after the report",
+    )
     _add_harness_args(report)
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run one workload with the command-stream tracer attached",
+    )
+    trace_cmd.add_argument("workload", help="workload name, e.g. comm2, libq")
+    trace_cmd.add_argument(
+        "--mode", default="off", help="MCR mode string (default: off)"
+    )
+    trace_cmd.add_argument(
+        "--requests", type=int, default=300, help="trace length (default: 300)"
+    )
+    trace_cmd.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    trace_cmd.add_argument(
+        "--format",
+        choices=("timeline", "jsonl"),
+        default="timeline",
+        help="human-readable timeline (default) or JSON Lines",
+    )
+    trace_cmd.add_argument(
+        "--out", default=None, metavar="FILE", help="write to FILE instead of stdout"
+    )
+    trace_cmd.add_argument(
+        "--limit",
+        type=int,
+        default=60,
+        help="timeline: show only the first N events (default: 60; 0 = all)",
+    )
+    trace_cmd.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the run's metrics registry",
+    )
     args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        if args.limit == 0:
+            args.limit = None
+        return _run_trace(args)
 
     registry = _registry()
     if args.command == "list":
@@ -167,6 +256,10 @@ def main(argv: list[str] | None = None) -> int:
         _prewarm(session, list(registry), get_scale(args.scale))
         text = generate(get_scale(args.scale) if args.scale else None)
         print(session.telemetry.summary(), file=sys.stderr)
+        if args.metrics:
+            from repro.obs import format_metrics
+
+            print(format_metrics(session.telemetry.to_metrics().snapshot()))
         if args.output == "-":
             print(text)
         else:
@@ -209,4 +302,12 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    try:
+        code = main()
+    except BrokenPipeError:
+        # stdout piped into a pager/head that exited early; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        code = 0
+    raise SystemExit(code)

@@ -78,6 +78,7 @@ def serialize_result(result: RunResult) -> dict:
         "edp": result.edp,
         "controller_stats": _jsonable(list(result.controller_stats)),
         "read_latency_percentiles": list(result.read_latency_percentiles),
+        "metrics": _jsonable(result.metrics) if result.metrics is not None else None,
     }
 
 
@@ -96,6 +97,9 @@ def deserialize_result(data: dict) -> RunResult:
         edp=data["edp"],
         controller_stats=tuple(data["controller_stats"]),
         read_latency_percentiles=tuple(data["read_latency_percentiles"]),
+        # .get(): entries written before the observability layer lack the
+        # key; they deserialize with metrics=None rather than invalidating.
+        metrics=data.get("metrics"),
     )
 
 

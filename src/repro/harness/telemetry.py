@@ -100,6 +100,32 @@ class Telemetry:
     def total_sim_seconds(self) -> float:
         return sum(r.seconds for r in self.records)
 
+    def to_metrics(self):
+        """The sweep's counters as a :class:`repro.obs.MetricsRegistry`.
+
+        Bridges harness accounting into the same registry format the
+        simulator's observability layer uses, so ``repro report
+        --metrics`` renders both uniformly.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("harness.planned").inc(self.planned)
+        registry.counter("harness.queued").inc(self.queued)
+        registry.counter("harness.executed").inc(self.executed)
+        registry.counter("harness.cache_hits", tier="memory").inc(self.memory_hits)
+        registry.counter("harness.cache_hits", tier="disk").inc(self.store_hits)
+        registry.counter("harness.store_misses").inc(self.store_misses)
+        registry.counter("harness.store_rejected").inc(self.store_rejected)
+        registry.counter("harness.retried").inc(self.retried)
+        registry.counter("harness.failures").inc(self.failures)
+        histogram = registry.histogram(
+            "harness.job_seconds", buckets=(0.1, 0.5, 1, 2, 5, 10, 30, 60)
+        )
+        for record in self.records:
+            histogram.observe(record.seconds)
+        return registry
+
     def summary(self) -> str:
         """One-line human summary for the CLI."""
         parts = [

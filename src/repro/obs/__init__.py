@@ -1,0 +1,55 @@
+"""Observability: command-stream tracing, metrics, invariant checking.
+
+The subsystem is strictly descriptive — nothing here may influence
+simulation results. Entry points:
+
+- :func:`observe_run` — run a simulation with observability attached;
+- :class:`ObservabilityConfig` — what to collect (pass to
+  :class:`~repro.sim.engine.SystemSimulator` or
+  :func:`~repro.core.api.run_system`);
+- ``python -m repro.obs.fuzz`` — the CI invariant-checker fuzz driver.
+"""
+
+from repro.obs.hub import (
+    ChannelObserver,
+    ObservabilityConfig,
+    ObservabilityHub,
+    observe_run,
+)
+from repro.obs.invariants import (
+    GATE_QUEUE,
+    GATE_READY,
+    ConstraintModel,
+    InvariantChecker,
+    InvariantError,
+    Violation,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metrics,
+)
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, CommandTracer, TraceEvent
+
+__all__ = [
+    "ChannelObserver",
+    "CommandTracer",
+    "ConstraintModel",
+    "Counter",
+    "GATE_QUEUE",
+    "GATE_READY",
+    "Gauge",
+    "Histogram",
+    "InvariantChecker",
+    "InvariantError",
+    "MetricsRegistry",
+    "ObservabilityConfig",
+    "ObservabilityHub",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+    "Violation",
+    "format_metrics",
+    "observe_run",
+]

@@ -1,0 +1,196 @@
+"""Invariant-checker fuzz driver (the CI fuzz step).
+
+Runs randomized short simulations under a time budget, alternating two
+kinds of iteration:
+
+- **clean**: a random trace/mode/geometry with the online checker on —
+  the checker must report zero violations (the device and the checker
+  derive timing independently, so any disagreement is a bug in one of
+  them);
+- **corrupted**: the simulated device is programmed with a deliberately
+  lowered tRCD (every row class, via ``row_timing_overrides``) while the checker
+  validates against the *true* derived :class:`TimingDomain` — the
+  checker must flag tRCD violations, proving it actually detects a
+  corrupted timing table rather than vacuously passing.
+
+Usage::
+
+    python -m repro.obs.fuzz --seconds 60 --seed 0
+
+Exit code 0 when every iteration behaved, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+
+from repro.core.mcr_mode import MCRMode
+from repro.cpu.trace import Trace, TraceEntry
+from repro.dram.config import DRAMGeometry
+from repro.dram.mcr import RowClass
+from repro.dram.timing import RowTimings, TimingDomain
+from repro.obs.hub import ObservabilityConfig, observe_run
+
+#: Modes the fuzzer samples; covers baseline, full-region and partial
+#: MCR, and the combined two-class configuration.
+MODES = ("off", "2/2x/100%reg", "4/4x/100%reg", "2/2x/50%reg")
+
+#: How much to shave off the true NORMAL tRCD in corrupted iterations.
+TRCD_CORRUPTION_CYCLES = 6
+
+
+def fuzz_geometry(channels: int = 2) -> DRAMGeometry:
+    """A tiny multi-channel device so short runs touch every structure."""
+    return DRAMGeometry(
+        channels=channels,
+        ranks_per_channel=2,
+        banks_per_rank=4,
+        rows_per_bank=2048,
+        columns_per_row=32,
+        rows_per_subarray=512,
+        density="1Gb",
+    )
+
+
+def random_trace(
+    rng: random.Random, geometry: DRAMGeometry, n_requests: int, name: str = "fuzz"
+) -> Trace:
+    """A random mixed read/write trace over the whole address space."""
+    max_block = geometry.capacity_bytes // 64 - 1
+    entries = [
+        TraceEntry(
+            gap=rng.randint(0, 30),
+            is_write=rng.random() < 0.3,
+            address=rng.randint(0, max_block) * 64,
+        )
+        for _ in range(n_requests)
+    ]
+    return Trace(name=name, entries=entries)
+
+
+def miss_heavy_trace(
+    rng: random.Random, geometry: DRAMGeometry, n_requests: int
+) -> Trace:
+    """A read stream striding across rows so nearly every access is a
+    row miss (each one exercises ACT -> column, i.e. tRCD)."""
+    row_bytes = geometry.columns_per_row * 64
+    rows = geometry.rows_per_bank
+    start = rng.randrange(rows)
+    entries = [
+        TraceEntry(
+            gap=rng.randint(0, 8),
+            is_write=False,
+            address=((start + i * 33) % rows) * row_bytes,
+        )
+        for i in range(n_requests)
+    ]
+    return Trace(name="fuzz-miss", entries=entries)
+
+
+def corrupted_trcd_overrides(
+    true_domain: TimingDomain, cycles: int = TRCD_CORRUPTION_CYCLES
+) -> dict[RowClass, RowTimings]:
+    """Overrides lowering every row class's tRCD by up to ``cycles``.
+
+    All classes are corrupted so the fault is exercised whatever mix of
+    normal/MCR rows the fuzzed trace happens to touch.
+    """
+    overrides = {}
+    for row_class in RowClass:
+        timings = true_domain.row_timings(row_class)
+        overrides[row_class] = RowTimings(
+            t_rcd=max(1, timings.t_rcd - cycles),
+            t_ras=timings.t_ras,
+            t_rc=timings.t_rc,
+        )
+    return overrides
+
+
+def run_clean_iteration(rng: random.Random) -> list[str]:
+    """One randomized run; returns a list of failure descriptions."""
+    geometry = fuzz_geometry(channels=rng.choice((1, 2)))
+    mode = MCRMode.parse(rng.choice(MODES))
+    from repro.core.api import SystemSpec
+
+    traces = [
+        random_trace(rng, geometry, rng.randint(60, 200), name=f"fuzz{i}")
+        for i in range(rng.choice((1, 2)))
+    ]
+    _, hub = observe_run(
+        traces,
+        mode,
+        spec=SystemSpec(geometry=geometry),
+        config=ObservabilityConfig(invariants=True),
+        max_cycles=3_000_000,
+    )
+    return [f"clean run violated: {v}" for v in hub.violations[:5]]
+
+
+def run_corrupted_iteration(rng: random.Random) -> list[str]:
+    """One corrupted-device run; the checker must catch the bad tRCD."""
+    geometry = fuzz_geometry(channels=1)
+    mode = MCRMode.parse(rng.choice(MODES))
+    from repro.core.api import SystemSpec
+
+    true_domain = TimingDomain(geometry, mode.config)
+    _, hub = observe_run(
+        [miss_heavy_trace(rng, geometry, rng.randint(80, 200))],
+        mode,
+        spec=SystemSpec(geometry=geometry),
+        config=ObservabilityConfig(
+            invariants=True, reference_domain=true_domain
+        ),
+        max_cycles=3_000_000,
+        row_timing_overrides=corrupted_trcd_overrides(true_domain),
+    )
+    if not any(v.constraint == "tRCD" for v in hub.violations):
+        return [
+            "corrupted tRCD went undetected "
+            f"(mode={mode.config.label()}, violations="
+            f"{[v.constraint for v in hub.violations[:5]]})"
+        ]
+    return []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.fuzz", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--seconds", type=float, default=10.0, help="time budget (default 10)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base RNG seed")
+    parser.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        help="stop after N iterations even with budget left",
+    )
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    deadline = time.monotonic() + args.seconds
+    failures: list[str] = []
+    iterations = 0
+    # Always run at least one clean and one corrupted iteration, however
+    # small the budget.
+    while iterations < 2 or (
+        time.monotonic() < deadline
+        and (args.max_iterations is None or iterations < args.max_iterations)
+    ):
+        if iterations % 2 == 0:
+            failures.extend(run_clean_iteration(rng))
+        else:
+            failures.extend(run_corrupted_iteration(rng))
+        iterations += 1
+    print(f"fuzz: {iterations} iterations, {len(failures)} failures")
+    for failure in failures[:20]:
+        print(f"  FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,281 @@
+"""The observability hub: one object wiring tracer, metrics and checker.
+
+The simulator owns at most one :class:`ObservabilityHub` per run. Each
+memory controller gets a :class:`ChannelObserver` bound to its channel
+index; the controller calls it (behind a single ``is not None`` check,
+so disabled observability costs one branch per command) with every
+issued command and every accepted request. The hub fans those events out
+to whichever components the :class:`ObservabilityConfig` enabled:
+
+- the **tracer** records the command with the gate label the constraint
+  model derived;
+- the **metrics registry** counts commands, classifies request arrivals
+  (row hit / conflict / closed bank), samples queue depths, and detects
+  sense-amp early-access events (an MCR-row column command issued before
+  the *normal* tRCD would have allowed);
+- the **invariant checker** validates inter-command spacing against the
+  reference :class:`~repro.dram.timing.TimingDomain` as commands issue.
+
+``finalize`` folds end-of-run controller counters (refresh slot mix, row
+hit totals, latency aggregates) into the registry so a single snapshot
+describes the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.dram.commands import Command
+from repro.dram.config import DRAMGeometry
+from repro.dram.mcr import MCRModeConfig, RowClass
+from repro.dram.timing import TimingDomain
+from repro.obs.invariants import InvariantChecker, Violation
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import CommandTracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.request import MemoryRequest
+    from repro.sim.results import RunResult
+
+#: Queue-depth histogram buckets (queues are 32 entries).
+_DEPTH_BUCKETS = (1, 2, 4, 8, 16, 24, 32)
+
+
+@dataclass(frozen=True, slots=True)
+class ObservabilityConfig:
+    """What to observe during a run.
+
+    Attributes:
+        trace: Record the command stream (implies running the constraint
+            model for gate labels).
+        metrics: Collect the metrics registry.
+        invariants: Check inter-command spacing online.
+        fail_fast: Raise :class:`~repro.obs.invariants.InvariantError`
+            at the first violation instead of collecting (CI fuzz mode).
+        reference_domain: Timing domain the checker validates against;
+            defaults to the simulated device's own domain. Pass an
+            independently derived domain to detect a corrupted device
+            timing table.
+        max_trace_events: Cap on stored trace events (None = unbounded).
+    """
+
+    trace: bool = False
+    metrics: bool = False
+    invariants: bool = False
+    fail_fast: bool = False
+    reference_domain: TimingDomain | None = None
+    max_trace_events: int | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.trace or self.metrics or self.invariants
+
+    @classmethod
+    def full(cls, **overrides) -> "ObservabilityConfig":
+        """Everything on — the CLI ``trace`` command's default."""
+        merged = {"trace": True, "metrics": True, "invariants": True}
+        merged.update(overrides)
+        return cls(**merged)
+
+
+class ChannelObserver:
+    """Per-channel adapter the controller calls into."""
+
+    __slots__ = ("hub", "channel")
+
+    def __init__(self, hub: "ObservabilityHub", channel: int) -> None:
+        self.hub = hub
+        self.channel = channel
+
+    def on_command(self, cmd: Command, row_class: RowClass | None) -> None:
+        self.hub.on_command(self.channel, cmd, row_class)
+
+    def on_enqueue(
+        self,
+        request: "MemoryRequest",
+        read_depth: int,
+        write_depth: int,
+        open_row: int | None,
+    ) -> None:
+        self.hub.on_enqueue(self.channel, request, read_depth, write_depth, open_row)
+
+
+class ObservabilityHub:
+    """All observability state for one simulation run."""
+
+    def __init__(
+        self,
+        config: ObservabilityConfig,
+        geometry: DRAMGeometry,
+        domain: TimingDomain,
+        mode: MCRModeConfig,
+    ) -> None:
+        self.config = config
+        reference = (
+            config.reference_domain if config.reference_domain is not None else domain
+        )
+        self.tracer = (
+            CommandTracer(max_events=config.max_trace_events) if config.trace else None
+        )
+        self.registry = MetricsRegistry() if config.metrics else None
+        # The constraint model runs whenever gates are needed (tracing)
+        # or checking was asked for; violations are collected either way.
+        self.checker = (
+            InvariantChecker(
+                geometry,
+                reference,
+                mode,
+                channels=geometry.channels,
+                fail_fast=config.fail_fast,
+            )
+            if (config.trace or config.invariants)
+            else None
+        )
+        self._normal_trcd = reference.row_timings(RowClass.NORMAL).t_rcd
+        #: (channel, rank, bank) -> ACT cycle, for early-access detection.
+        self._last_act: dict[tuple[int, int, int], int] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Event sinks
+    # ------------------------------------------------------------------
+
+    def channel_observer(self, channel: int) -> ChannelObserver:
+        return ChannelObserver(self, channel)
+
+    def on_command(
+        self, channel: int, cmd: Command, row_class: RowClass | None
+    ) -> None:
+        gate = ""
+        if self.checker is not None:
+            gate = self.checker.check(channel, cmd, row_class)
+        registry = self.registry
+        if registry is not None:
+            registry.counter("sim.commands", channel=channel, kind=cmd.kind.name).inc()
+            kind = cmd.kind.name
+            if kind == "ACTIVATE":
+                self._last_act[(channel, cmd.rank, cmd.bank)] = cmd.cycle
+            elif kind in ("READ", "WRITE") and row_class not in (None, RowClass.NORMAL):
+                act = self._last_act.get((channel, cmd.rank, cmd.bank))
+                if act is not None and cmd.cycle - act < self._normal_trcd:
+                    # The sense amps were accessed before a normal row
+                    # would have finished sensing — Early-Access at work.
+                    registry.counter("sim.early_access_events", channel=channel).inc()
+        if self.tracer is not None:
+            self.tracer.record(channel, cmd, row_class, gate)
+
+    def on_enqueue(
+        self,
+        channel: int,
+        request: "MemoryRequest",
+        read_depth: int,
+        write_depth: int,
+        open_row: int | None,
+    ) -> None:
+        registry = self.registry
+        if registry is None:
+            return
+        if open_row is None:
+            outcome = "closed"
+        elif open_row == request.row:
+            outcome = "hit"
+        else:
+            outcome = "conflict"
+        registry.counter(
+            "sim.queue_arrivals", channel=channel, bank=request.bank, outcome=outcome
+        ).inc()
+        registry.histogram(
+            "sim.queue_depth", buckets=_DEPTH_BUCKETS, channel=channel, queue="read"
+        ).observe(read_depth)
+        registry.histogram(
+            "sim.queue_depth", buckets=_DEPTH_BUCKETS, channel=channel, queue="write"
+        ).observe(write_depth)
+
+    # ------------------------------------------------------------------
+    # End of run
+    # ------------------------------------------------------------------
+
+    def finalize(self, controllers: Sequence) -> None:
+        """Fold end-of-run controller counters into the registry."""
+        if self.registry is None or self._finalized:
+            return
+        self._finalized = True
+        for channel, controller in enumerate(controllers):
+            stats = controller.stats()
+            self.registry.counter("sim.row_hits", channel=channel).inc(
+                stats["row_hits"]
+            )
+            self.registry.counter("sim.row_misses", channel=channel).inc(
+                controller.row_misses
+            )
+            for key, value in controller.refresh.issued_counts().items():
+                self.registry.counter(
+                    "sim.refresh_slots", channel=channel, kind=key
+                ).inc(value)
+            self.registry.gauge("sim.avg_read_latency_cycles", channel=channel).set(
+                controller.average_read_latency()
+            )
+
+    def metrics_snapshot(self) -> dict | None:
+        return self.registry.snapshot() if self.registry is not None else None
+
+    @property
+    def violations(self) -> list[Violation]:
+        return self.checker.violations if self.checker is not None else []
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def observe_run(
+    traces: Sequence,
+    mode,
+    spec=None,
+    config: ObservabilityConfig | None = None,
+    max_cycles: int | None = None,
+    **sim_kwargs,
+) -> tuple["RunResult", ObservabilityHub]:
+    """Run a simulation with observability and return ``(result, hub)``.
+
+    The counterpart of :func:`repro.core.api.run_system` for observed
+    runs; extra ``sim_kwargs`` pass straight to
+    :class:`~repro.sim.engine.SystemSimulator` (e.g.
+    ``row_timing_overrides`` for fuzzing a corrupted device).
+    """
+    # Imported here: core.api imports sim.engine, which imports this
+    # module — a module-level import would be circular.
+    from repro.core.api import SystemSpec, _build_remapper
+    from repro.core.mcr_mode import MCRMode
+    from repro.sim.engine import SystemSimulator
+
+    if isinstance(mode, str):
+        mode = MCRMode.parse(mode)
+    spec = spec if spec is not None else SystemSpec()
+    config = config if config is not None else ObservabilityConfig.full()
+    simulator = SystemSimulator(
+        traces,
+        mode.config,
+        geometry=spec.geometry,
+        row_remapper=_build_remapper(spec, traces, mode),
+        mapping=spec.mapping,
+        refresh_enabled=spec.refresh_enabled,
+        core_params=spec.core_params,
+        idd=spec.idd,
+        wiring=spec.wiring,
+        policy=spec.policy,
+        observability=config,
+        **sim_kwargs,
+    )
+    result = simulator.run(max_cycles=max_cycles)
+    assert simulator.obs is not None
+    return result, simulator.obs
+
+
+__all__ = [
+    "ChannelObserver",
+    "ObservabilityConfig",
+    "ObservabilityHub",
+    "observe_run",
+]

@@ -1,0 +1,316 @@
+"""Online timing-invariant checker.
+
+The device layer raises on violations as commands are applied, but those
+checks share code with the earliest-issue computation, so a bug in one is
+a bug in both. The post-hoc auditor (:mod:`repro.sim.audit`) closed that
+gap by re-verifying recorded logs after a run; this module moves the same
+independent constraint model *online*: commands are checked as they
+issue, so a violation is reported at the cycle it happens, with the run
+still inspectable — and the same model names the constraint that *gated*
+each command for the tracer.
+
+The checker's :class:`ConstraintModel` derives, for every incoming
+command, the earliest legal cycle implied by each JEDEC constraint from
+its own shadow history (last ACT/PRE/column per bank, rank ACT window,
+refresh occupancy, command/data bus). ``cycle < bound`` is a violation;
+the binding (largest) satisfied bound is the command's *gate*. The
+reference :class:`~repro.dram.timing.TimingDomain` may differ from the
+one programmed into the simulated device, which is how the fuzz harness
+catches a deliberately corrupted timing table.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.config import DRAMGeometry
+from repro.dram.mcr import MCRGenerator, MCRModeConfig, RowClass
+from repro.dram.timing import TimingDomain
+
+#: Gate label for a command that was legal earlier than it issued — the
+#: scheduler or request arrival, not a timing constraint, delayed it.
+GATE_QUEUE = "queue"
+#: Gate label for a command with no applicable constraint history.
+GATE_READY = "ready"
+
+
+class InvariantError(RuntimeError):
+    """Raised in fail-fast mode when a command violates a constraint."""
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One command that issued before a constraint allowed it."""
+
+    channel: int
+    constraint: str
+    command: Command
+    required_cycle: int
+
+    def __str__(self) -> str:
+        return (
+            f"ch{self.channel} {self.constraint}: {self.command.kind} "
+            f"@{self.command.cycle} illegal before cycle {self.required_cycle}"
+        )
+
+
+@dataclass(slots=True)
+class _BankTrack:
+    """Shadow history for one bank."""
+
+    act_cycle: int | None = None
+    act_class: RowClass = RowClass.NORMAL
+    open_row: int | None = None
+    pre_cycle: int | None = None
+    col_cycle: int | None = None
+    col_is_write: bool = False
+
+
+@dataclass(slots=True)
+class _RankTrack:
+    """Shadow history for one rank."""
+
+    acts: deque[int] = field(default_factory=lambda: deque(maxlen=4))
+    col: Command | None = None
+    ref_cycle: int | None = None
+    ref_trfc: int = 0
+
+
+class ConstraintModel:
+    """Forward shadow model of one channel's constraint state.
+
+    Completely independent of :mod:`repro.dram.bank` /
+    :mod:`repro.dram.device`: it keeps raw last-event history and derives
+    bounds from the reference domain on demand, the same strategy as the
+    post-hoc auditor but incremental.
+    """
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        domain: TimingDomain,
+        mode: MCRModeConfig,
+    ) -> None:
+        self.geometry = geometry
+        self.domain = domain
+        self.base = domain.base
+        self._generator = MCRGenerator(geometry, mode)
+        self._banks: dict[tuple[int, int], _BankTrack] = {}
+        self._ranks: dict[int, _RankTrack] = {}
+        self._last_cmd_cycle: int | None = None
+        self._transfer: tuple[int, bool, int] | None = None  # (rank, wr, end)
+
+    # ------------------------------------------------------------------
+
+    def _bank(self, rank: int, bank: int) -> _BankTrack:
+        return self._banks.setdefault((rank, bank), _BankTrack())
+
+    def _rank(self, rank: int) -> _RankTrack:
+        return self._ranks.setdefault(rank, _RankTrack())
+
+    def _class_of(self, row: int, row_class: RowClass | None) -> RowClass:
+        if row_class is not None:
+            return row_class
+        return self._generator.row_class(row)
+
+    # ------------------------------------------------------------------
+
+    def bounds(
+        self, cmd: Command, row_class: RowClass | None = None
+    ) -> tuple[list[tuple[str, int]], list[str]]:
+        """Constraint bounds for ``cmd``.
+
+        Returns ``(timing, structural)``: ``timing`` is a list of
+        ``(constraint name, earliest legal cycle)``; ``structural`` names
+        constraints that no cycle could satisfy (e.g. ACT to an open
+        bank).
+        """
+        base = self.base
+        timing: list[tuple[str, int]] = []
+        structural: list[str] = []
+        if self._last_cmd_cycle is not None:
+            timing.append(("command-bus", self._last_cmd_cycle + 1))
+        rank = self._rank(cmd.rank)
+        if rank.ref_cycle is not None:
+            timing.append(("tRFC", rank.ref_cycle + rank.ref_trfc))
+
+        if cmd.kind is CommandType.ACTIVATE:
+            bank = self._bank(cmd.rank, cmd.bank)
+            if bank.open_row is not None:
+                structural.append("ACT-to-open-bank")
+            if bank.act_cycle is not None:
+                t_rc = self.domain.row_timings(bank.act_class).t_rc
+                timing.append(("tRC", bank.act_cycle + t_rc))
+            if bank.pre_cycle is not None:
+                timing.append(("tRP", bank.pre_cycle + base.t_rp))
+            if rank.acts:
+                timing.append(("tRRD", rank.acts[-1] + base.t_rrd))
+            if len(rank.acts) == 4:
+                timing.append(("tFAW", rank.acts[0] + base.t_faw))
+
+        elif cmd.kind in (CommandType.READ, CommandType.WRITE):
+            is_write = cmd.kind is CommandType.WRITE
+            bank = self._bank(cmd.rank, cmd.bank)
+            if bank.open_row is None:
+                structural.append("column-to-closed-bank")
+            elif cmd.row >= 0 and bank.open_row != cmd.row:
+                structural.append("column-row-mismatch")
+            if bank.act_cycle is not None and bank.open_row is not None:
+                t_rcd = self.domain.row_timings(bank.act_class).t_rcd
+                timing.append(("tRCD", bank.act_cycle + t_rcd))
+            if rank.col is not None:
+                timing.append(("tCCD", rank.col.cycle + base.t_ccd))
+                if rank.col.kind is CommandType.WRITE and not is_write:
+                    timing.append(
+                        (
+                            "tWTR",
+                            rank.col.cycle + base.t_cwd + base.t_burst + base.t_wtr,
+                        )
+                    )
+            if self._transfer is not None:
+                t_rank, t_write, t_end = self._transfer
+                switch = t_rank != cmd.rank or t_write != is_write
+                need_start = t_end + (base.t_rtrs if switch else 0)
+                latency = base.t_cwd if is_write else base.t_cas
+                timing.append(("data-bus", need_start - latency))
+
+        elif cmd.kind is CommandType.PRECHARGE:
+            bank = self._bank(cmd.rank, cmd.bank)
+            if bank.open_row is None:
+                structural.append("PRE-to-closed-bank")
+            if bank.act_cycle is not None and bank.open_row is not None:
+                t_ras = self.domain.row_timings(bank.act_class).t_ras
+                timing.append(("tRAS", bank.act_cycle + t_ras))
+                if bank.col_cycle is not None and bank.col_cycle > bank.act_cycle:
+                    if bank.col_is_write:
+                        recovery = base.t_cwd + base.t_burst + base.t_wr
+                        timing.append(("tWR", bank.col_cycle + recovery))
+                    else:
+                        timing.append(("tRTP", bank.col_cycle + base.t_rtp))
+
+        elif cmd.kind is CommandType.REFRESH:
+            # Command.row carries the slot's tRFC (the device-log and
+            # auditor convention).
+            expected = {
+                self.domain.trfc_cycles(cls) for cls in RowClass
+            }
+            if cmd.row not in expected:
+                structural.append("tRFC-class")
+            for bank_idx in range(self.geometry.banks_per_rank):
+                track = self._banks.get((cmd.rank, bank_idx))
+                if track is None:
+                    continue
+                if track.open_row is not None:
+                    structural.append("REF-with-open-bank")
+                    break
+            for bank_idx in range(self.geometry.banks_per_rank):
+                track = self._banks.get((cmd.rank, bank_idx))
+                if track is not None and track.pre_cycle is not None:
+                    timing.append(("tRP-before-REF", track.pre_cycle + base.t_rp))
+
+        return timing, structural
+
+    def gate(self, cmd: Command, timing: list[tuple[str, int]]) -> str:
+        """Name of the constraint that made ``cmd.cycle`` the earliest
+        legal issue cycle, or :data:`GATE_QUEUE`/:data:`GATE_READY`."""
+        if not timing:
+            return GATE_READY
+        name, earliest = max(timing, key=lambda bound: bound[1])
+        if cmd.cycle > earliest:
+            return GATE_QUEUE
+        return name
+
+    def observe(self, cmd: Command, row_class: RowClass | None = None) -> None:
+        """Fold ``cmd`` into the shadow history."""
+        self._last_cmd_cycle = cmd.cycle
+        rank = self._rank(cmd.rank)
+        if cmd.kind is CommandType.ACTIVATE:
+            bank = self._bank(cmd.rank, cmd.bank)
+            bank.act_cycle = cmd.cycle
+            bank.act_class = self._class_of(cmd.row, row_class)
+            bank.open_row = cmd.row
+            rank.acts.append(cmd.cycle)
+        elif cmd.kind in (CommandType.READ, CommandType.WRITE):
+            is_write = cmd.kind is CommandType.WRITE
+            bank = self._bank(cmd.rank, cmd.bank)
+            bank.col_cycle = cmd.cycle
+            bank.col_is_write = is_write
+            rank.col = cmd
+            latency = self.base.t_cwd if is_write else self.base.t_cas
+            self._transfer = (
+                cmd.rank,
+                is_write,
+                cmd.cycle + latency + self.base.t_burst,
+            )
+        elif cmd.kind is CommandType.PRECHARGE:
+            bank = self._bank(cmd.rank, cmd.bank)
+            bank.open_row = None
+            bank.pre_cycle = cmd.cycle
+        elif cmd.kind is CommandType.REFRESH:
+            rank.ref_cycle = cmd.cycle
+            rank.ref_trfc = cmd.row if cmd.row > 0 else 0
+
+
+class InvariantChecker:
+    """Checks one or more channels' command streams as they issue."""
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        domain: TimingDomain,
+        mode: MCRModeConfig,
+        channels: int | None = None,
+        fail_fast: bool = False,
+    ) -> None:
+        n = channels if channels is not None else geometry.channels
+        self._models = [ConstraintModel(geometry, domain, mode) for _ in range(n)]
+        self.fail_fast = fail_fast
+        self.commands = 0
+        self.violations: list[Violation] = []
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def check(
+        self, channel: int, cmd: Command, row_class: RowClass | None = None
+    ) -> str:
+        """Validate one command; returns its gate label."""
+        model = self._models[channel]
+        timing, structural = model.bounds(cmd, row_class)
+        self.commands += 1
+        found: list[Violation] = [
+            Violation(channel, name, cmd, cmd.cycle) for name in structural
+        ]
+        found.extend(
+            Violation(channel, name, cmd, earliest)
+            for name, earliest in timing
+            if cmd.cycle < earliest
+        )
+        gate = model.gate(cmd, timing)
+        model.observe(cmd, row_class)
+        if found:
+            self.violations.extend(found)
+            if self.fail_fast:
+                raise InvariantError("; ".join(str(v) for v in found))
+        return gate
+
+    def check_log(
+        self, log: list[Command], channel: int = 0
+    ) -> list[Violation]:
+        """Convenience: run a recorded command log through the checker."""
+        for cmd in log:
+            self.check(channel, cmd)
+        return self.violations
+
+
+__all__ = [
+    "ConstraintModel",
+    "GATE_QUEUE",
+    "GATE_READY",
+    "InvariantChecker",
+    "InvariantError",
+    "Violation",
+]

@@ -1,0 +1,191 @@
+"""Metrics primitives: counters, gauges, histograms, and a registry.
+
+The registry is the single sink for simulator- and harness-level
+measurements. Metrics are identified by ``(name, labels)`` — labels are
+small, closed sets (channel index, command kind, queue name), never
+unbounded values like addresses or cycles. Everything here is plain
+Python integers/floats so a snapshot is directly JSON-serializable and
+deterministic across processes.
+
+Like :mod:`repro.harness.telemetry`, this layer must never influence
+simulation results — it only describes them. The simulator allocates a
+registry only when observability is requested, so runs with metrics off
+pay a single ``is None`` check per hook site.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+#: Default histogram bucket upper bounds (values above the last bound
+#: land in an overflow bucket). Chosen for queue depths and small counts.
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+#: Canonical label-set encoding used as the series key.
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Order-independent, hashable encoding of a label set."""
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"value": self.value}
+
+
+class Gauge:
+    """A point-in-time value; also remembers the maximum ever set."""
+
+    __slots__ = ("value", "max_value")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def snapshot(self) -> dict:
+        return {"value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with exact count/sum.
+
+    ``bounds`` are inclusive upper bounds; one extra overflow bucket
+    catches everything above the last bound.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total")
+
+    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        if not self.bounds:
+            raise ValueError("need at least one bucket bound")
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}
+        buckets["overflow"] = self.counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create metric families keyed by name, series keyed by labels."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, dict[LabelKey, Counter | Gauge | Histogram]] = {}
+        self._kinds: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def _get(self, kind: str, name: str, labels: dict, factory):
+        known = self._kinds.setdefault(name, kind)
+        if known != kind:
+            raise TypeError(f"metric {name!r} is a {known}, not a {kind}")
+        family = self._series.setdefault(name, {})
+        key = label_key(labels)
+        metric = family.get(key)
+        if metric is None:
+            metric = family[key] = factory()
+        return metric
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels: object,
+    ) -> Histogram:
+        return self._get("histogram", name, labels, lambda: Histogram(buckets))
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(family) for family in self._series.values())
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump: name -> {type, series: [{labels, ...values}]}."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._series):
+            family = self._series[name]
+            out[name] = {
+                "type": self._kinds[name],
+                "series": [
+                    {"labels": dict(key), **family[key].snapshot()}
+                    for key in sorted(family)
+                ],
+            }
+        return out
+
+
+def format_metrics(snapshot: Mapping[str, dict]) -> str:
+    """Human-readable rendering of a registry snapshot."""
+    lines: list[str] = []
+    for name, family in snapshot.items():
+        for series in family["series"]:
+            labels = ",".join(f"{k}={v}" for k, v in sorted(series["labels"].items()))
+            suffix = f"{{{labels}}}" if labels else ""
+            if family["type"] == "counter":
+                lines.append(f"{name}{suffix} {series['value']}")
+            elif family["type"] == "gauge":
+                lines.append(
+                    f"{name}{suffix} {series['value']:g} (max {series['max']:g})"
+                )
+            else:  # histogram
+                lines.append(
+                    f"{name}{suffix} count={series['count']} "
+                    f"mean={series['mean']:.3f} sum={series['sum']:g}"
+                )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "format_metrics",
+    "label_key",
+]

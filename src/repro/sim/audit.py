@@ -4,8 +4,16 @@ The device layer enforces constraints as commands are applied, but those
 checks share code with the earliest-issue computation. This module
 re-verifies a recorded command log against the JEDEC constraint list with
 a completely separate (simple, quadratic-in-window) implementation, so a
-bug in the fast path cannot hide. Integration tests run full simulations
-with ``ChannelState.command_log`` enabled and assert a clean audit.
+bug in the fast path cannot hide.
+
+.. note::
+   The *online* invariant checker (:mod:`repro.obs.invariants`) has
+   superseded this post-hoc pass for integration testing and CI fuzzing:
+   it applies the same independent constraint model as commands issue, so
+   a violation is reported at the cycle it happens with the run still
+   inspectable. This module remains as the log-replay tool (it audits any
+   recorded ``ChannelState.command_log``, including logs loaded from
+   disk, with no simulator attached).
 
 ACTIVATE constraints are checked against the *row class's* timing set by
 re-deriving the class from the row address, so the auditor also validates

@@ -26,6 +26,7 @@ from repro.dram.config import DRAMGeometry, single_core_geometry
 from repro.dram.mcr import MCRGenerator, MCRModeConfig
 from repro.dram.refresh import RefreshPlan, WiringMethod
 from repro.dram.timing import BaseTimings, TimingDomain
+from repro.obs.hub import ObservabilityConfig, ObservabilityHub
 from repro.power.edp import edp_joule_seconds
 from repro.power.micron import IDDParameters, PowerModel, PowerStats
 from repro.sim.results import RunResult
@@ -74,6 +75,7 @@ class SystemSimulator:
         policy: SchedulingPolicy = SchedulingPolicy.FR_FCFS,
         row_timing_overrides: dict | None = None,
         trfc_overrides: dict | None = None,
+        observability: ObservabilityConfig | None = None,
     ) -> None:
         if not traces:
             raise ValueError("need at least one trace")
@@ -106,6 +108,13 @@ class SystemSimulator:
         if record_commands:
             for controller in self.controllers:
                 controller.channel.command_log = []
+        self.obs: ObservabilityHub | None = None
+        if observability is not None and observability.enabled:
+            self.obs = ObservabilityHub(
+                observability, self.geometry, self.domain, mode
+            )
+            for ch, controller in enumerate(self.controllers):
+                controller.observer = self.obs.channel_observer(ch)
         self.cores = [
             Core(i, trace, self.core_params, self._try_send)
             for i, trace in enumerate(traces)
@@ -184,7 +193,12 @@ class SystemSimulator:
                 raise SimulationError(f"exceeded max_cycles={max_cycles}")
             for ch, dirty in enumerate(self._ctrl_dirty):
                 if dirty:
-                    nxt = self.controllers[ch].next_action_cycle(int(now))
+                    # ceil, not int: when a core enqueues at a fractional
+                    # instant, the controller's next opportunity is the
+                    # NEXT integer cycle. Flooring would let the estimate
+                    # land at int(now) and issue a command retroactively,
+                    # at a cycle the wall clock has already passed.
+                    nxt = self.controllers[ch].next_action_cycle(math.ceil(now))
                     self._ctrl_next[ch] = _INF if nxt is None else float(nxt)
                     self._ctrl_dirty[ch] = False
             t_comp = self._completions[0][0] if self._completions else _INF
@@ -192,9 +206,13 @@ class SystemSimulator:
             t_ctrl = min(self._ctrl_next) if self._ctrl_next else _INF
             t = min(t_comp, t_core, t_ctrl)
             if t is _INF or t == _INF:
+                reasons = [
+                    c.blocked.name if c.blocked is not None else "None"
+                    for c in cores
+                ]
                 raise SimulationError(
                     "deadlock: no pending events but cores unfinished "
-                    f"(blocked={[c.blocked.name for c in cores]})"
+                    f"(blocked={reasons})"
                 )
             now = t
 
@@ -256,6 +274,8 @@ class SystemSimulator:
         for controller in self.controllers:
             for rank in controller.channel.ranks:
                 rank.finalize_accounting(end_cycle)
+        if self.obs is not None:
+            self.obs.finalize(self.controllers)
 
         reads = sum(c.reads_enqueued for c in self.controllers)
         writes = sum(c.writes_enqueued for c in self.controllers)
@@ -298,6 +318,7 @@ class SystemSimulator:
             edp=edp,
             controller_stats=tuple(c.stats() for c in self.controllers),
             read_latency_percentiles=percentiles,
+            metrics=self.obs.metrics_snapshot() if self.obs is not None else None,
         )
 
     def _power_stats(self, end_cycle: int) -> PowerStats:

@@ -39,6 +39,9 @@ class RunResult:
     #: Read-latency distribution (memory cycles) at the 50th/95th/99th
     #: percentiles; zeros when the run issued no reads.
     read_latency_percentiles: tuple[float, float, float] = (0.0, 0.0, 0.0)
+    #: Metrics-registry snapshot (see :mod:`repro.obs.metrics`); None
+    #: unless the run was configured with observability metrics on.
+    metrics: dict | None = None
 
     @property
     def total_energy_j(self) -> float:

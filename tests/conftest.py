@@ -5,6 +5,22 @@ import pytest
 from repro.harness import session
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/goldens/*.json from the current simulator "
+        "output instead of comparing against it",
+    )
+
+
+@pytest.fixture
+def update_goldens(request):
+    """True when the run should rewrite golden fixtures."""
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture(autouse=True)
 def _reset_harness_session():
     """Start every test from the default harness session (serial,

@@ -120,5 +120,15 @@ class TestHelpers:
         assert mean_pct([2.0, 4.0]) == 3.0
 
     def test_geometric_mean_pct_deprecated_alias(self):
-        with pytest.warns(DeprecationWarning):
-            assert geometric_mean_pct([2.0, 4.0]) == 3.0
+        import warnings
+
+        for values in ([], [2.0, 4.0], [-5.0, 0.0, 12.5]):
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                result = geometric_mean_pct(values)
+            assert result == mean_pct(values)
+            deprecations = [
+                w for w in caught if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1, "must warn exactly once per call"
+            assert "mean_pct" in str(deprecations[0].message)

@@ -1,5 +1,7 @@
 """Tests for the mcr-dram CLI and the runner's caching."""
 
+import json
+
 import pytest
 
 from repro.core.api import SystemSpec
@@ -38,10 +40,63 @@ class TestCLI:
     def test_report_to_stdout_smoke(self, capsys):
         # Only concept experiments are cheap; the report runs everything,
         # so use the smoke scale and accept a few seconds.
-        assert main(["report", "--scale", "smoke", "--output", "-"]) == 0
+        assert main(["report", "--scale", "smoke", "--output", "-", "--metrics"]) == 0
         out = capsys.readouterr().out
         assert "# EXPERIMENTS" in out
         assert "fig18" in out
+        # --metrics appends the harness telemetry as a metrics registry.
+        assert "harness.executed" in out
+
+
+class TestTraceCommand:
+    def test_timeline_to_stdout(self, capsys):
+        assert main(["trace", "comm2", "--requests", "40"]) == 0
+        captured = capsys.readouterr()
+        assert "ACTIVATE" in captured.out
+        assert captured.out.splitlines()[0].lstrip().startswith("cycle")
+        assert "commands in" in captured.err
+
+    def test_jsonl_to_stdout(self, capsys):
+        assert main(["trace", "comm2", "--requests", "30", "--format", "jsonl"]) == 0
+        lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert all({"cycle", "kind", "gate"} <= set(e) for e in events)
+
+    def test_jsonl_to_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "tigr",
+                    "--requests",
+                    "30",
+                    "--format",
+                    "jsonl",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        assert out.read_text().strip()
+        assert f"events to {out}" in capsys.readouterr().err
+
+    def test_metrics_flag(self, capsys):
+        assert main(["trace", "comm2", "--requests", "30", "--metrics"]) == 0
+        assert "sim.commands" in capsys.readouterr().out
+
+    def test_mcr_mode_trace_shows_row_classes(self, capsys):
+        assert (
+            main(["trace", "comm2", "--mode", "4/4x/100%reg", "--requests", "40"])
+            == 0
+        )
+        assert "mcr" in capsys.readouterr().out
 
 
 class TestRunnerCaching:

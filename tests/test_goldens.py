@@ -1,0 +1,92 @@
+"""Golden-run regression anchors.
+
+The simulator is deterministic, so the headline/fig11/fig13 scalar
+outputs at smoke scale are exact regression anchors: any numeric drift
+means the timing model, scheduler, power model, or trace generation
+changed behaviour. That is sometimes intentional — after verifying the
+change is correct, refresh the fixtures with::
+
+    PYTHONPATH=src python -m pytest tests/test_goldens.py --update-goldens
+
+and commit the updated ``tests/goldens/*.json`` alongside the change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.scale import get_scale
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+UPDATE_HINT = (
+    "If this drift is an intended behaviour change, refresh the fixture "
+    "with: python -m pytest tests/test_goldens.py --update-goldens"
+)
+
+
+def _headline_values() -> dict:
+    from repro.experiments.headline import run_headline
+
+    result = run_headline(get_scale("smoke"))
+    return {f"{row[0]}/{row[1]}": row[2] for row in result.rows}
+
+
+def _fig11_values() -> dict:
+    from repro.experiments.fig11_fig14_ratio import run_fig11
+
+    result = run_fig11(get_scale("smoke"))
+    return {
+        f"{row[1]}@{row[2]:g}": [row[3], row[4]]
+        for row in result.rows
+        if row[0] == "AVG"
+    }
+
+
+def _fig13_values() -> dict:
+    from repro.experiments.fig13_fig16_modes import run_fig13
+
+    result = run_fig13(get_scale("smoke"))
+    return {row[1]: row[2] for row in result.rows if row[0] == "AVG"}
+
+
+CASES = {
+    "headline": _headline_values,
+    "fig11": _fig11_values,
+    "fig13": _fig13_values,
+}
+
+
+def _assert_matches(name: str, key: str, measured, expected) -> None:
+    if isinstance(expected, list):
+        assert len(measured) == len(expected), (
+            f"{name}[{key}]: shape changed. {UPDATE_HINT}"
+        )
+        for i, (m, e) in enumerate(zip(measured, expected)):
+            _assert_matches(name, f"{key}[{i}]", m, e)
+    else:
+        assert measured == pytest.approx(expected, rel=1e-9, abs=1e-12), (
+            f"{name}[{key}] drifted: measured {measured!r}, "
+            f"golden {expected!r}. {UPDATE_HINT}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden(name, update_goldens):
+    values = CASES[name]()
+    path = GOLDEN_DIR / f"{name}_smoke.json"
+    if update_goldens:
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        payload = {"experiment": name, "scale": "smoke", "values": values}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"updated {path}")
+    assert path.is_file(), f"missing golden fixture {path}. {UPDATE_HINT}"
+    golden = json.loads(path.read_text())["values"]
+    assert set(values) == set(golden), (
+        f"{name}: row set changed "
+        f"(added {sorted(set(values) - set(golden))}, "
+        f"removed {sorted(set(golden) - set(values))}). {UPDATE_HINT}"
+    )
+    for key, expected in golden.items():
+        _assert_matches(name, key, values[key], expected)

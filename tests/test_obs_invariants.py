@@ -1,0 +1,221 @@
+"""Unit and end-to-end tests for the online invariant checker."""
+
+import random
+
+import pytest
+
+from repro.core.api import SystemSpec
+from repro.core.mcr_mode import MCRMode
+from repro.dram.commands import Command, CommandType
+from repro.dram.config import DRAMGeometry
+from repro.dram.mcr import RowClass
+from repro.dram.timing import TimingDomain
+from repro.obs import (
+    GATE_QUEUE,
+    GATE_READY,
+    InvariantChecker,
+    InvariantError,
+    ObservabilityConfig,
+    observe_run,
+)
+from repro.obs.fuzz import (
+    corrupted_trcd_overrides,
+    fuzz_geometry,
+    main as fuzz_main,
+    miss_heavy_trace,
+    run_clean_iteration,
+    run_corrupted_iteration,
+)
+
+
+def _geometry():
+    return DRAMGeometry(
+        channels=1,
+        ranks_per_channel=2,
+        banks_per_rank=4,
+        rows_per_bank=2048,
+        columns_per_row=32,
+        rows_per_subarray=512,
+        density="1Gb",
+    )
+
+
+def _checker(fail_fast=False):
+    geometry = _geometry()
+    domain = TimingDomain(geometry, MCRMode.off().config)
+    return InvariantChecker(
+        geometry, domain, MCRMode.off().config, fail_fast=fail_fast
+    ), domain
+
+
+def _act(cycle, row=5, rank=0, bank=0):
+    return Command(cycle, CommandType.ACTIVATE, 0, rank=rank, bank=bank, row=row)
+
+
+def _read(cycle, row=5, rank=0, bank=0, column=0):
+    return Command(
+        cycle, CommandType.READ, 0, rank=rank, bank=bank, row=row, column=column
+    )
+
+
+class TestConstraintGates:
+    def test_first_command_is_ready(self):
+        checker, _ = _checker()
+        assert checker.check(0, _act(0)) == GATE_READY
+        assert checker.clean
+
+    def test_trcd_gates_prompt_column(self):
+        checker, domain = _checker()
+        t_rcd = domain.row_timings(RowClass.NORMAL).t_rcd
+        checker.check(0, _act(100))
+        gate = checker.check(0, _read(100 + t_rcd))
+        assert gate == "tRCD"
+        assert checker.clean
+        assert checker.commands == 2
+
+    def test_late_column_gate_is_queue(self):
+        checker, domain = _checker()
+        t_rcd = domain.row_timings(RowClass.NORMAL).t_rcd
+        checker.check(0, _act(100))
+        assert checker.check(0, _read(100 + t_rcd + 50)) == GATE_QUEUE
+        assert checker.clean
+
+    def test_early_column_is_violation(self):
+        checker, domain = _checker()
+        t_rcd = domain.row_timings(RowClass.NORMAL).t_rcd
+        checker.check(0, _act(100))
+        checker.check(0, _read(100 + t_rcd - 1))
+        assert not checker.clean
+        violation = checker.violations[0]
+        assert violation.constraint == "tRCD"
+        assert violation.required_cycle == 100 + t_rcd
+        assert "tRCD" in str(violation)
+
+    def test_column_to_closed_bank_is_structural(self):
+        checker, _ = _checker()
+        checker.check(0, _read(500))
+        assert [v.constraint for v in checker.violations] == [
+            "column-to-closed-bank"
+        ]
+
+    def test_activate_open_bank_is_structural(self):
+        checker, _ = _checker()
+        checker.check(0, _act(0, row=1))
+        checker.check(0, _act(1000, row=2))
+        assert "ACT-to-open-bank" in [v.constraint for v in checker.violations]
+
+    def test_command_bus_conflict(self):
+        checker, _ = _checker()
+        checker.check(0, _act(100, bank=0))
+        checker.check(0, _act(100, bank=1, row=9))
+        assert "command-bus" in [v.constraint for v in checker.violations]
+
+    def test_fail_fast_raises(self):
+        checker, _ = _checker(fail_fast=True)
+        with pytest.raises(InvariantError, match="column-to-closed-bank"):
+            checker.check(0, _read(10))
+
+    def test_check_log_replays(self):
+        checker, domain = _checker()
+        t_rcd = domain.row_timings(RowClass.NORMAL).t_rcd
+        log = [_act(0), _read(t_rcd)]
+        assert checker.check_log(log) == []
+        assert checker.commands == 2
+
+
+class TestObservedRuns:
+    def test_clean_run_has_no_violations(self):
+        rng = random.Random(11)
+        geometry = fuzz_geometry(channels=1)
+        result, hub = observe_run(
+            [miss_heavy_trace(rng, geometry, 80)],
+            "2/2x/100%reg",
+            spec=SystemSpec(geometry=geometry),
+            config=ObservabilityConfig.full(),
+        )
+        assert result.reads == 80
+        assert hub.clean
+        assert hub.checker.commands > 160  # ACT + RD per miss, at least
+        assert len(hub.tracer) == hub.checker.commands
+        gates = {event.gate for event in hub.tracer.events}
+        assert gates - {GATE_READY, GATE_QUEUE}, "no timing-gated commands?"
+
+    def test_corrupted_trcd_detected(self):
+        """The acceptance criterion: a deliberately corrupted device tRCD
+        must surface as checker violations when validating against an
+        independently derived reference domain."""
+        rng = random.Random(7)
+        geometry = fuzz_geometry(channels=1)
+        mode = MCRMode.off()
+        true_domain = TimingDomain(geometry, mode.config)
+        _, hub = observe_run(
+            [miss_heavy_trace(rng, geometry, 120)],
+            mode,
+            spec=SystemSpec(geometry=geometry),
+            config=ObservabilityConfig(
+                invariants=True, reference_domain=true_domain
+            ),
+            row_timing_overrides=corrupted_trcd_overrides(true_domain),
+        )
+        assert any(v.constraint == "tRCD" for v in hub.violations)
+
+    def test_fuzz_iterations(self):
+        rng = random.Random(3)
+        assert run_clean_iteration(rng) == []
+        assert run_corrupted_iteration(rng) == []
+
+    def test_fuzz_main_smoke(self, capsys):
+        # --seconds 0 still runs one clean and one corrupted iteration.
+        assert fuzz_main(["--seconds", "0", "--seed", "1"]) == 0
+        assert "2 iterations, 0 failures" in capsys.readouterr().out
+
+
+class TestMetricsFromRuns:
+    def test_registry_covers_headline_metrics(self):
+        rng = random.Random(5)
+        geometry = fuzz_geometry(channels=1)
+        _, hub = observe_run(
+            [miss_heavy_trace(rng, geometry, 60)],
+            "4/4x/100%reg",
+            spec=SystemSpec(geometry=geometry),
+            config=ObservabilityConfig.full(),
+        )
+        snap = hub.metrics_snapshot()
+        for name in (
+            "sim.commands",
+            "sim.queue_arrivals",
+            "sim.queue_depth",
+            "sim.row_hits",
+            "sim.row_misses",
+            "sim.refresh_slots",
+            "sim.avg_read_latency_cycles",
+        ):
+            assert name in snap, f"missing {name}"
+        # Miss-heavy MCR stream: early-access events must fire.
+        assert "sim.early_access_events" in snap
+
+    def test_result_carries_metrics(self):
+        geometry = fuzz_geometry(channels=1)
+        rng = random.Random(2)
+        result, _ = observe_run(
+            [miss_heavy_trace(rng, geometry, 40)],
+            "off",
+            spec=SystemSpec(geometry=geometry),
+            config=ObservabilityConfig(metrics=True),
+        )
+        assert result.metrics is not None
+        assert "sim.commands" in result.metrics
+
+    def test_metrics_do_not_change_results(self):
+        from repro.core.api import run_system
+        from repro.workloads import make_trace
+
+        trace = make_trace("comm2", n_requests=200, seed=4)
+        plain = run_system([trace], MCRMode.off())
+        observed, hub = observe_run(
+            [trace], MCRMode.off(), config=ObservabilityConfig.full()
+        )
+        assert observed.execution_cycles == plain.execution_cycles
+        assert observed.avg_read_latency_cycles == plain.avg_read_latency_cycles
+        assert observed.controller_stats == plain.controller_stats
+        assert hub.clean

@@ -1,0 +1,116 @@
+"""Unit tests for the metrics primitives and registry."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, format_metrics
+from repro.obs.metrics import DEFAULT_BUCKETS, label_key
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"value": 5}
+
+    def test_rejects_negative(self):
+        c = Counter()
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_tracks_value_and_max(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+        assert g.max_value == 3.5
+        assert g.snapshot() == {"value": 1.0, "max": 3.5}
+
+
+class TestHistogram:
+    def test_bucket_placement(self):
+        h = Histogram(bounds=(2, 4, 8))
+        for v in (0, 2, 3, 4, 9, 100):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 6
+        assert snap["sum"] == 118.0
+        assert snap["buckets"] == {"le_2": 2, "le_4": 2, "le_8": 0, "overflow": 2}
+        assert h.mean == pytest.approx(118.0 / 6)
+
+    def test_empty_mean(self):
+        assert Histogram().mean == 0.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=())
+        with pytest.raises(ValueError):
+            Histogram(bounds=(4, 2))
+        with pytest.raises(ValueError):
+            Histogram(bounds=(2, 2, 4))
+
+
+class TestRegistry:
+    def test_get_or_create_by_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", channel=0)
+        b = reg.counter("hits", channel=0)
+        c = reg.counter("hits", channel=1)
+        assert a is b
+        assert a is not c
+        assert len(reg) == 2
+
+    def test_label_order_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", a=1, b=2)
+        b = reg.counter("x", b=2, a=1)
+        assert a is b
+        assert label_key({"a": 1, "b": 2}) == label_key({"b": 2, "a": 1})
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("depth")
+        with pytest.raises(TypeError):
+            reg.gauge("depth")
+
+    def test_snapshot_sorted_and_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count", channel=1).inc(2)
+        reg.counter("b.count", channel=0).inc(1)
+        reg.gauge("a.level").set(7.5)
+        reg.histogram("c.depth", buckets=DEFAULT_BUCKETS).observe(3)
+        snap = reg.snapshot()
+        assert list(snap) == ["a.level", "b.count", "c.depth"]
+        series = snap["b.count"]["series"]
+        assert [s["labels"] for s in series] == [{"channel": "0"}, {"channel": "1"}]
+        json.dumps(snap)  # must be directly serializable
+
+    def test_format_metrics_renders_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.commands", kind="READ").inc(9)
+        reg.gauge("sim.latency").set(26.5)
+        reg.histogram("sim.depth").observe(4)
+        text = format_metrics(reg.snapshot())
+        assert "sim.commands{kind=READ} 9" in text
+        assert "sim.latency 26.5 (max 26.5)" in text
+        assert "sim.depth count=1" in text
+
+
+class TestHarnessTelemetryBridge:
+    def test_to_metrics_exposes_harness_counters(self):
+        from repro.harness.telemetry import Telemetry
+
+        registry = Telemetry().to_metrics()
+        snap = registry.snapshot()
+        for name in ("harness.planned", "harness.executed", "harness.cache_hits"):
+            assert name in snap
+        tiers = {
+            s["labels"]["tier"] for s in snap["harness.cache_hits"]["series"]
+        }
+        assert tiers == {"memory", "disk"}

@@ -1,0 +1,94 @@
+"""Unit tests for the command-stream tracer."""
+
+import io
+import json
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.mcr import RowClass
+from repro.obs import CommandTracer, TRACE_SCHEMA_VERSION
+
+
+def _cmd(cycle, kind=CommandType.ACTIVATE, rank=0, bank=1, row=5, column=-1):
+    return Command(cycle, kind, 0, rank=rank, bank=bank, row=row, column=column)
+
+
+class TestRecording:
+    def test_records_fields(self):
+        tracer = CommandTracer()
+        tracer.record(0, _cmd(100), RowClass.MCR, "tRP")
+        assert len(tracer) == 1
+        event = tracer.events[0]
+        assert (event.cycle, event.channel, event.kind) == (100, 0, "ACTIVATE")
+        assert (event.rank, event.bank, event.row) == (0, 1, 5)
+        assert event.row_class == "mcr"
+        assert event.gate == "tRP"
+
+    def test_none_row_class_blank(self):
+        tracer = CommandTracer()
+        tracer.record(0, _cmd(1, kind=CommandType.PRECHARGE, row=-1), None, "tRAS")
+        assert tracer.events[0].row_class == ""
+
+    def test_cap_counts_dropped(self):
+        tracer = CommandTracer(max_events=2)
+        for cycle in range(5):
+            tracer.record(0, _cmd(cycle), None, "ready")
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+        assert "3 events dropped" in tracer.timeline()
+
+
+class TestExport:
+    def test_jsonl_round_trip(self):
+        assert TRACE_SCHEMA_VERSION == 1
+        tracer = CommandTracer()
+        tracer.record(0, _cmd(10), RowClass.NORMAL, "tRC")
+        tracer.record(1, _cmd(21, kind=CommandType.READ, column=3), None, "queue")
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert events[0]["cycle"] == 10
+        assert events[0]["row_class"] == "normal"
+        assert events[1] == {
+            "cycle": 21,
+            "channel": 1,
+            "kind": "READ",
+            "rank": 0,
+            "bank": 1,
+            "row": 5,
+            "row_class": "",
+            "gate": "queue",
+        }
+
+    def test_write_jsonl_streams(self):
+        tracer = CommandTracer()
+        for cycle in range(3):
+            tracer.record(0, _cmd(cycle), None, "ready")
+        handle = io.StringIO()
+        assert tracer.write_jsonl(handle) == 3
+        assert handle.getvalue().count("\n") == 3
+
+    def test_timeline_table(self):
+        tracer = CommandTracer()
+        tracer.record(0, _cmd(7, row=0x2A), RowClass.MCR_ALT, "tRRD")
+        tracer.record(
+            0,
+            Command(90, CommandType.REFRESH, 0, rank=1, row=88),
+            None,
+            "ready",
+        )
+        text = tracer.timeline()
+        assert text.splitlines()[0].split() == [
+            "cycle", "ch", "rank", "bank", "command", "row", "class", "gate",
+        ]
+        assert "0x002a" in text
+        assert "mcr_alt" in text
+        assert "tRFC=88" in text
+
+    def test_timeline_limit_elides(self):
+        tracer = CommandTracer()
+        for cycle in range(10):
+            tracer.record(0, _cmd(cycle), None, "ready")
+        text = tracer.timeline(limit=4)
+        assert "... 6 more events" in text
+        # header + rule + 4 rows + elision note
+        assert len(text.splitlines()) == 7

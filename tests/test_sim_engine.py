@@ -1,4 +1,4 @@
-"""Integration tests: full system simulations with the timing auditor."""
+"""Integration tests: full system simulations with online invariants."""
 
 import pytest
 
@@ -7,7 +7,7 @@ from repro.core.api import compare_modes
 from repro.cpu.trace import Trace, TraceEntry
 from repro.dram.config import multi_core_geometry
 from repro.dram.mcr import MechanismSet
-from repro.sim.audit import audit_commands
+from repro.obs import ObservabilityConfig
 from repro.sim.engine import SimulationError, SystemSimulator
 from repro.workloads import make_multiprogram_mix, make_trace
 
@@ -66,7 +66,11 @@ class TestMCRSpeedup:
         assert comparisons[1].execution_time_reduction_pct > 0
 
 
-class TestTimingAudit:
+class TestOnlineInvariants:
+    """The online checker validates every command as it issues — the
+    same property the post-hoc ``sim.audit`` replay asserts, but without
+    recording the command log first."""
+
     @pytest.mark.parametrize(
         "mode_text,mech",
         [
@@ -80,26 +84,30 @@ class TestTimingAudit:
     def test_no_timing_violations(self, mode_text, mech):
         trace = make_trace("comm1", n_requests=800, seed=4)
         mode = MCRMode.parse(mode_text, mechanisms=mech) if mode_text != "off" else MCRMode.off()
-        sim = SystemSimulator([trace], mode.config, record_commands=True)
+        sim = SystemSimulator(
+            [trace],
+            mode.config,
+            observability=ObservabilityConfig(invariants=True),
+        )
         sim.run()
-        log = sim.controllers[0].channel.command_log
-        assert log, "no commands recorded"
-        report = audit_commands(log, sim.geometry, sim.domain, mode.config)
-        assert report.clean, f"violations: {[str(v) for v in report.violations[:5]]}"
+        assert sim.obs.checker.commands > 0, "no commands checked"
+        assert sim.obs.clean, f"violations: {[str(v) for v in sim.obs.violations[:5]]}"
 
-    def test_multicore_audit(self):
+    def test_multicore_checked_online(self):
         geometry = multi_core_geometry()
         traces = make_multiprogram_mix(
             ["comm1", "libq", "stream", "tigr"], 600, seed=2, geometry=geometry
         )
         mode = MCRMode.parse("2/4x/75%reg")
         sim = SystemSimulator(
-            traces, mode.config, geometry=geometry, record_commands=True
+            traces,
+            mode.config,
+            geometry=geometry,
+            observability=ObservabilityConfig(invariants=True),
         )
         sim.run()
-        log = sim.controllers[0].channel.command_log
-        report = audit_commands(log, geometry, sim.domain, mode.config)
-        assert report.clean, f"violations: {[str(v) for v in report.violations[:5]]}"
+        assert sim.obs.checker.commands > 0
+        assert sim.obs.clean, f"violations: {[str(v) for v in sim.obs.violations[:5]]}"
 
 
 class TestMulticore:
@@ -159,6 +167,27 @@ class TestEdgeCases:
         trace = Trace(name="burst", entries=entries)
         result = run_system([trace], MCRMode.off())
         assert result.reads == 100
+
+    def test_deadlock_message_survives_unset_block_reason(self):
+        """The deadlock diagnostic must not itself crash when a core is
+        stuck without a ``blocked`` reason (``blocked is None`` used to
+        raise AttributeError, masking the real failure)."""
+
+        class _StuckCore:
+            finished = False
+            blocked = None
+
+            def advance(self, now_cpu):
+                class _Result:
+                    wake_cpu = None
+
+                return _Result()
+
+        trace = Trace(name="one", entries=[TraceEntry(0, False, 0)])
+        sim = SystemSimulator([trace], MCRMode.off().config, refresh_enabled=False)
+        sim.cores[0] = _StuckCore()
+        with pytest.raises(SimulationError, match=r"deadlock.*blocked=\['None'\]"):
+            sim.run()
 
 
 class TestEnergyAccounting:

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 from repro.core import MCRMode, SystemSpec, run_system
 from repro.cpu.trace import Trace, TraceEntry
 from repro.dram.config import DRAMGeometry
-from repro.sim.audit import audit_commands
+from repro.obs import ObservabilityConfig
 from repro.sim.engine import SystemSimulator
 from repro.workloads import make_trace
 
@@ -53,19 +53,19 @@ class TestMultiChannel:
         assert len(reads_per_channel) == 2
         assert all(n > 0 for n in reads_per_channel)
 
-    def test_two_channel_audit(self):
+    def test_two_channel_checked_online(self):
         geometry = small_geometry(channels=2)
         trace = make_trace("libq", n_requests=500, seed=3, geometry=geometry)
         mode = MCRMode.parse("2/2x/50%reg")
         sim = SystemSimulator(
-            [trace], mode.config, geometry=geometry, record_commands=True
+            [trace],
+            mode.config,
+            geometry=geometry,
+            observability=ObservabilityConfig(invariants=True),
         )
         sim.run()
-        for controller in sim.controllers:
-            report = audit_commands(
-                controller.channel.command_log, geometry, sim.domain, mode.config
-            )
-            assert report.clean, [str(v) for v in report.violations[:3]]
+        assert sim.obs.checker.commands > 0
+        assert sim.obs.clean, [str(v) for v in sim.obs.violations[:3]]
 
 
 class TestConservation:
@@ -75,7 +75,10 @@ class TestConservation:
         geometry = small_geometry()
         mode = MCRMode.parse(mode_text)
         sim = SystemSimulator(
-            [trace], mode.config, geometry=geometry, record_commands=True
+            [trace],
+            mode.config,
+            geometry=geometry,
+            observability=ObservabilityConfig(invariants=True, fail_fast=True),
         )
         result = sim.run(max_cycles=3_000_000)
         reads = sum(1 for e in trace.entries if not e.is_write)
@@ -89,11 +92,8 @@ class TestConservation:
         write_cas = sum(c.channel.write_count for c in sim.controllers)
         assert read_cas == reads
         assert writes - 32 * geometry.channels <= write_cas <= writes
-        for controller in sim.controllers:
-            report = audit_commands(
-                controller.channel.command_log, geometry, sim.domain, mode.config
-            )
-            assert report.clean, [str(v) for v in report.violations[:3]]
+        # fail_fast=True above: any spacing violation raised during run().
+        assert sim.obs.clean
 
     @settings(max_examples=6, deadline=None)
     @given(tiny_traces())
