@@ -1,0 +1,66 @@
+"""Shared benchmark-artifact emission.
+
+Every benchmark that publishes numbers writes them through
+:func:`emit_bench`, so all ``BENCH_*.json`` files at the repo root share
+one schema and are diffable across commits:
+
+- ``schema_version``: bump when the shape changes;
+- ``name``: which benchmark produced the file;
+- ``wall_s``: the headline wall-clock seconds;
+- ``overhead_pct``: headline relative cost (``None`` when the benchmark
+  measures speedup rather than overhead);
+- ``commit``: short git SHA of the working tree (``"unknown"`` outside a
+  checkout), so a stray artifact can always be traced to its source;
+- ``detail``: benchmark-specific structure, free-form.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+
+BENCH_SCHEMA_VERSION = 1
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def current_commit() -> str:
+    """Short SHA of HEAD, or ``"unknown"`` when git is unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def emit_bench(
+    filename: str,
+    name: str,
+    wall_s: float,
+    overhead_pct: float | None = None,
+    detail: dict | None = None,
+) -> dict:
+    """Write one benchmark report to ``<repo root>/<filename>``.
+
+    Returns the report dict (also printed by callers for CI logs).
+    """
+    report = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "wall_s": round(wall_s, 3),
+        "overhead_pct": (
+            None if overhead_pct is None else round(overhead_pct, 2)
+        ),
+        "commit": current_commit(),
+        "detail": detail or {},
+    }
+    out = _REPO_ROOT / filename
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    return report

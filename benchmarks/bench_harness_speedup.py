@@ -13,8 +13,8 @@ and cache-hit counters to ``BENCH_harness.json`` at the repo root:
 import json
 import os
 import time
-from pathlib import Path
 
+from _emit import emit_bench
 from conftest import run_once
 
 from repro.experiments.fig11_fig14_ratio import run_fig11
@@ -64,17 +64,21 @@ def test_harness_speedup(benchmark, scale, tmp_path):
     if cores >= 2:
         assert parallel_wall < serial_wall
 
-    report = {
-        "experiment": "fig11",
-        "scale": scale.name,
-        "cpu_count": cores,
-        "serial": serial,
-        "parallel_2": parallel,
-        "warm_cache": warm,
-        "speedup_parallel": round(serial_wall / parallel_wall, 2),
-        "speedup_warm": round(serial_wall / warm_wall, 2),
-    }
-    out = Path(__file__).resolve().parent.parent / "BENCH_harness.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
+    report = emit_bench(
+        "BENCH_harness.json",
+        name="harness_speedup",
+        wall_s=serial_wall,
+        overhead_pct=None,  # this bench measures speedup, not overhead
+        detail={
+            "experiment": "fig11",
+            "scale": scale.name,
+            "cpu_count": cores,
+            "serial": serial,
+            "parallel_2": parallel,
+            "warm_cache": warm,
+            "speedup_parallel": round(serial_wall / parallel_wall, 2),
+            "speedup_warm": round(serial_wall / warm_wall, 2),
+        },
+    )
     print()
     print(json.dumps(report, indent=2))

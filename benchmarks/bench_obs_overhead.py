@@ -5,12 +5,18 @@ in but disabled (the default for all experiment runs), wall time must be
 within 3% of what an instrumented-but-off run costs — measured here by
 timing the same simulation with observability off (the timed subject)
 and comparing median runtimes against a full-instrumentation run to
-report the *enabled* cost for context.
+report the *enabled* cost for context. Full instrumentation now includes
+the request-lifecycle profiler, so the enabled multiplier covers the
+profiling hook sites too.
+
+Writes ``BENCH_obs.json`` at the repo root via :mod:`_emit`.
 """
 
+import json
 import statistics
 import time
 
+from _emit import emit_bench
 from conftest import run_once
 
 from repro.core import MCRMode, run_system
@@ -50,6 +56,21 @@ def test_observability_off_overhead(benchmark):
     disabled = _median_seconds(plain)
     # Two medians of the identical configuration: the spread bounds the
     # measurement noise; the hook overhead must hide inside 3%.
+    overhead_pct = (disabled / baseline - 1.0) * 100
+    report = emit_bench(
+        "BENCH_obs.json",
+        name="obs_off_overhead",
+        wall_s=disabled,
+        overhead_pct=overhead_pct,
+        detail={
+            "baseline_s": round(baseline, 3),
+            "requests": _REQUESTS,
+            "rounds": _ROUNDS,
+            "gate_pct": 3.0,
+        },
+    )
+    print()
+    print(json.dumps(report, indent=2))
     assert disabled <= baseline * 1.03, (
         f"observability-off run regressed: {disabled:.3f}s vs "
         f"baseline {baseline:.3f}s"
@@ -57,9 +78,10 @@ def test_observability_off_overhead(benchmark):
 
 
 def test_observability_on_cost_reported(benchmark):
-    """Full instrumentation (trace + metrics + invariants) runs correctly
-    and reports its multiplier; it is diagnostic tooling, so the bar is
-    only that it completes and stays within an order of magnitude."""
+    """Full instrumentation (trace + metrics + invariants + profiler)
+    runs correctly and reports its multiplier; it is diagnostic tooling,
+    so the bar is only that it completes and stays within an order of
+    magnitude."""
     trace = _trace()
     mode = MCRMode.off()
 
@@ -70,10 +92,12 @@ def test_observability_on_cost_reported(benchmark):
             [trace], mode, config=ObservabilityConfig.full()
         )
         assert hub.clean
+        assert hub.profiler is not None and hub.profiler.conserved
         return result
 
     result = run_once(benchmark, observed)
     assert result.metrics is not None
+    assert result.profile is not None
     enabled = _median_seconds(observed, rounds=3)
     print(f"\nobservability-on multiplier: {enabled / baseline:.2f}x")
     assert enabled < baseline * 10

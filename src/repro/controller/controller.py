@@ -96,7 +96,7 @@ class MemoryController:
         #: Observability sink (a :class:`repro.obs.hub.ChannelObserver`).
         #: None by default, so disabled observability costs one branch per
         #: issued command and per accepted request.
-        self.observer = None
+        self._observer = None
         # Decision memo: ``execute`` and ``next_action_cycle`` both need
         # the best command at the same cycle, so the (collect, decide)
         # pair is cached keyed by (cycle, state generation). ``_state_gen``
@@ -111,6 +111,17 @@ class MemoryController:
         self.reads_enqueued = 0
         self.writes_enqueued = 0
         self.row_misses = 0  # = activates; hits are derived in stats()
+
+    @property
+    def observer(self):
+        return self._observer
+
+    @observer.setter
+    def observer(self, observer) -> None:
+        self._observer = observer
+        # Drain-mode transitions flow through the same sink; detaching the
+        # observer also silences the write-drain hook.
+        self.drain.on_change = None if observer is None else observer.on_drain
 
     # ------------------------------------------------------------------
     # Enqueue side (called by the cores via the simulator)
@@ -221,11 +232,15 @@ class MemoryController:
                     ),
                     request.row_class,
                 )
+                # The column command pins the request's whole lifecycle
+                # (arrival/act/issue/complete are now all known).
+                observer.on_request_served(request)
         elif kind == _ACTIVATE:
             request = payload
             self.channel.apply_activate(
                 cycle, request.rank, request.bank, request.row, request.row_class
             )
+            request.act_cycle = cycle
             self.row_misses += 1
             if observer is not None:
                 observer.on_command(
@@ -329,7 +344,9 @@ class MemoryController:
         # --- request traffic -------------------------------------------------
         reads = self.read_queue.schedulable()
         writes = self.write_queue.schedulable()
-        draining = self.drain.update(len(self.write_queue)) or (not reads and bool(writes))
+        draining = self.drain.update(len(self.write_queue), now) or (
+            not reads and bool(writes)
+        )
         active = writes if draining else reads
         if self.policy is SchedulingPolicy.FCFS and active:
             # Strict arrival order: only the oldest request's commands are

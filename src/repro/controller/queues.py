@@ -8,7 +8,7 @@ USIMM write-drain policy.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.controller.request import MemoryRequest, RequestState
 
@@ -81,13 +81,25 @@ class WriteDrainPolicy:
         self.high = high
         self.low = low
         self._draining = False
+        #: Observability sink for drain-mode transitions, called as
+        #: ``on_change(cycle, draining)``. None (the default) costs one
+        #: branch per hysteresis flip — the same zero-cost-when-off rule
+        #: as the controller's command/request hooks.
+        self.on_change: Callable[[int, bool], None] | None = None
 
-    def update(self, write_queue_depth: int) -> bool:
-        """Advance the hysteresis and return whether drain mode is on."""
+    def update(self, write_queue_depth: int, cycle: int = 0) -> bool:
+        """Advance the hysteresis and return whether drain mode is on.
+
+        ``cycle`` stamps the transition for the drain-change observer; it
+        does not affect the hysteresis itself.
+        """
+        was = self._draining
         if write_queue_depth >= self.high:
             self._draining = True
         elif write_queue_depth <= self.low:
             self._draining = False
+        if self._draining is not was and self.on_change is not None:
+            self.on_change(cycle, self._draining)
         return self._draining
 
     @property

@@ -38,6 +38,9 @@ class MemoryRequest:
     row_class: RowClass = RowClass.NORMAL
     arrival_cycle: int = 0
     state: RequestState = field(default=RequestState.QUEUED)
+    #: Cycle the controller issued an ACTIVATE with this request as the
+    #: scheduling payload; -1 when the request rode an already-open row.
+    act_cycle: int = -1
     issue_cycle: int = -1
     complete_cycle: int = -1
 
@@ -51,3 +54,12 @@ class MemoryRequest:
         if self.complete_cycle < 0:
             raise ValueError("request has not completed")
         return self.complete_cycle - self.arrival_cycle
+
+    def lifecycle(self) -> dict[str, int]:
+        """The request's state-transition timestamps (cycles; -1 = n/a)."""
+        return {
+            "arrival": self.arrival_cycle,
+            "act": self.act_cycle,
+            "issue": self.issue_cycle,
+            "complete": self.complete_cycle,
+        }

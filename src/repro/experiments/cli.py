@@ -11,6 +11,10 @@ Examples::
     mcr-dram report --scale smoke --metrics
     mcr-dram trace comm2 --mode 4/4x/100%reg --requests 300
     mcr-dram trace libq --format jsonl --out libq.jsonl
+    mcr-dram trace libq --since 5000 --until 9000 --perfetto libq.pftrace.json
+    mcr-dram profile comm2 --mode 4/4x/100%reg --attribution
+    mcr-dram profile comm2 --mode 4/4x/100%reg --save run_a.json
+    mcr-dram diff run_a.json run_b.json
 
 Runs go through the execution harness (:mod:`repro.harness`): results
 are cached on disk under ``.repro-cache/`` (override with
@@ -122,6 +126,8 @@ def _prewarm(session, names: list[str], scale) -> None:
 
 def _run_trace(args: argparse.Namespace) -> int:
     """``mcr-dram trace``: one observed run, timeline or JSONL out."""
+    import json
+
     from repro.obs import ObservabilityConfig, format_metrics, observe_run
     from repro.workloads import make_trace
 
@@ -132,19 +138,29 @@ def _run_trace(args: argparse.Namespace) -> int:
         config=ObservabilityConfig.full(metrics=args.metrics),
     )
     tracer = hub.tracer
+    windowed = args.since is not None or args.until is not None
+    events = tracer.window(args.since, args.until) if windowed else tracer.events
+    if args.perfetto:
+        from repro.obs import write_perfetto
+
+        count = write_perfetto(args.perfetto, hub)
+        print(f"wrote {count} Perfetto events to {args.perfetto}", file=sys.stderr)
     if args.format == "jsonl":
+        text = "\n".join(
+            json.dumps(event.to_json(), separators=(",", ":")) for event in events
+        )
         if args.out:
             with open(args.out, "w", encoding="utf-8") as handle:
-                count = tracer.write_jsonl(handle)
-            print(f"wrote {count} events to {args.out}", file=sys.stderr)
+                handle.write(text + ("\n" if text else ""))
+            print(f"wrote {len(events)} events to {args.out}", file=sys.stderr)
         else:
-            print(tracer.to_jsonl())
+            print(text)
     else:
-        text = tracer.timeline(limit=args.limit)
+        text = tracer.timeline(limit=args.limit, events=events if windowed else None)
         if args.out:
             with open(args.out, "w", encoding="utf-8") as handle:
                 handle.write(text + "\n")
-            print(f"wrote {len(tracer)} events to {args.out}", file=sys.stderr)
+            print(f"wrote {len(events)} events to {args.out}", file=sys.stderr)
         else:
             print(text)
     print(
@@ -162,6 +178,61 @@ def _run_trace(args: argparse.Namespace) -> int:
             print(f"  {violation}", file=sys.stderr)
         return 1
     return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """``mcr-dram profile``: latency breakdown + mechanism attribution."""
+    from repro.obs import (
+        ObservabilityConfig,
+        attribute_mechanisms,
+        format_attribution,
+        format_profile,
+        observe_run,
+        write_perfetto,
+        write_run_artifact,
+    )
+    from repro.workloads import make_trace
+
+    trace = make_trace(args.workload, n_requests=args.requests, seed=args.seed)
+    result, hub = observe_run(
+        [trace],
+        args.mode,
+        config=ObservabilityConfig.full(),
+    )
+    print(
+        f"[{trace.name} mode={result.mode_label} "
+        f"{result.execution_cycles} cycles]",
+        file=sys.stderr,
+    )
+    print(format_profile(hub.profile_snapshot()))
+    attribution = None
+    if args.attribution or args.save:
+        attribution = attribute_mechanisms(hub)
+    if args.attribution:
+        print()
+        print(format_attribution(attribution))
+    if args.perfetto:
+        count = write_perfetto(args.perfetto, hub)
+        print(f"wrote {count} Perfetto events to {args.perfetto}", file=sys.stderr)
+    if args.save:
+        write_run_artifact(args.save, result, hub, attribution)
+        print(f"wrote run artifact to {args.save}", file=sys.stderr)
+    if hub.violations:
+        print(f"INVARIANT VIOLATIONS ({len(hub.violations)})", file=sys.stderr)
+        return 1
+    if hub.profiler is not None and not hub.profiler.conserved:
+        print("PROFILE CONSERVATION VIOLATED", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_diff(args: argparse.Namespace) -> int:
+    """``mcr-dram diff``: compare two saved run artifacts."""
+    from repro.obs import diff_files, format_diff
+
+    diff = diff_files(args.run_a, args.run_b)
+    print(format_diff(diff))
+    return 0 if diff["identical"] else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -236,12 +307,71 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="also print the run's metrics registry",
     )
+    trace_cmd.add_argument(
+        "--since",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="only events at or after this cycle",
+    )
+    trace_cmd.add_argument(
+        "--until",
+        type=int,
+        default=None,
+        metavar="CYCLE",
+        help="only events before this cycle",
+    )
+    trace_cmd.add_argument(
+        "--perfetto",
+        default=None,
+        metavar="FILE",
+        help="also export the run as Chrome/Perfetto trace JSON",
+    )
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="run one workload with the latency-attribution profiler",
+    )
+    profile_cmd.add_argument("workload", help="workload name, e.g. comm2, libq")
+    profile_cmd.add_argument(
+        "--mode", default="off", help="MCR mode string (default: off)"
+    )
+    profile_cmd.add_argument(
+        "--requests", type=int, default=300, help="trace length (default: 300)"
+    )
+    profile_cmd.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    profile_cmd.add_argument(
+        "--attribution",
+        action="store_true",
+        help="also print the Fig.-17-style mechanism attribution",
+    )
+    profile_cmd.add_argument(
+        "--perfetto",
+        default=None,
+        metavar="FILE",
+        help="also export the run as Chrome/Perfetto trace JSON",
+    )
+    profile_cmd.add_argument(
+        "--save",
+        default=None,
+        metavar="FILE",
+        help="write the full run artifact (input of 'mcr-dram diff')",
+    )
+    diff_cmd = sub.add_parser(
+        "diff",
+        help="compare two saved run artifacts (exit 1 when they differ)",
+    )
+    diff_cmd.add_argument("run_a", help="run artifact JSON (from profile --save)")
+    diff_cmd.add_argument("run_b", help="run artifact JSON to compare against")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
         if args.limit == 0:
             args.limit = None
         return _run_trace(args)
+    if args.command == "profile":
+        return _run_profile(args)
+    if args.command == "diff":
+        return _run_diff(args)
 
     registry = _registry()
     if args.command == "list":

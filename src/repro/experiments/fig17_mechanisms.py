@@ -53,15 +53,35 @@ CASES: tuple[tuple[str, str, MechanismSet], ...] = (
 )
 
 
-def _sweep(workload_traces: list[tuple[str, list]], base_spec: SystemSpec) -> list[list]:
+def case_runs(
+    traces: list,
+    base_spec: SystemSpec | None = None,
+    cases: tuple = CASES,
+) -> tuple:
+    """Baseline plus per-case results for one workload's traces.
+
+    The Fig. 17 protocol for a single workload: conventional-DRAM
+    baseline under ``base_spec``, then each ablation case under
+    collision-free allocation. Returns ``(baseline, {label: result})``.
+    Shared by :func:`run_fig17` and the attribution reconciliation test,
+    so the test exercises exactly the experiment's configuration.
+    """
+    base_spec = base_spec if base_spec is not None else SystemSpec()
     spec = base_spec.with_allocation("collision-free")
+    baseline = cached_run(traces, MCRMode.off(), base_spec)
+    results = {}
+    for label, mode_text, mechanisms in cases:
+        mode = MCRMode.parse(mode_text, mechanisms=mechanisms)
+        results[label] = cached_run(traces, mode, spec)
+    return baseline, results
+
+
+def _sweep(workload_traces: list[tuple[str, list]], base_spec: SystemSpec) -> list[list]:
     per_case: dict[str, list[float]] = {label: [] for label, _, _ in CASES}
     for _, traces in workload_traces:
-        baseline = cached_run(traces, MCRMode.off(), base_spec)
-        for label, mode_text, mechanisms in CASES:
-            mode = MCRMode.parse(mode_text, mechanisms=mechanisms)
-            result = cached_run(traces, mode, spec)
-            exec_red, _, _ = reductions(baseline, result)
+        baseline, results = case_runs(traces, base_spec)
+        for label, _, _ in CASES:
+            exec_red, _, _ = reductions(baseline, results[label])
             per_case[label].append(exec_red)
     averages = {label: mean_pct(vals) for label, vals in per_case.items()}
     case3 = averages["case3 +FR+RS"]

@@ -79,6 +79,7 @@ def serialize_result(result: RunResult) -> dict:
         "controller_stats": _jsonable(list(result.controller_stats)),
         "read_latency_percentiles": list(result.read_latency_percentiles),
         "metrics": _jsonable(result.metrics) if result.metrics is not None else None,
+        "profile": _jsonable(result.profile) if result.profile is not None else None,
     }
 
 
@@ -100,6 +101,7 @@ def deserialize_result(data: dict) -> RunResult:
         # .get(): entries written before the observability layer lack the
         # key; they deserialize with metrics=None rather than invalidating.
         metrics=data.get("metrics"),
+        profile=data.get("profile"),
     )
 
 

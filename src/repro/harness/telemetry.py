@@ -140,7 +140,14 @@ class Telemetry:
         if self.store_rejected:
             parts.append(f"{self.store_rejected} stale cache entries ignored")
         if self.records:
-            parts.append(f"sim time {self.total_sim_seconds():.1f}s")
+            from repro.obs.profiler import exact_percentile
+
+            seconds = sorted(r.seconds for r in self.records)
+            parts.append(
+                f"sim time {self.total_sim_seconds():.1f}s "
+                f"(job p50 {exact_percentile(seconds, 0.50):.2f}s, "
+                f"p95 {exact_percentile(seconds, 0.95):.2f}s)"
+            )
         return "harness: " + ", ".join(parts)
 
     def reset(self) -> None:

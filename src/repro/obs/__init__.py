@@ -1,4 +1,4 @@
-"""Observability: command-stream tracing, metrics, invariant checking.
+"""Observability: tracing, metrics, invariants, profiling, attribution.
 
 The subsystem is strictly descriptive — nothing here may influence
 simulation results. Entry points:
@@ -7,9 +7,24 @@ simulation results. Entry points:
 - :class:`ObservabilityConfig` — what to collect (pass to
   :class:`~repro.sim.engine.SystemSimulator` or
   :func:`~repro.core.api.run_system`);
+- :class:`RequestProfiler` / :func:`attribute_mechanisms` — per-request
+  latency decomposition and Fig.-17-style mechanism attribution;
+- :func:`to_perfetto` / :func:`diff_runs` — trace export and run diff;
 - ``python -m repro.obs.fuzz`` — the CI invariant-checker fuzz driver.
 """
 
+from repro.obs.attribution import (
+    MECHANISMS,
+    attribute_mechanisms,
+    format_attribution,
+)
+from repro.obs.diff import diff_files, diff_runs, format_diff
+from repro.obs.export import (
+    run_artifact,
+    to_perfetto,
+    write_perfetto,
+    write_run_artifact,
+)
 from repro.obs.hub import (
     ChannelObserver,
     ObservabilityConfig,
@@ -31,9 +46,21 @@ from repro.obs.metrics import (
     MetricsRegistry,
     format_metrics,
 )
-from repro.obs.tracer import TRACE_SCHEMA_VERSION, CommandTracer, TraceEvent
+from repro.obs.profiler import (
+    COMPONENTS,
+    RequestProfile,
+    RequestProfiler,
+    format_profile,
+)
+from repro.obs.tracer import (
+    ROW_CLASS_LABELS,
+    TRACE_SCHEMA_VERSION,
+    CommandTracer,
+    TraceEvent,
+)
 
 __all__ = [
+    "COMPONENTS",
     "ChannelObserver",
     "CommandTracer",
     "ConstraintModel",
@@ -44,12 +71,26 @@ __all__ = [
     "Histogram",
     "InvariantChecker",
     "InvariantError",
+    "MECHANISMS",
     "MetricsRegistry",
     "ObservabilityConfig",
     "ObservabilityHub",
+    "ROW_CLASS_LABELS",
+    "RequestProfile",
+    "RequestProfiler",
     "TRACE_SCHEMA_VERSION",
     "TraceEvent",
     "Violation",
+    "attribute_mechanisms",
+    "diff_files",
+    "diff_runs",
+    "format_attribution",
+    "format_diff",
     "format_metrics",
+    "format_profile",
     "observe_run",
+    "run_artifact",
+    "to_perfetto",
+    "write_perfetto",
+    "write_run_artifact",
 ]

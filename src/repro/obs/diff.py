@@ -1,0 +1,182 @@
+"""Run-diff: compare two run artifacts and locate the first divergence.
+
+Determinism is the simulator's core debugging contract: the same
+workload, mode and seed must produce the same command stream. When two
+runs that should match don't (a refactor changed scheduling, a timing
+table moved, a cache returned a stale result), the useful answer is not
+"the metrics differ" but *where the streams first diverge* — the first
+command one run issued that the other didn't, which is the point to set
+a breakpoint at.
+
+Input is the JSON artifact written by
+:func:`repro.obs.export.write_run_artifact` (the CLI's ``profile
+--save`` / ``trace --save-artifact``). The diff walks, in order:
+
+1. headline scalars (execution cycles, ops, latency, energy);
+2. the metrics snapshot, flattened to ``name{labels} -> value``;
+3. the profile snapshot's component totals;
+4. the recorded command streams, reporting the first index at which
+   they disagree (or the shorter stream ending early).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+#: Keys compared as headline scalars, in report order.
+_SCALAR_KEYS = (
+    "mode",
+    "workloads",
+    "execution_cycles",
+    "instructions",
+    "reads",
+    "writes",
+    "avg_read_latency_cycles",
+    "read_latency_percentiles",
+    "energy_j",
+    "edp",
+)
+
+#: Cap on reported per-section differences (the full count is always
+#: reported; the listing is truncated to stay readable).
+_MAX_LISTED = 20
+
+
+def _flatten_metrics(snapshot: Mapping | None) -> dict[str, object]:
+    """Registry snapshot -> flat ``name{k=v,...} -> value`` mapping."""
+    if not snapshot:
+        return {}
+    flat: dict[str, object] = {}
+    for name, family in snapshot.items():
+        for series in family.get("series", ()):
+            labels = ",".join(
+                f"{k}={v}" for k, v in sorted(series.get("labels", {}).items())
+            )
+            key = f"{name}{{{labels}}}" if labels else name
+            if family.get("type") == "counter":
+                flat[key] = series.get("value")
+            elif family.get("type") == "gauge":
+                flat[key] = series.get("value")
+            else:  # histogram: compare exact count/sum, not estimates
+                flat[f"{key}.count"] = series.get("count")
+                flat[f"{key}.sum"] = series.get("sum")
+    return flat
+
+
+def _compare_mapping(
+    a: Mapping[str, object], b: Mapping[str, object]
+) -> list[str]:
+    lines: list[str] = []
+    for key in sorted(set(a) | set(b)):
+        if key not in a:
+            lines.append(f"+ {key} = {b[key]} (only in B)")
+        elif key not in b:
+            lines.append(f"- {key} = {a[key]} (only in A)")
+        elif a[key] != b[key]:
+            lines.append(f"~ {key}: {a[key]} -> {b[key]}")
+    return lines
+
+
+def _first_trace_divergence(
+    trace_a: list | None, trace_b: list | None
+) -> dict | None:
+    """First index where the command streams disagree, or None."""
+    if trace_a is None or trace_b is None:
+        return None
+    for index, (event_a, event_b) in enumerate(zip(trace_a, trace_b)):
+        if event_a != event_b:
+            return {"index": index, "a": event_a, "b": event_b}
+    if len(trace_a) != len(trace_b):
+        index = min(len(trace_a), len(trace_b))
+        longer = trace_a if len(trace_a) > len(trace_b) else trace_b
+        return {
+            "index": index,
+            "a": trace_a[index] if index < len(trace_a) else None,
+            "b": trace_b[index] if index < len(trace_b) else None,
+            "note": f"streams share a {index}-command prefix; "
+            f"{'A' if longer is trace_a else 'B'} has "
+            f"{abs(len(trace_a) - len(trace_b))} extra commands",
+        }
+    return None
+
+
+def diff_runs(artifact_a: Mapping, artifact_b: Mapping) -> dict:
+    """Compare two run artifacts; see the module docstring for the walk.
+
+    Returns a dict with ``identical`` (bool), per-section difference
+    listings, and ``first_divergence`` (the first differing trace
+    command, when both artifacts carry traces).
+    """
+    scalars = []
+    for key in _SCALAR_KEYS:
+        value_a = artifact_a.get(key)
+        value_b = artifact_b.get(key)
+        if value_a != value_b:
+            scalars.append(f"~ {key}: {value_a} -> {value_b}")
+
+    metrics = _compare_mapping(
+        _flatten_metrics(artifact_a.get("metrics")),
+        _flatten_metrics(artifact_b.get("metrics")),
+    )
+
+    profile_lines: list[str] = []
+    profile_a = artifact_a.get("profile") or {}
+    profile_b = artifact_b.get("profile") or {}
+    if profile_a or profile_b:
+        profile_lines = _compare_mapping(
+            profile_a.get("components", {}), profile_b.get("components", {})
+        )
+        served_a = (profile_a.get("requests") or {}).get("served")
+        served_b = (profile_b.get("requests") or {}).get("served")
+        if served_a != served_b:
+            profile_lines.append(f"~ requests.served: {served_a} -> {served_b}")
+
+    divergence = _first_trace_divergence(
+        artifact_a.get("trace"), artifact_b.get("trace")
+    )
+
+    identical = not (scalars or metrics or profile_lines or divergence)
+    return {
+        "identical": identical,
+        "scalars": scalars,
+        "metrics": metrics,
+        "profile": profile_lines,
+        "first_divergence": divergence,
+    }
+
+
+def diff_files(path_a: str | Path, path_b: str | Path) -> dict:
+    """Load two artifact files and :func:`diff_runs` them."""
+    artifact_a = json.loads(Path(path_a).read_text())
+    artifact_b = json.loads(Path(path_b).read_text())
+    return diff_runs(artifact_a, artifact_b)
+
+
+def format_diff(diff: dict) -> str:
+    """Human-readable rendering of a :func:`diff_runs` result."""
+    if diff["identical"]:
+        return "runs are identical"
+    lines: list[str] = ["runs differ"]
+    for section in ("scalars", "metrics", "profile"):
+        entries = diff[section]
+        if not entries:
+            continue
+        lines.append(f"\n{section} ({len(entries)} difference"
+                     f"{'s' if len(entries) != 1 else ''}):")
+        lines.extend(f"  {entry}" for entry in entries[:_MAX_LISTED])
+        if len(entries) > _MAX_LISTED:
+            lines.append(f"  ... {len(entries) - _MAX_LISTED} more")
+    divergence = diff["first_divergence"]
+    if divergence is not None:
+        lines.append("\nfirst diverging command:")
+        lines.append(f"  index {divergence['index']}")
+        lines.append(f"  A: {divergence['a']}")
+        lines.append(f"  B: {divergence['b']}")
+        if "note" in divergence:
+            lines.append(f"  {divergence['note']}")
+    return "\n".join(lines)
+
+
+__all__ = ["diff_files", "diff_runs", "format_diff"]

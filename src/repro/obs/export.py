@@ -1,0 +1,225 @@
+"""Run-artifact export: Perfetto traces and diffable run summaries.
+
+Two export formats share this module:
+
+- :func:`to_perfetto` renders an observed run as Chrome trace-event JSON
+  (the format ui.perfetto.dev opens directly): each bank is a track,
+  each DRAM command a slice sized by its occupancy, each profiled
+  request an async span carrying its latency decomposition, with flow
+  arrows connecting a request's ACTIVATE to its column command.
+- :func:`run_artifact` flattens a run (headline numbers, metrics
+  snapshot, profile snapshot, trace events, timing table) into one
+  JSON-safe dict — the input format of :mod:`repro.obs.diff`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.dram.mcr import RowClass
+from repro.obs.tracer import TRACE_SCHEMA_VERSION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.hub import ObservabilityHub
+    from repro.sim.results import RunResult
+
+#: Run-artifact schema version (bumped when the shape changes).
+RUN_ARTIFACT_SCHEMA_VERSION = 1
+
+#: Command-slice durations are real occupancies; zero-duration markers
+#: get this minimal width so Perfetto still renders them visibly.
+_MARKER_CYCLES = 1
+
+
+def _tid(banks_per_rank: int, rank: int, bank: int) -> int:
+    """Stable per-(rank, bank) thread id; slot 0 of each rank block is
+    the rank-wide track (REFRESH and other bank=-1 commands)."""
+    return 1 + rank * (banks_per_rank + 1) + (bank + 1)
+
+
+def _slice_cycles(hub: "ObservabilityHub", event) -> int:
+    """Occupancy of one command, in cycles, for its Perfetto slice."""
+    base = hub.domain.base
+    if event.kind == "READ":
+        return base.t_cas + base.t_burst
+    if event.kind == "WRITE":
+        return base.t_cwd + base.t_burst
+    if event.kind == "REFRESH":
+        return max(event.row, _MARKER_CYCLES)
+    if event.kind == "ACTIVATE":
+        row_class = {
+            "normal": RowClass.NORMAL,
+            "mcr": RowClass.MCR,
+            "mcr_alt": RowClass.MCR_ALT,
+        }.get(event.row_class, RowClass.NORMAL)
+        return hub.domain.row_timings(row_class).t_rcd
+    if event.kind == "PRECHARGE":
+        return base.t_rp
+    return _MARKER_CYCLES
+
+
+def to_perfetto(hub: "ObservabilityHub") -> dict:
+    """Chrome trace-event JSON for an observed run.
+
+    Requires the hub to have traced (``config.trace``); profiled
+    requests (``config.profile``) additionally export as async spans and
+    ACT-to-column flow arrows.
+    """
+    if hub.tracer is None:
+        raise ValueError("Perfetto export requires a command trace")
+    tck_us = hub.domain.base.tck_ns / 1000.0
+    banks_per_rank = hub.geometry.banks_per_rank
+    events: list[dict] = []
+    named_tracks: set[tuple[int, int]] = set()
+
+    def name_track(channel: int, tid: int, name: str) -> None:
+        if (channel, tid) in named_tracks:
+            return
+        named_tracks.add((channel, tid))
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": channel,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    channels = {event.channel for event in hub.tracer.events}
+    for channel in sorted(channels):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": channel,
+                "args": {"name": f"channel {channel}"},
+            }
+        )
+
+    for event in hub.tracer.events:
+        tid = _tid(banks_per_rank, event.rank, event.bank)
+        track = (
+            f"rank {event.rank} (rank-wide)"
+            if event.bank < 0
+            else f"rank {event.rank} bank {event.bank}"
+        )
+        name_track(event.channel, tid, track)
+        events.append(
+            {
+                "ph": "X",
+                "name": event.kind,
+                "cat": "command",
+                "pid": event.channel,
+                "tid": tid,
+                "ts": event.cycle * tck_us,
+                "dur": _slice_cycles(hub, event) * tck_us,
+                "args": {
+                    "cycle": event.cycle,
+                    "row": event.row,
+                    "row_class": event.row_class,
+                    "gate": event.gate,
+                },
+            }
+        )
+
+    if hub.profiler is not None:
+        for profile in hub.profiler.profiles:
+            tid = _tid(banks_per_rank, profile.rank, profile.bank)
+            span = {
+                "cat": "request",
+                "id": profile.req_id,
+                "pid": profile.channel,
+                "tid": tid,
+                "name": f"{'WR' if profile.is_write else 'RD'} req {profile.req_id}",
+            }
+            events.append(
+                {
+                    **span,
+                    "ph": "b",
+                    "ts": profile.arrival * tck_us,
+                    "args": {
+                        "row": profile.row,
+                        "row_class": profile.row_class,
+                        "latency_cycles": profile.latency,
+                        "components": dict(profile.components),
+                    },
+                }
+            )
+            events.append({**span, "ph": "e", "ts": profile.complete * tck_us})
+            if profile.act >= 0:
+                flow = {
+                    "cat": "flow",
+                    "id": profile.req_id,
+                    "pid": profile.channel,
+                    "tid": tid,
+                    "name": f"req {profile.req_id}",
+                }
+                events.append({**flow, "ph": "s", "ts": profile.act * tck_us})
+                events.append(
+                    {**flow, "ph": "f", "bp": "e", "ts": profile.issue * tck_us}
+                )
+
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_perfetto(path: str | Path, hub: "ObservabilityHub") -> int:
+    """Write the Perfetto JSON to ``path``; returns the event count."""
+    trace = to_perfetto(hub)
+    Path(path).write_text(json.dumps(trace, separators=(",", ":")))
+    return len(trace["traceEvents"])
+
+
+def run_artifact(
+    result: "RunResult",
+    hub: "ObservabilityHub | None" = None,
+    attribution: dict | None = None,
+) -> dict:
+    """One JSON-safe dict describing a run, for export and run-diff."""
+    artifact: dict = {
+        "schema": RUN_ARTIFACT_SCHEMA_VERSION,
+        "trace_schema": TRACE_SCHEMA_VERSION,
+        "workloads": list(result.workloads),
+        "mode": result.mode_label,
+        "execution_cycles": result.execution_cycles,
+        "avg_read_latency_cycles": result.avg_read_latency_cycles,
+        "read_latency_percentiles": list(result.read_latency_percentiles),
+        "instructions": result.instructions,
+        "reads": result.reads,
+        "writes": result.writes,
+        "energy_j": result.energy.total,
+        "edp": result.edp,
+        "metrics": result.metrics,
+        "profile": result.profile,
+        "attribution": attribution,
+        "timing": None,
+        "trace": None,
+    }
+    if hub is not None:
+        artifact["timing"] = hub.domain.describe()
+        if hub.tracer is not None:
+            artifact["trace"] = [event.to_json() for event in hub.tracer.events]
+    return artifact
+
+
+def write_run_artifact(
+    path: str | Path,
+    result: "RunResult",
+    hub: "ObservabilityHub | None" = None,
+    attribution: dict | None = None,
+) -> dict:
+    """Write :func:`run_artifact` to ``path`` and return it."""
+    artifact = run_artifact(result, hub, attribution)
+    Path(path).write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    return artifact
+
+
+__all__ = [
+    "RUN_ARTIFACT_SCHEMA_VERSION",
+    "run_artifact",
+    "to_perfetto",
+    "write_perfetto",
+    "write_run_artifact",
+]

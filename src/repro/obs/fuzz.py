@@ -123,10 +123,25 @@ def run_clean_iteration(rng: random.Random) -> list[str]:
         traces,
         mode,
         spec=SystemSpec(geometry=geometry),
-        config=ObservabilityConfig(invariants=True),
+        config=ObservabilityConfig(invariants=True, profile=True),
         max_cycles=3_000_000,
     )
-    return [f"clean run violated: {v}" for v in hub.violations[:5]]
+    failures = [f"clean run violated: {v}" for v in hub.violations[:5]]
+    # Profiler conservation fuzz: every profiled request's components
+    # must sum exactly to its latency, whatever mode/geometry was drawn.
+    profiler = hub.profiler
+    bad = [p for p in profiler.profiles if not p.conserved]
+    failures.extend(
+        "profile conservation violated: "
+        f"req {p.req_id} latency {p.latency} components {p.components}"
+        for p in bad[:5]
+    )
+    if not profiler.conserved:
+        failures.append(
+            "aggregate profile conservation violated: "
+            f"totals {profiler.totals} vs latency {profiler.latency_total}"
+        )
+    return failures
 
 
 def run_corrupted_iteration(rng: random.Random) -> list[str]:

@@ -31,7 +31,8 @@ from repro.dram.config import DRAMGeometry
 from repro.dram.mcr import MCRModeConfig, RowClass
 from repro.dram.timing import TimingDomain
 from repro.obs.invariants import InvariantChecker, Violation
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import DEFAULT_QUANTILES, MetricsRegistry
+from repro.obs.profiler import RequestProfiler
 from repro.obs.tracer import CommandTracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -51,6 +52,8 @@ class ObservabilityConfig:
             model for gate labels).
         metrics: Collect the metrics registry.
         invariants: Check inter-command spacing online.
+        profile: Build per-request latency-attribution profiles
+            (:mod:`repro.obs.profiler`).
         fail_fast: Raise :class:`~repro.obs.invariants.InvariantError`
             at the first violation instead of collecting (CI fuzz mode).
         reference_domain: Timing domain the checker validates against;
@@ -58,23 +61,35 @@ class ObservabilityConfig:
             independently derived domain to detect a corrupted device
             timing table.
         max_trace_events: Cap on stored trace events (None = unbounded).
+        max_profiles: Cap on stored per-request profiles (aggregates keep
+            accumulating past the cap; None = unbounded).
+        quantiles: Percentiles reported by profile and histogram
+            snapshots (p50/p95/p99 by default).
     """
 
     trace: bool = False
     metrics: bool = False
     invariants: bool = False
+    profile: bool = False
     fail_fast: bool = False
     reference_domain: TimingDomain | None = None
     max_trace_events: int | None = None
+    max_profiles: int | None = None
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES
 
     @property
     def enabled(self) -> bool:
-        return self.trace or self.metrics or self.invariants
+        return self.trace or self.metrics or self.invariants or self.profile
 
     @classmethod
     def full(cls, **overrides) -> "ObservabilityConfig":
         """Everything on — the CLI ``trace`` command's default."""
-        merged = {"trace": True, "metrics": True, "invariants": True}
+        merged = {
+            "trace": True,
+            "metrics": True,
+            "invariants": True,
+            "profile": True,
+        }
         merged.update(overrides)
         return cls(**merged)
 
@@ -100,6 +115,12 @@ class ChannelObserver:
     ) -> None:
         self.hub.on_enqueue(self.channel, request, read_depth, write_depth, open_row)
 
+    def on_request_served(self, request: "MemoryRequest") -> None:
+        self.hub.on_request_served(self.channel, request)
+
+    def on_drain(self, cycle: int, draining: bool) -> None:
+        self.hub.on_drain(self.channel, cycle, draining)
+
 
 class ObservabilityHub:
     """All observability state for one simulation run."""
@@ -112,6 +133,9 @@ class ObservabilityHub:
         mode: MCRModeConfig,
     ) -> None:
         self.config = config
+        self.geometry = geometry
+        self.domain = domain
+        self.mode = mode
         reference = (
             config.reference_domain if config.reference_domain is not None else domain
         )
@@ -119,6 +143,15 @@ class ObservabilityHub:
             CommandTracer(max_events=config.max_trace_events) if config.trace else None
         )
         self.registry = MetricsRegistry() if config.metrics else None
+        self.profiler = (
+            RequestProfiler(
+                domain,
+                quantiles=config.quantiles,
+                max_profiles=config.max_profiles,
+            )
+            if config.profile
+            else None
+        )
         # The constraint model runs whenever gates are needed (tracing)
         # or checking was asked for; violations are collected either way.
         self.checker = (
@@ -164,6 +197,8 @@ class ObservabilityHub:
                     registry.counter("sim.early_access_events", channel=channel).inc()
         if self.tracer is not None:
             self.tracer.record(channel, cmd, row_class, gate)
+        if self.profiler is not None:
+            self.profiler.on_command(channel, cmd, row_class)
 
     def on_enqueue(
         self,
@@ -173,6 +208,8 @@ class ObservabilityHub:
         write_depth: int,
         open_row: int | None,
     ) -> None:
+        if self.profiler is not None:
+            self.profiler.on_enqueue(channel, request, open_row)
         registry = self.registry
         if registry is None:
             return
@@ -191,6 +228,14 @@ class ObservabilityHub:
         registry.histogram(
             "sim.queue_depth", buckets=_DEPTH_BUCKETS, channel=channel, queue="write"
         ).observe(write_depth)
+
+    def on_request_served(self, channel: int, request: "MemoryRequest") -> None:
+        if self.profiler is not None:
+            self.profiler.on_request_served(channel, request)
+
+    def on_drain(self, channel: int, cycle: int, draining: bool) -> None:
+        if self.profiler is not None:
+            self.profiler.on_drain(channel, cycle, draining)
 
     # ------------------------------------------------------------------
     # End of run
@@ -219,6 +264,9 @@ class ObservabilityHub:
 
     def metrics_snapshot(self) -> dict | None:
         return self.registry.snapshot() if self.registry is not None else None
+
+    def profile_snapshot(self) -> dict | None:
+        return self.profiler.snapshot() if self.profiler is not None else None
 
     @property
     def violations(self) -> list[Violation]:

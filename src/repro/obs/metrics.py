@@ -22,6 +22,14 @@ from typing import Iterable, Mapping
 #: land in an overflow bucket). Chosen for queue depths and small counts.
 DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
 
+#: Default quantiles reported in histogram snapshots.
+DEFAULT_QUANTILES: tuple[float, ...] = (0.50, 0.95, 0.99)
+
+
+def quantile_key(q: float) -> str:
+    """Snapshot key for a quantile: 0.95 -> ``p95``, 0.999 -> ``p99.9``."""
+    return f"p{100 * q:g}"
+
 #: Canonical label-set encoding used as the series key.
 LabelKey = tuple[tuple[str, str], ...]
 
@@ -67,25 +75,44 @@ class Gauge:
 
 
 class Histogram:
-    """Fixed-bucket histogram with exact count/sum.
+    """Fixed-bucket histogram with exact count/sum and quantile estimates.
 
     ``bounds`` are inclusive upper bounds; one extra overflow bucket
-    catches everything above the last bound.
+    catches everything above the last bound. ``quantiles`` selects the
+    percentiles reported by :meth:`snapshot` (p50/p95/p99 by default).
+    Quantiles interpolate linearly within a bucket, clamped to the exact
+    observed min/max, so they are estimates — exact whenever a bucket
+    holds a single distinct value.
     """
 
-    __slots__ = ("bounds", "counts", "count", "total")
+    __slots__ = ("bounds", "counts", "count", "total", "quantiles", "min_value", "max_value")
 
-    def __init__(self, bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+    def __init__(
+        self,
+        bounds: Iterable[float] = DEFAULT_BUCKETS,
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
+    ) -> None:
         self.bounds = tuple(bounds)
         if not self.bounds:
             raise ValueError("need at least one bucket bound")
         if list(self.bounds) != sorted(set(self.bounds)):
             raise ValueError("bucket bounds must be strictly increasing")
+        self.quantiles = tuple(quantiles)
+        if any(not 0.0 <= q <= 1.0 for q in self.quantiles):
+            raise ValueError("quantiles must lie within [0, 1]")
         self.counts = [0] * (len(self.bounds) + 1)
         self.count = 0
         self.total = 0.0
+        self.min_value = 0.0
+        self.max_value = 0.0
 
     def observe(self, value: float) -> None:
+        if self.count == 0:
+            self.min_value = self.max_value = value
+        elif value < self.min_value:
+            self.min_value = value
+        elif value > self.max_value:
+            self.max_value = value
         self.counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
@@ -94,6 +121,29 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (``0 <= q <= 1``) of the observations."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must lie within [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0.0
+        lower = self.min_value
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            if bucket_count:
+                upper = min(bound, self.max_value)
+                if cumulative + bucket_count >= rank:
+                    fraction = max(0.0, rank - cumulative) / bucket_count
+                    value = lower + (upper - lower) * fraction
+                    return min(max(value, self.min_value), self.max_value)
+                cumulative += bucket_count
+                lower = upper
+            else:
+                lower = max(lower, min(bound, self.max_value))
+        # Only the overflow bucket remains; its upper edge is the max.
+        return self.max_value
+
     def snapshot(self) -> dict:
         buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}
         buckets["overflow"] = self.counts[-1]
@@ -101,6 +151,7 @@ class Histogram:
             "count": self.count,
             "sum": self.total,
             "mean": self.mean,
+            **{quantile_key(q): self.percentile(q) for q in self.quantiles},
             "buckets": buckets,
         }
 
@@ -135,9 +186,12 @@ class MetricsRegistry:
         self,
         name: str,
         buckets: Iterable[float] = DEFAULT_BUCKETS,
+        quantiles: Iterable[float] = DEFAULT_QUANTILES,
         **labels: object,
     ) -> Histogram:
-        return self._get("histogram", name, labels, lambda: Histogram(buckets))
+        return self._get(
+            "histogram", name, labels, lambda: Histogram(buckets, quantiles)
+        )
 
     # ------------------------------------------------------------------
 
@@ -173,9 +227,15 @@ def format_metrics(snapshot: Mapping[str, dict]) -> str:
                     f"{name}{suffix} {series['value']:g} (max {series['max']:g})"
                 )
             else:  # histogram
+                percentiles = " ".join(
+                    f"{key}={series[key]:g}"
+                    for key in series
+                    if key.startswith("p") and key[1:2].isdigit()
+                )
                 lines.append(
                     f"{name}{suffix} count={series['count']} "
                     f"mean={series['mean']:.3f} sum={series['sum']:g}"
+                    + (f" {percentiles}" if percentiles else "")
                 )
     return "\n".join(lines)
 
@@ -183,9 +243,11 @@ def format_metrics(snapshot: Mapping[str, dict]) -> str:
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_QUANTILES",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "format_metrics",
     "label_key",
+    "quantile_key",
 ]

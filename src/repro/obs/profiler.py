@@ -1,0 +1,463 @@
+"""Per-request latency-attribution profiler.
+
+Every serviced :class:`~repro.controller.request.MemoryRequest` has an
+end-to-end latency (arrival to last data beat). This module decomposes
+that latency into named components that **sum exactly** to the observed
+latency — no unattributed and no double-counted cycles:
+
+- ``queueing``      — waiting on the scheduler / older requests / bus
+  contention while the bank itself was available;
+- ``bank_conflict`` — waiting for another row to close (tRAS residency,
+  precharge, tRP) before this request's row could be activated;
+- ``trcd``          — the ACT-to-column sensing window of the row's
+  timing class (the cycles Early-Access shrinks);
+- ``refresh_blocked``      — the rank sat under a REFRESH (tRFC);
+- ``write_drain_blocked``  — a read held while the controller drained
+  writes exclusively;
+- ``cas_burst``     — column command to last data beat (tCAS/tCWD +
+  tBURST), the incompressible tail.
+
+Exactness comes from interval arithmetic, not sampling: the span
+``[arrival, complete)`` is partitioned into sub-windows at the request's
+lifecycle timestamps, and each sub-window's cycles are attributed with a
+fixed priority (refresh > write-drain > conflict/queueing). The
+conservation property — ``sum(components) == latency_cycles`` for every
+request, in every mode — is asserted by the test suite and the fuzz
+driver.
+
+The profiler observes the same hook stream as the tracer (commands,
+enqueues, drain transitions) and never touches simulator state.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.dram.commands import Command, CommandType
+from repro.dram.mcr import RowClass
+from repro.dram.timing import TimingDomain
+from repro.obs.metrics import DEFAULT_QUANTILES, quantile_key
+from repro.obs.tracer import ROW_CLASS_LABELS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.controller.request import MemoryRequest
+
+#: Latency component names, in display order. ``sum(components.values())``
+#: equals ``complete - arrival`` exactly for every profiled request.
+COMPONENTS: tuple[str, ...] = (
+    "queueing",
+    "bank_conflict",
+    "trcd",
+    "cas_burst",
+    "refresh_blocked",
+    "write_drain_blocked",
+)
+
+#: Profile snapshot schema version (bumped when the shape changes).
+PROFILE_SCHEMA_VERSION = 1
+
+
+@dataclass(slots=True)
+class RequestProfile:
+    """One serviced request's lifecycle and exact latency decomposition."""
+
+    req_id: int
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    row_class: str
+    is_write: bool
+    arrival: int
+    act: int  # -1 when the request rode an already-open row
+    issue: int
+    complete: int
+    components: dict[str, int]
+
+    @property
+    def latency(self) -> int:
+        return self.complete - self.arrival
+
+    @property
+    def conserved(self) -> bool:
+        """Do the components sum exactly to the end-to-end latency?"""
+        return sum(self.components.values()) == self.latency
+
+    def to_json(self) -> dict:
+        return {
+            "req_id": self.req_id,
+            "channel": self.channel,
+            "rank": self.rank,
+            "bank": self.bank,
+            "row": self.row,
+            "row_class": self.row_class,
+            "op": "write" if self.is_write else "read",
+            "arrival": self.arrival,
+            "act": self.act,
+            "issue": self.issue,
+            "complete": self.complete,
+            "latency": self.latency,
+            "components": dict(self.components),
+        }
+
+
+class _IntervalLog:
+    """Sorted, disjoint half-open intervals with bisect range queries."""
+
+    __slots__ = ("starts", "intervals")
+
+    def __init__(self) -> None:
+        self.starts: list[int] = []
+        self.intervals: list[tuple[int, int]] = []
+
+    def add(self, start: int, end: int) -> None:
+        self.starts.append(start)
+        self.intervals.append((start, end))
+
+    def overlapping(self, start: int, end: int) -> list[tuple[int, int]]:
+        """Intervals intersecting ``[start, end)``."""
+        lo = bisect_right(self.starts, start) - 1
+        if lo < 0:
+            lo = 0
+        hi = bisect_left(self.starts, end)
+        return [
+            (s, e) for s, e in self.intervals[lo:hi] if e > start and s < end
+        ]
+
+
+def _subtract(
+    windows: list[tuple[int, int]], cuts: Iterable[tuple[int, int]]
+) -> tuple[int, list[tuple[int, int]]]:
+    """Remove ``cuts`` from ``windows``; return (cycles removed, leftover).
+
+    Exact by construction: removed + leftover lengths == input lengths.
+    """
+    removed = 0
+    segments = list(windows)
+    for cut_start, cut_end in cuts:
+        next_segments: list[tuple[int, int]] = []
+        for seg_start, seg_end in segments:
+            if cut_end <= seg_start or cut_start >= seg_end:
+                next_segments.append((seg_start, seg_end))
+                continue
+            removed += min(seg_end, cut_end) - max(seg_start, cut_start)
+            if seg_start < cut_start:
+                next_segments.append((seg_start, cut_start))
+            if cut_end < seg_end:
+                next_segments.append((cut_end, seg_end))
+        segments = next_segments
+    return removed, segments
+
+
+def exact_percentile(sorted_values: Sequence[int], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted data (the engine's formula)."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return float(sorted_values[index])
+
+
+@dataclass(slots=True)
+class _Group:
+    """Aggregate for one (channel, rank, bank, row_class, op) cell."""
+
+    latencies: list[int]
+    components: dict[str, int]
+
+
+class RequestProfiler:
+    """Builds :class:`RequestProfile`\\ s from the observability hooks.
+
+    ``max_profiles`` caps the retained per-request detail (aggregates keep
+    accumulating past the cap, so summaries stay complete and a truncated
+    profile list is detectable via ``dropped``).
+    """
+
+    def __init__(
+        self,
+        domain: TimingDomain,
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+        max_profiles: int | None = None,
+    ) -> None:
+        self._domain = domain
+        self.quantiles = quantiles
+        self.max_profiles = max_profiles
+        self.profiles: list[RequestProfile] = []
+        self.dropped = 0
+        self.arrived = 0
+        self.served = 0
+        self.latency_total = 0
+        self.totals: dict[str, int] = dict.fromkeys(COMPONENTS, 0)
+        # Shadow state, keyed by (channel, rank, bank) / (channel, rank).
+        self._acts: dict[tuple[int, int, int], tuple[int, int, RowClass]] = {}
+        self._pres: dict[tuple[int, int, int], int] = {}
+        self._refreshes: dict[tuple[int, int], _IntervalLog] = {}
+        self._drain_logs: dict[int, _IntervalLog] = {}
+        self._drain_open: dict[int, int] = {}
+        self._conflicted: set[int] = set()
+        self._groups: dict[tuple[int, int, int, str, str], _Group] = {}
+
+    # ------------------------------------------------------------------
+    # Event sinks (called by the hub)
+    # ------------------------------------------------------------------
+
+    def on_command(
+        self, channel: int, cmd: Command, row_class: RowClass | None
+    ) -> None:
+        kind = cmd.kind
+        if kind is CommandType.ACTIVATE:
+            self._acts[(channel, cmd.rank, cmd.bank)] = (
+                cmd.cycle,
+                cmd.row,
+                row_class if row_class is not None else RowClass.NORMAL,
+            )
+        elif kind is CommandType.PRECHARGE:
+            self._pres[(channel, cmd.rank, cmd.bank)] = cmd.cycle
+        elif kind is CommandType.REFRESH:
+            # Command.row carries the slot's tRFC (device-log convention).
+            log = self._refreshes.setdefault((channel, cmd.rank), _IntervalLog())
+            log.add(cmd.cycle, cmd.cycle + max(cmd.row, 0))
+
+    def on_enqueue(
+        self, channel: int, request: "MemoryRequest", open_row: int | None
+    ) -> None:
+        self.arrived += 1
+        if open_row is not None and open_row != request.row:
+            self._conflicted.add(request.req_id)
+
+    def on_drain(self, channel: int, cycle: int, draining: bool) -> None:
+        if draining:
+            self._drain_open[channel] = cycle
+        else:
+            start = self._drain_open.pop(channel, cycle)
+            self._drain_logs.setdefault(channel, _IntervalLog()).add(start, cycle)
+
+    def on_request_served(self, channel: int, request: "MemoryRequest") -> None:
+        arrival = request.arrival_cycle
+        issue = request.issue_cycle
+        complete = request.complete_cycle
+        components = dict.fromkeys(COMPONENTS, 0)
+        components["cas_burst"] = complete - issue
+
+        bank_key = (channel, request.rank, request.bank)
+        act = self._acts.get(bank_key)
+        act_cycle = -1
+        if act is not None and act[1] == request.row:
+            act_cycle, _, act_class = act
+            t_rcd = self._domain.row_timings(act_class).t_rcd
+            sense_end = min(act_cycle + t_rcd, issue)
+            if act_cycle >= arrival:
+                # The request waited for its row's ACT: [arrival, ACT) is
+                # pre-activation wait, [ACT, ACT+tRCD) is sensing, and any
+                # residue before the column command is port contention.
+                components["trcd"] = max(0, sense_end - act_cycle)
+                conflicted = (
+                    request.req_id in self._conflicted
+                    or self._pres.get(bank_key, -1) >= arrival
+                )
+                self._attribute_window(
+                    channel,
+                    request,
+                    arrival,
+                    act_cycle,
+                    "bank_conflict" if conflicted else "queueing",
+                    components,
+                )
+                self._attribute_window(
+                    channel, request, sense_end, issue, "queueing", components
+                )
+            else:
+                # Row hit: only the tail of the sensing window (if any)
+                # overlaps this request's lifetime.
+                sense_tail = min(max(sense_end, arrival), issue)
+                components["trcd"] = sense_tail - arrival
+                self._attribute_window(
+                    channel, request, sense_tail, issue, "queueing", components
+                )
+        else:  # defensive: a column with no tracked ACT (impossible live)
+            self._attribute_window(
+                channel, request, arrival, issue, "queueing", components
+            )
+        self._conflicted.discard(request.req_id)
+        self._record(channel, request, act_cycle, components)
+
+    # ------------------------------------------------------------------
+    # Attribution internals
+    # ------------------------------------------------------------------
+
+    def _attribute_window(
+        self,
+        channel: int,
+        request: "MemoryRequest",
+        start: int,
+        end: int,
+        label: str,
+        components: dict[str, int],
+    ) -> None:
+        """Attribute [start, end) exactly, priority refresh > drain > label."""
+        if end <= start:
+            return
+        windows = [(start, end)]
+        refreshes = self._refreshes.get((channel, request.rank))
+        if refreshes is not None:
+            removed, windows = _subtract(
+                windows, refreshes.overlapping(start, end)
+            )
+            components["refresh_blocked"] += removed
+        if not request.is_write and windows:
+            cuts = self._drain_cuts(channel, start, end)
+            if cuts:
+                removed, windows = _subtract(windows, cuts)
+                components["write_drain_blocked"] += removed
+        components[label] += sum(e - s for s, e in windows)
+
+    def _drain_cuts(
+        self, channel: int, start: int, end: int
+    ) -> list[tuple[int, int]]:
+        log = self._drain_logs.get(channel)
+        cuts = log.overlapping(start, end) if log is not None else []
+        open_start = self._drain_open.get(channel)
+        if open_start is not None and open_start < end:
+            cuts.append((open_start, end))  # still draining: clip at window
+        return cuts
+
+    def _record(
+        self,
+        channel: int,
+        request: "MemoryRequest",
+        act_cycle: int,
+        components: dict[str, int],
+    ) -> None:
+        self.served += 1
+        latency = request.complete_cycle - request.arrival_cycle
+        self.latency_total += latency
+        for name, value in components.items():
+            self.totals[name] += value
+        row_class = ROW_CLASS_LABELS.get(request.row_class, "normal")
+        op = "write" if request.is_write else "read"
+        group_key = (channel, request.rank, request.bank, row_class, op)
+        group = self._groups.get(group_key)
+        if group is None:
+            group = self._groups[group_key] = _Group([], dict.fromkeys(COMPONENTS, 0))
+        group.latencies.append(latency)
+        for name, value in components.items():
+            group.components[name] += value
+        if self.max_profiles is not None and len(self.profiles) >= self.max_profiles:
+            self.dropped += 1
+            return
+        self.profiles.append(
+            RequestProfile(
+                req_id=request.req_id,
+                channel=channel,
+                rank=request.rank,
+                bank=request.bank,
+                row=request.row,
+                row_class=row_class,
+                is_write=request.is_write,
+                arrival=request.arrival_cycle,
+                act=act_cycle if act_cycle >= request.arrival_cycle else -1,
+                issue=request.issue_cycle,
+                complete=request.complete_cycle,
+                components=components,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+
+    @property
+    def conserved(self) -> bool:
+        """Run-wide conservation: component totals sum to total latency."""
+        return sum(self.totals.values()) == self.latency_total
+
+    def snapshot(self) -> dict:
+        """JSON-safe aggregate: run totals plus per-bank/row-class cells."""
+        groups = []
+        for key in sorted(self._groups):
+            channel, rank, bank, row_class, op = key
+            group = self._groups[key]
+            ordered = sorted(group.latencies)
+            groups.append(
+                {
+                    "channel": channel,
+                    "rank": rank,
+                    "bank": bank,
+                    "row_class": row_class,
+                    "op": op,
+                    "count": len(ordered),
+                    "mean": sum(ordered) / len(ordered) if ordered else 0.0,
+                    **{
+                        quantile_key(q): exact_percentile(ordered, q)
+                        for q in self.quantiles
+                    },
+                    "components": dict(group.components),
+                }
+            )
+        return {
+            "schema": PROFILE_SCHEMA_VERSION,
+            "requests": {
+                "arrived": self.arrived,
+                "served": self.served,
+                "profiled": len(self.profiles),
+                "dropped": self.dropped,
+            },
+            "latency_cycles": {
+                "total": self.latency_total,
+                "mean": self.latency_total / self.served if self.served else 0.0,
+            },
+            "components": dict(self.totals),
+            "conserved": self.conserved,
+            "quantiles": list(self.quantiles),
+            "groups": groups,
+        }
+
+
+def format_profile(snapshot: dict) -> str:
+    """Human-readable rendering of a profiler snapshot."""
+    requests = snapshot["requests"]
+    totals = snapshot["components"]
+    total_latency = snapshot["latency_cycles"]["total"] or 1
+    lines = [
+        f"requests: {requests['served']} served / {requests['arrived']} arrived"
+        + (f" ({requests['dropped']} profiles dropped)" if requests["dropped"] else ""),
+        f"mean latency: {snapshot['latency_cycles']['mean']:.1f} cycles"
+        + ("" if snapshot["conserved"] else "  [CONSERVATION VIOLATED]"),
+        "",
+        f"{'component':<22} {'cycles':>12} {'share':>7}",
+        "-" * 43,
+    ]
+    for name in COMPONENTS:
+        value = totals.get(name, 0)
+        lines.append(
+            f"{name:<22} {value:>12} {100.0 * value / total_latency:>6.1f}%"
+        )
+    quantile_names = [quantile_key(q) for q in snapshot["quantiles"]]
+    if snapshot["groups"]:
+        lines.append("")
+        header = (
+            f"{'ch':>2} {'rk':>2} {'bank':>4} {'class':<7} {'op':<5} "
+            f"{'count':>6} {'mean':>8} " + " ".join(f"{n:>7}" for n in quantile_names)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for group in snapshot["groups"]:
+            lines.append(
+                f"{group['channel']:>2} {group['rank']:>2} {group['bank']:>4} "
+                f"{group['row_class']:<7} {group['op']:<5} {group['count']:>6} "
+                f"{group['mean']:>8.1f} "
+                + " ".join(f"{group[n]:>7g}" for n in quantile_names)
+            )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "COMPONENTS",
+    "PROFILE_SCHEMA_VERSION",
+    "RequestProfile",
+    "RequestProfiler",
+    "exact_percentile",
+    "format_profile",
+]

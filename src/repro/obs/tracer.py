@@ -24,7 +24,8 @@ from repro.dram.mcr import RowClass
 #: JSONL schema version, bumped when the event shape changes.
 TRACE_SCHEMA_VERSION = 1
 
-_CLASS_LABELS = {
+#: RowClass -> stable string label used across trace/profile artifacts.
+ROW_CLASS_LABELS = {
     RowClass.NORMAL: "normal",
     RowClass.MCR: "mcr",
     RowClass.MCR_ALT: "mcr_alt",
@@ -91,10 +92,22 @@ class CommandTracer:
                 rank=cmd.rank,
                 bank=cmd.bank,
                 row=cmd.row,
-                row_class=_CLASS_LABELS.get(row_class, ""),
+                row_class=ROW_CLASS_LABELS.get(row_class, ""),
                 gate=gate,
             )
         )
+
+    def window(
+        self, since: int | None = None, until: int | None = None
+    ) -> list[TraceEvent]:
+        """Events within the half-open cycle window ``[since, until)``.
+
+        ``None`` leaves that edge unbounded, so ``window()`` is the full
+        event list. Used by the CLI's ``--since/--until`` filters.
+        """
+        lo = since if since is not None else float("-inf")
+        hi = until if until is not None else float("inf")
+        return [e for e in self.events if lo <= e.cycle < hi]
 
     # ------------------------------------------------------------------
     # Export
@@ -148,4 +161,9 @@ class CommandTracer:
         return "\n".join(lines)
 
 
-__all__ = ["CommandTracer", "TRACE_SCHEMA_VERSION", "TraceEvent"]
+__all__ = [
+    "CommandTracer",
+    "ROW_CLASS_LABELS",
+    "TRACE_SCHEMA_VERSION",
+    "TraceEvent",
+]

@@ -319,6 +319,7 @@ class SystemSimulator:
             controller_stats=tuple(c.stats() for c in self.controllers),
             read_latency_percentiles=percentiles,
             metrics=self.obs.metrics_snapshot() if self.obs is not None else None,
+            profile=self.obs.profile_snapshot() if self.obs is not None else None,
         )
 
     def _power_stats(self, end_cycle: int) -> PowerStats:

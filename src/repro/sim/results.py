@@ -42,6 +42,9 @@ class RunResult:
     #: Metrics-registry snapshot (see :mod:`repro.obs.metrics`); None
     #: unless the run was configured with observability metrics on.
     metrics: dict | None = None
+    #: Latency-attribution profile snapshot (see
+    #: :mod:`repro.obs.profiler`); None unless profiling was on.
+    profile: dict | None = None
 
     @property
     def total_energy_j(self) -> float:

@@ -98,6 +98,122 @@ class TestTraceCommand:
         )
         assert "mcr" in capsys.readouterr().out
 
+    def test_cycle_window_filters_events(self, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "comm2",
+                    "--requests",
+                    "40",
+                    "--format",
+                    "jsonl",
+                    "--since",
+                    "200",
+                    "--until",
+                    "800",
+                ]
+            )
+            == 0
+        )
+        lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        cycles = [json.loads(line)["cycle"] for line in lines]
+        assert cycles
+        assert all(200 <= c < 800 for c in cycles)
+
+    def test_perfetto_export(self, tmp_path, capsys):
+        out = tmp_path / "trace.perfetto.json"
+        assert (
+            main(
+                ["trace", "comm2", "--requests", "30", "--perfetto", str(out)]
+            )
+            == 0
+        )
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]
+        assert "Perfetto events" in capsys.readouterr().err
+
+
+class TestProfileCommand:
+    def test_profile_breakdown(self, capsys):
+        assert (
+            main(
+                ["profile", "comm2", "--mode", "4/4x/100%reg", "--requests", "60"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "component" in out
+        assert "cas_burst" in out
+
+    def test_profile_with_attribution(self, capsys):
+        assert (
+            main(
+                [
+                    "profile",
+                    "comm2",
+                    "--mode",
+                    "4/4x/100%reg",
+                    "--requests",
+                    "60",
+                    "--attribution",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "early_access" in out
+        assert "self-check: clean" in out
+
+
+class TestDiffCommand:
+    def test_self_diff_identical(self, tmp_path, capsys):
+        artifact = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "profile",
+                    "comm2",
+                    "--mode",
+                    "4/4x/100%reg",
+                    "--requests",
+                    "50",
+                    "--save",
+                    str(artifact),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["diff", str(artifact), str(artifact)]) == 0
+        assert "runs are identical" in capsys.readouterr().out
+
+    def test_diff_different_runs_exits_nonzero(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        for path, requests in ((a, "50"), (b, "60")):
+            assert (
+                main(
+                    [
+                        "profile",
+                        "comm2",
+                        "--requests",
+                        requests,
+                        "--save",
+                        str(path),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "runs differ" in out
+
 
 class TestRunnerCaching:
     def test_trace_cache(self):

@@ -1,0 +1,140 @@
+"""Tests for Perfetto export, run artifacts and the run-diff tool."""
+
+import copy
+import json
+
+import pytest
+
+from repro.core.mcr_mode import MCRMode
+from repro.obs import (
+    ObservabilityConfig,
+    diff_files,
+    diff_runs,
+    format_diff,
+    observe_run,
+    run_artifact,
+    to_perfetto,
+    write_perfetto,
+    write_run_artifact,
+)
+from repro.workloads import make_trace
+
+
+@pytest.fixture(scope="module")
+def observed():
+    traces = [make_trace("comm2", n_requests=80, seed=11)]
+    return observe_run(
+        traces, MCRMode.parse("4/4x/100%reg"), config=ObservabilityConfig.full()
+    )
+
+
+class TestPerfetto:
+    def test_chrome_trace_schema(self, observed):
+        result, hub = observed
+        trace = to_perfetto(hub)
+        assert trace["displayTimeUnit"] == "ns"
+        events = trace["traceEvents"]
+        assert events
+        phases = {e["ph"] for e in events}
+        # Metadata, command slices, request spans, and flow arrows.
+        assert {"M", "X", "b", "e", "s", "f"} <= phases
+        for event in events:
+            assert event["ph"] in "MXbesf"
+            if event["ph"] == "X":
+                assert {"name", "cat", "pid", "tid", "ts", "dur"} <= set(event)
+                assert event["dur"] >= 0
+                assert event["args"]["gate"] is not None
+        # Async spans open and close in equal numbers, as do flows.
+        counts = {ph: sum(1 for e in events if e["ph"] == ph) for ph in "besf"}
+        assert counts["b"] == counts["e"] > 0
+        assert counts["s"] == counts["f"] > 0
+
+    def test_bank_tracks_named(self, observed):
+        _, hub = observed
+        events = to_perfetto(hub)["traceEvents"]
+        thread_names = {
+            e["args"]["name"] for e in events if e.get("name") == "thread_name"
+        }
+        assert any("bank" in name for name in thread_names)
+        # Rank-wide tracks appear only when rank-wide commands (REFRESH)
+        # made it into this short trace.
+        if any(e.bank < 0 for e in hub.tracer.events):
+            assert any("rank-wide" in name for name in thread_names)
+
+    def test_write_perfetto_roundtrip(self, observed, tmp_path):
+        _, hub = observed
+        path = tmp_path / "trace.perfetto.json"
+        count = write_perfetto(path, hub)
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == count
+
+    def test_requires_trace(self):
+        traces = [make_trace("comm2", n_requests=30, seed=12)]
+        _, hub = observe_run(
+            traces, MCRMode.off(), config=ObservabilityConfig(metrics=True)
+        )
+        with pytest.raises(ValueError, match="trace"):
+            to_perfetto(hub)
+
+
+class TestRunArtifact:
+    def test_artifact_is_json_safe_and_complete(self, observed):
+        result, hub = observed
+        artifact = run_artifact(result, hub)
+        json.dumps(artifact)
+        assert artifact["execution_cycles"] == result.execution_cycles
+        assert artifact["profile"]["conserved"]
+        assert artifact["trace"]
+        assert artifact["timing"]
+
+    def test_self_diff_is_identical(self, observed, tmp_path):
+        result, hub = observed
+        path_a = tmp_path / "a.json"
+        path_b = tmp_path / "b.json"
+        write_run_artifact(path_a, result, hub)
+        write_run_artifact(path_b, result, hub)
+        diff = diff_files(path_a, path_b)
+        assert diff["identical"]
+        assert format_diff(diff) == "runs are identical"
+
+
+class TestDiff:
+    def test_locates_first_diverging_command(self, observed):
+        result, hub = observed
+        a = run_artifact(result, hub)
+        b = copy.deepcopy(a)
+        b["trace"][5]["cycle"] += 3
+        diff = diff_runs(a, b)
+        assert not diff["identical"]
+        assert diff["first_divergence"]["index"] == 5
+        text = format_diff(diff)
+        assert "first diverging command" in text
+        assert "index 5" in text
+
+    def test_reports_scalar_and_metric_changes(self, observed):
+        result, hub = observed
+        a = run_artifact(result, hub)
+        b = copy.deepcopy(a)
+        b["execution_cycles"] += 100
+        b["metrics"]["sim.commands"]["series"][0]["value"] += 1
+        diff = diff_runs(a, b)
+        assert not diff["identical"]
+        assert any("execution_cycles" in line for line in diff["scalars"])
+        assert any("sim.commands" in line for line in diff["metrics"])
+
+    def test_trace_length_mismatch_noted(self, observed):
+        result, hub = observed
+        a = run_artifact(result, hub)
+        b = copy.deepcopy(a)
+        b["trace"] = b["trace"][:-2]
+        diff = diff_runs(a, b)
+        assert diff["first_divergence"] is not None
+        assert "extra commands" in diff["first_divergence"]["note"]
+
+    def test_artifacts_without_traces_still_diff(self, observed):
+        result, _ = observed
+        a = run_artifact(result)
+        b = copy.deepcopy(a)
+        assert diff_runs(a, b)["identical"]
+        b["edp"] = (b["edp"] or 0) + 1.0
+        assert not diff_runs(a, b)["identical"]

@@ -56,6 +56,54 @@ class TestHistogram:
             Histogram(bounds=(2, 2, 4))
 
 
+class TestHistogramPercentiles:
+    def test_snapshot_reports_default_quantiles(self):
+        h = Histogram(bounds=(10, 100, 1000))
+        for v in range(1, 101):
+            h.observe(v)
+        snap = h.snapshot()
+        assert {"p50", "p95", "p99"} <= set(snap)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+        # Estimates stay clamped inside the observed range.
+        assert h.min_value <= snap["p50"] and snap["p99"] <= h.max_value
+
+    def test_single_valued_bucket_is_exact(self):
+        h = Histogram(bounds=(5, 10))
+        for _ in range(20):
+            h.observe(7)
+        for q in (0.5, 0.95, 0.99):
+            assert h.percentile(q) == 7
+
+    def test_custom_quantiles_and_keys(self):
+        from repro.obs.metrics import quantile_key
+
+        h = Histogram(bounds=(10,), quantiles=(0.5, 0.999))
+        h.observe(3)
+        snap = h.snapshot()
+        assert {"p50", "p99.9"} <= set(snap)
+        assert quantile_key(0.999) == "p99.9"
+
+    def test_empty_and_invalid(self):
+        h = Histogram()
+        assert h.percentile(0.95) == 0.0
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        with pytest.raises(ValueError):
+            Histogram(quantiles=(2.0,))
+
+    def test_registry_histogram_quantiles_flow_to_report(self):
+        from repro.obs.metrics import DEFAULT_QUANTILES
+
+        reg = MetricsRegistry()
+        h = reg.histogram("sim.queue_depth", buckets=(2, 8, 32))
+        assert h.quantiles == DEFAULT_QUANTILES
+        for v in (1, 1, 3, 5, 30):
+            h.observe(v)
+        text = format_metrics(reg.snapshot())
+        # `report --metrics` renders histograms with their percentiles.
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+
+
 class TestRegistry:
     def test_get_or_create_by_labels(self):
         reg = MetricsRegistry()
