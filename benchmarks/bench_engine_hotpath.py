@@ -1,0 +1,112 @@
+"""Bench: the incremental scheduler's single-run speedup, gated.
+
+The engine rework (per-bank ready tracking, decision memoization, cached
+rank floors, event heap) must pay for its complexity in single-run wall
+time — the latency every ``mcr-dram trace`` invocation and every
+experiment worker feels. This bench replays the fig13 single-core
+workload in both the conventional-DRAM and paper-default MCR modes and
+compares median wall time against the pre-optimization baseline recorded
+in ``baselines/engine_seed.json``:
+
+- the run must stay **bit-identical** to the recorded seed RunResult
+  (execution cycles and average read latency, exact equality) — speed
+  bought with a scheduling change is a bug, not a win;
+- the speedup must stay above ``_GATE`` (1.5x; the optimization landed
+  at >=2x on the reference machine, the slack absorbs machine variance).
+
+Writes ``BENCH_engine.json`` at the repo root via :mod:`_emit`.
+"""
+
+import json
+import statistics
+import time
+from pathlib import Path
+
+from _emit import emit_bench
+from conftest import run_once
+
+from repro.core import MCRMode, run_system
+from repro.workloads import make_trace
+
+_BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "engine_seed.json"
+_GATE = 1.5
+
+
+def _baseline() -> dict:
+    return json.loads(_BASELINE_PATH.read_text())
+
+
+def _median_seconds(fn, rounds):
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_engine_hotpath_speedup(benchmark):
+    baseline = _baseline()
+    trace = make_trace(
+        baseline["workload"],
+        n_requests=baseline["n_requests"],
+        seed=baseline["seed"],
+    )
+    rounds = baseline["rounds"]
+
+    modes_detail = {}
+    speedups = []
+    timed_one = False
+    for label, pinned in baseline["modes"].items():
+        mode = MCRMode.parse(label)
+
+        def run():
+            return run_system([trace], mode)
+
+        # Bit-identity first: the optimized engine must reproduce the
+        # seed engine's RunResult exactly before its speed counts.
+        result = run()
+        assert result.execution_cycles == pinned["execution_cycles"], (
+            f"[{label}] cycles diverged from seed engine: "
+            f"{result.execution_cycles} != {pinned['execution_cycles']}"
+        )
+        assert (
+            result.avg_read_latency_cycles
+            == pinned["avg_read_latency_cycles"]
+        ), f"[{label}] avg read latency diverged from seed engine"
+
+        if not timed_one:
+            run_once(benchmark, run)
+            timed_one = True
+        wall = _median_seconds(run, rounds)
+        speedup = pinned["wall_s"] / wall
+        speedups.append(speedup)
+        modes_detail[label] = {
+            "wall_s": round(wall, 4),
+            "baseline_wall_s": pinned["wall_s"],
+            "speedup": round(speedup, 2),
+            "execution_cycles": result.execution_cycles,
+        }
+
+    min_speedup = min(speedups)
+    report = emit_bench(
+        "BENCH_engine.json",
+        name="engine_hotpath_speedup",
+        wall_s=sum(d["wall_s"] for d in modes_detail.values()),
+        detail={
+            "workload": baseline["workload"],
+            "n_requests": baseline["n_requests"],
+            "seed": baseline["seed"],
+            "rounds": rounds,
+            "baseline_commit": baseline["commit"],
+            "gate_speedup": _GATE,
+            "min_speedup": round(min_speedup, 2),
+            "modes": modes_detail,
+        },
+    )
+    print()
+    print(json.dumps(report, indent=2))
+    assert min_speedup >= _GATE, (
+        f"engine hot path regressed: {min_speedup:.2f}x vs the seed "
+        f"baseline (gate {_GATE}x) — see BENCH_engine.json"
+    )

@@ -5,7 +5,7 @@ Scheduling policy is USIMM's baseline FR-FCFS with exclusive write drain:
 - row hits (column commands) beat row misses; among equals, oldest first;
 - writes buffer until the high watermark, then drain exclusively to the
   low watermark (also drained opportunistically when no read is pending);
-- refresges are postponed up to eight tREFI, issued opportunistically on
+- refreshes are postponed up to eight tREFI, issued opportunistically on
   idle ranks, and forced when the budget runs out (a forced rank admits no
   new ACTIVATE/column commands until its refresh issues).
 
@@ -18,6 +18,13 @@ earliest cycle at which any command could legally issue, and
 :meth:`execute` issues (at most) the single best command at a cycle. All
 timing legality is enforced by the device layer, which raises on any
 violation — the simulator therefore runs with a built-in timing checker.
+
+The scheduler is *incremental*: the queues maintain per-bank buckets of
+still-QUEUED requests (see :class:`repro.controller.queues.CommandQueue`),
+so a decision visits only banks-with-work, and retirement pops a
+completion min-heap instead of sweeping both queues. Decisions are cached
+with a validity horizon — the cycle range over which no controller-visible
+input can change — so repeated polls between events cost a tuple compare.
 """
 
 from __future__ import annotations
@@ -38,6 +45,9 @@ from repro.dram.timing import TimingDomain
 
 #: Action kinds in FR-FCFS tie-break order (lower = higher priority).
 _COLUMN, _ACTIVATE, _PRECHARGE, _REFRESH = 0, 1, 2, 3
+
+#: Validity horizon for a decision with no natural expiry.
+_NO_EXPIRY = 1 << 62
 
 
 class SchedulingPolicy(Enum):
@@ -97,13 +107,16 @@ class MemoryController:
         #: None by default, so disabled observability costs one branch per
         #: issued command and per accepted request.
         self._observer = None
-        # Decision memo: ``execute`` and ``next_action_cycle`` both need
-        # the best command at the same cycle, so the (collect, decide)
-        # pair is cached keyed by (cycle, state generation). ``_state_gen``
-        # bumps on every mutation that can change a decision: enqueue,
-        # command issue, and request retirement.
+        # Decision cache: ``(computed_cycle, state_gen, decision,
+        # valid_until)``. ``_state_gen`` bumps on every mutation that can
+        # change a decision: enqueue, command issue, and request
+        # retirement. ``valid_until`` extends the cache *across cycles*:
+        # with the generation unchanged, a decision computed at cycle n
+        # stays correct for every poll cycle in [n, valid_until] because
+        # no controller-visible input can change in that range (see
+        # _decide_at for the horizon rules).
         self._state_gen = 0
-        self._decision_memo: tuple[int, int, tuple | None] | None = None
+        self._decision_memo: tuple[int, int, tuple | None, int] | None = None
         # Statistics.
         self.read_latency_total = 0
         self.read_latency_count = 0
@@ -178,12 +191,12 @@ class MemoryController:
         if self.drain.draining:
             # Only while draining can a write retirement change the
             # schedule (the hysteresis exits at the low watermark), so
-            # wake at in-flight write completions to sample the exact
-            # exit cycle. Outside drain mode a shrinking write queue
-            # cannot flip any decision.
-            for req in self.write_queue:
-                if req.state is RequestState.ISSUED:
-                    candidates.append(req.complete_cycle)
+            # wake at the earliest in-flight write completion to sample
+            # the exact exit cycle. Outside drain mode a shrinking write
+            # queue cannot flip any decision.
+            completion = self.write_queue.next_completion()
+            if completion is not None:
+                candidates.append(completion)
         if self.refresh_enabled:
             # Refresh due counts (and the forced flag) change only when
             # the accrual clock crosses a tREFI boundary; due-but-
@@ -208,9 +221,9 @@ class MemoryController:
             end = self.channel.apply_column(
                 cycle, request.rank, request.bank, request.is_write
             )
-            request.state = RequestState.ISSUED
             request.issue_cycle = cycle
-            request.complete_cycle = end
+            queue = self.write_queue if request.is_write else self.read_queue
+            queue.mark_issued(request, end)
             if request.is_write:
                 events.writes_drained += 1
             else:
@@ -282,31 +295,54 @@ class MemoryController:
     # ------------------------------------------------------------------
 
     def _decide_at(self, now: int) -> tuple[int, int, int, object] | None:
-        """Collect retirements, then decide — memoized per (now, state).
+        """Collect retirements, then decide — cached with a horizon.
 
-        ``execute`` and a dirty-triggered ``next_action_cycle`` land on
-        the same cycle back to back; recomputing the full FR-FCFS scan
-        twice would double the scheduler cost for no new information.
+        A cached decision computed at cycle ``n`` with generation ``g``
+        is reused for any poll at ``now`` in ``[n, valid_until]`` while
+        the generation still equals ``g``. The horizon is the earliest
+        cycle at which a decision input can change without bumping the
+        generation:
+
+        - the decision's own issue cycle (issuing bumps the generation);
+        - the next tREFI boundary (refresh due counts and the forced
+          flag advance with the accrual clock, not with commands);
+        - the earliest in-flight *write* completion while write drain is
+          active (retirement drops the write-queue depth, which can exit
+          the drain hysteresis; read retirements free queue slots but
+          never change a scheduling decision).
+
+        Every command issue, enqueue, and retirement bumps the
+        generation, so within the horizon the decision inputs are
+        provably unchanged and the FR-FCFS scan can be skipped.
         """
         memo = self._decision_memo
-        if memo is not None and memo[0] == now and memo[1] == self._state_gen:
+        if (
+            memo is not None
+            and memo[1] == self._state_gen
+            and memo[0] <= now <= memo[3]
+        ):
             return memo[2]
         self._collect(now)
         decision = self._decide(now)
-        self._decision_memo = (now, self._state_gen, decision)
+        valid_until = decision[0] if decision is not None else _NO_EXPIRY
+        if self.refresh_enabled:
+            t_refi = self.refresh.t_refi
+            boundary = (now // t_refi + 1) * t_refi
+            if boundary <= valid_until:
+                valid_until = boundary - 1
+        if self.drain.draining:
+            completion = self.write_queue.next_completion()
+            if completion is not None and completion <= valid_until:
+                valid_until = completion - 1
+        self._decision_memo = (now, self._state_gen, decision, valid_until)
         return decision
 
     def _collect(self, cycle: int) -> None:
-        """Promote in-flight requests whose data completed to DONE."""
-        for queue in (self.read_queue, self.write_queue):
-            promoted = False
-            for req in queue:
-                if req.state is RequestState.ISSUED and req.complete_cycle <= cycle:
-                    req.state = RequestState.DONE
-                    promoted = True
-            if promoted:
-                queue.retire_done()
-                self._state_gen += 1
+        """Retire in-flight requests whose data completed by ``cycle``."""
+        if self.read_queue.collect(cycle):
+            self._state_gen += 1
+        if self.write_queue.collect(cycle):
+            self._state_gen += 1
 
     def _forced_ranks(self, now: int) -> set[int]:
         if not self.refresh_enabled:
@@ -324,6 +360,9 @@ class MemoryController:
 
         Returns (cycle, kind, arrival, payload) minimizing (cycle, kind,
         arrival) — i.e. earliest first, then FR-FCFS priority, then age.
+        Visits only banks with queued work (the queues maintain the
+        per-bank buckets incrementally), in oldest-request-first bank
+        order so tie-breaks match a full queue scan.
         """
         channel = self.channel
         forced = self._forced_ranks(now)
@@ -342,61 +381,64 @@ class MemoryController:
                 best = candidate
 
         # --- request traffic -------------------------------------------------
-        reads = self.read_queue.schedulable()
-        writes = self.write_queue.schedulable()
-        draining = self.drain.update(len(self.write_queue), now) or (
-            not reads and bool(writes)
+        read_queue = self.read_queue
+        write_queue = self.write_queue
+        has_reads = read_queue.has_queued
+        draining = self.drain.update(len(write_queue), now) or (
+            not has_reads and write_queue.has_queued
         )
-        active = writes if draining else reads
-        if self.policy is SchedulingPolicy.FCFS and active:
+        active = write_queue if draining else read_queue
+        if self.policy is SchedulingPolicy.FCFS:
             # Strict arrival order: only the oldest request's commands are
             # candidates; no hit-over-miss reordering.
-            active = active[:1]
+            oldest = active.oldest_queued()
+            bank_work = (
+                []
+                if oldest is None
+                else [(oldest.bank_key, (oldest,))]
+            )
+        else:
+            bank_work = active.banks_with_work()
 
-        # Group by bank: oldest request and oldest row-hit per bank.
-        oldest_per_bank: dict[tuple[int, int], MemoryRequest] = {}
-        hit_per_bank: dict[tuple[int, int], MemoryRequest] = {}
-        for req in active:
-            if req.rank in forced:
-                continue
-            key = req.bank_key
-            if key not in oldest_per_bank:
-                oldest_per_bank[key] = req
-            if key not in hit_per_bank:
-                if channel.open_row(req.rank, req.bank) == req.row:
-                    hit_per_bank[key] = req
-
-        for key, req in oldest_per_bank.items():
+        for key, bucket in bank_work:
             rank, bank = key
-            hit = hit_per_bank.get(key)
-            if hit is not None:
-                consider(
-                    channel.earliest_column(rank, bank, hit.row, hit.is_write),
-                    _COLUMN,
-                    hit.arrival_cycle,
-                    hit,
-                )
-                continue  # never close a row that still has hits queued
-            if channel.open_row(rank, bank) is None:
+            if rank in forced:
+                continue
+            open_row = channel.open_row(rank, bank)
+            if open_row is not None:
+                for req in bucket:
+                    if req.row == open_row:
+                        consider(
+                            channel.earliest_column(
+                                rank, bank, req.row, req.is_write
+                            ),
+                            _COLUMN,
+                            req.arrival_cycle,
+                            req,
+                        )
+                        break  # never close a row that still has hits queued
+                else:
+                    oldest = bucket[0]
+                    consider(
+                        channel.earliest_precharge(rank, bank),
+                        _PRECHARGE,
+                        oldest.arrival_cycle,
+                        (rank, bank),
+                    )
+            else:
+                oldest = bucket[0]
                 consider(
                     channel.earliest_activate(rank, bank),
                     _ACTIVATE,
-                    req.arrival_cycle,
-                    req,
-                )
-            else:
-                consider(
-                    channel.earliest_precharge(rank, bank),
-                    _PRECHARGE,
-                    req.arrival_cycle,
-                    (rank, bank),
+                    oldest.arrival_cycle,
+                    oldest,
                 )
 
         if self.policy is SchedulingPolicy.CLOSED_PAGE:
             # Eagerly close banks nothing in either queue still wants:
             # the precharge happens off the critical path, so the next
             # miss to the bank skips straight to its ACTIVATE.
-            wanted = {r.bank_key for r in reads} | {r.bank_key for r in writes}
+            wanted = read_queue.queued_banks() | write_queue.queued_banks()
             for rank_idx, rank in enumerate(channel.ranks):
                 for bank_idx, bank in enumerate(rank.banks):
                     key = (rank_idx, bank_idx)
@@ -410,9 +452,7 @@ class MemoryController:
 
         # --- refresh ---------------------------------------------------------
         if self.refresh_enabled:
-            busy_ranks = {
-                r.rank for r in reads if r.state is RequestState.QUEUED
-            } | {r.rank for r in writes if r.state is RequestState.QUEUED}
+            busy_ranks = read_queue.queued_ranks() | write_queue.queued_ranks()
             for rank in range(self.geometry.ranks_per_channel):
                 kind = self.refresh.pending_kind(rank, now)
                 if kind is None:

@@ -59,8 +59,9 @@ class RefreshScheduler:
     def consume_skips(self, rank: int, cycle: int) -> int:
         """Account all due SKIPPED slots (free); return how many."""
         state = self.states[rank]
+        accrued = cycle // self.t_refi
         consumed = 0
-        while self.due_slots(rank, cycle) > 0:
+        while state.served < accrued:
             kind = self.plan.spread_kind(state.slot_cursor)
             if kind is not RefreshSlotKind.SKIPPED:
                 break
@@ -72,15 +73,22 @@ class RefreshScheduler:
 
     def pending_kind(self, rank: int, cycle: int) -> RefreshSlotKind | None:
         """Kind of the next slot needing a command, if any is due."""
+        state = self.states[rank]
+        if state.served >= cycle // self.t_refi:
+            return None  # nothing accrued — the common fast path
         self.consume_skips(rank, cycle)
-        if self.due_slots(rank, cycle) == 0:
+        if state.served >= cycle // self.t_refi:
             return None
-        return self.plan.spread_kind(self.states[rank].slot_cursor)
+        return self.plan.spread_kind(state.slot_cursor)
 
     def is_forced(self, rank: int, cycle: int) -> bool:
         """True when the postponement budget is exhausted."""
+        state = self.states[rank]
+        accrued = cycle // self.t_refi
+        if accrued - state.served < MAX_POSTPONED:
+            return False  # cannot be forced even if all due slots remain
         self.consume_skips(rank, cycle)
-        return self.due_slots(rank, cycle) >= MAX_POSTPONED
+        return accrued - state.served >= MAX_POSTPONED
 
     def next_due_cycle(self, rank: int) -> int:
         """Cycle at which the next slot becomes due."""

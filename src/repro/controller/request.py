@@ -38,6 +38,10 @@ class MemoryRequest:
     row_class: RowClass = RowClass.NORMAL
     arrival_cycle: int = 0
     state: RequestState = field(default=RequestState.QUEUED)
+    #: Monotone FIFO age stamped by the owning CommandQueue at push time;
+    #: the per-bank scheduler indexes order banks by their oldest
+    #: request's ``queue_seq`` (arrival cycles alone can tie).
+    queue_seq: int = -1
     #: Cycle the controller issued an ACTIVATE with this request as the
     #: scheduling payload; -1 when the request rode an already-open row.
     act_cycle: int = -1

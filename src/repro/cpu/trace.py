@@ -57,7 +57,7 @@ class TraceEntry:
             raise ValueError("address must be non-negative")
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
     """A named memory trace plus workload metadata.
 

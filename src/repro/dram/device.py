@@ -27,7 +27,14 @@ from repro.dram.timing import BaseTimings, TimingDomain
 
 @dataclass(slots=True)
 class RankState:
-    """Timing state shared by the banks of one rank."""
+    """Timing state shared by the banks of one rank.
+
+    The ``*_floor`` fields cache the composed earliest-issue cycles so
+    the scheduler's (very frequent) ``earliest_*`` queries are plain
+    attribute reads; they are recomputed only by the ``apply_*`` calls
+    that mutate their inputs — i.e. only commands that touch this rank
+    invalidate them.
+    """
 
     base: BaseTimings
     banks: list[BankState]
@@ -38,6 +45,10 @@ class RankState:
     refresh_until: int = 0  # rank busy with REFRESH until this cycle
     refresh_count: int = 0
     refresh_busy_cycles: int = 0
+    #: Cached floors: max of the constraints each command class must obey.
+    act_floor: int = 0
+    col_read_floor: int = 0
+    col_write_floor: int = 0
     # Background-power accounting: the rank is in active standby while any
     # bank has a row open, otherwise in precharge standby; long precharged
     # idle intervals can be spent in power-down (see repro.power).
@@ -47,20 +58,26 @@ class RankState:
     idle_since: int = 0
     idle_intervals: list[int] = field(default_factory=list)
 
-    def earliest_activate_rank(self) -> int:
-        """Rank-level floor for any ACT (tRRD, tFAW, refresh occupancy)."""
+    def _recompute_act_floor(self) -> None:
         earliest = max(self.next_act, self.refresh_until)
         if len(self.faw_history) == 4:
-            earliest = max(earliest, self.faw_history[0] + self.base.t_faw)
-        return earliest
+            faw = self.faw_history[0] + self.base.t_faw
+            if faw > earliest:
+                earliest = faw
+        self.act_floor = earliest
+
+    def earliest_activate_rank(self) -> int:
+        """Rank-level floor for any ACT (tRRD, tFAW, refresh occupancy)."""
+        return self.act_floor
 
     def apply_activate(self, cycle: int) -> None:
-        if cycle < self.earliest_activate_rank():
+        if cycle < self.act_floor:
             raise RuntimeError(f"rank ACT at {cycle} violates tRRD/tFAW/tRFC")
         self.next_act = cycle + self.base.t_rrd
         self.faw_history.append(cycle)
         if len(self.faw_history) > 4:
             self.faw_history.popleft()
+        self._recompute_act_floor()
         if self.open_banks == 0:
             self.active_since = cycle
             self.idle_intervals.append(cycle - self.idle_since)
@@ -85,8 +102,7 @@ class RankState:
             self.idle_since = end_cycle
 
     def earliest_column_rank(self, is_write: bool) -> int:
-        floor = self.next_write if is_write else self.next_read
-        return max(floor, self.refresh_until)
+        return self.col_write_floor if is_write else self.col_read_floor
 
     def apply_column(self, cycle: int, is_write: bool) -> None:
         if cycle < self.earliest_column_rank(is_write):
@@ -103,6 +119,8 @@ class RankState:
             # RD -> WR same rank: bus turnaround, enforced at the channel;
             # rank-level tCCD still applies to the write pipeline.
             self.next_write = max(self.next_write, cycle + base.t_ccd)
+        self.col_read_floor = max(self.next_read, self.refresh_until)
+        self.col_write_floor = max(self.next_write, self.refresh_until)
 
     def all_banks_closed(self) -> bool:
         return all(not b.is_open for b in self.banks)
@@ -123,6 +141,9 @@ class RankState:
         self.refresh_until = cycle + trfc_cycles
         self.refresh_count += 1
         self.refresh_busy_cycles += trfc_cycles
+        self._recompute_act_floor()
+        self.col_read_floor = max(self.next_read, self.refresh_until)
+        self.col_write_floor = max(self.next_write, self.refresh_until)
         # A refresh interrupts the precharged-idle interval; idle resumes
         # once the refresh completes.
         self.idle_intervals.append(cycle - self.idle_since)

@@ -153,6 +153,16 @@ class TimingDomain:
                 self._trfc_cycles[row_class] = self._trfc_cycles[RowClass.NORMAL]
         self._row_timings.update(self._row_timing_overrides)
         self._trfc_cycles.update(self._trfc_overrides)
+        # Flat per-row-class tables indexed by ``RowClass.value`` so the
+        # hot lookups (one per ACTIVATE / refresh slot) are list indexing
+        # rather than enum-keyed dict hashing. RowClass values are small
+        # consecutive ints (enum ``auto()``), so the tables stay tiny.
+        size = max(cls.value for cls in RowClass) + 1
+        self._row_timings_table: list[RowTimings | None] = [None] * size
+        self._trfc_table: list[int] = [0] * size
+        for row_class in RowClass:
+            self._row_timings_table[row_class.value] = self._row_timings[row_class]
+            self._trfc_table[row_class.value] = self._trfc_cycles[row_class]
 
     def _mcr_row_timings(self, k: int, m: int) -> RowTimings:
         mech = self.mode.mechanisms
@@ -204,11 +214,11 @@ class TimingDomain:
 
     def row_timings(self, row_class: RowClass) -> RowTimings:
         """tRCD/tRAS/tRC programmed for a row class."""
-        return self._row_timings[row_class]
+        return self._row_timings_table[row_class.value]
 
     def trfc_cycles(self, row_class: RowClass) -> int:
         """tRFC of a refresh slot whose target rows have this class."""
-        return self._trfc_cycles[row_class]
+        return self._trfc_table[row_class.value]
 
     @property
     def read_latency_cycles(self) -> int:

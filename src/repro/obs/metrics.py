@@ -18,6 +18,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Iterable, Mapping
 
+from repro.utils.stats import bucket_percentile
+
 #: Default histogram bucket upper bounds (values above the last bound
 #: land in an overflow bucket). Chosen for queue depths and small counts.
 DEFAULT_BUCKETS: tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64)
@@ -123,26 +125,9 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Estimated ``q``-quantile (``0 <= q <= 1``) of the observations."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must lie within [0, 1]")
-        if self.count == 0:
-            return 0.0
-        rank = q * self.count
-        cumulative = 0.0
-        lower = self.min_value
-        for bound, bucket_count in zip(self.bounds, self.counts):
-            if bucket_count:
-                upper = min(bound, self.max_value)
-                if cumulative + bucket_count >= rank:
-                    fraction = max(0.0, rank - cumulative) / bucket_count
-                    value = lower + (upper - lower) * fraction
-                    return min(max(value, self.min_value), self.max_value)
-                cumulative += bucket_count
-                lower = upper
-            else:
-                lower = max(lower, min(bound, self.max_value))
-        # Only the overflow bucket remains; its upper edge is the max.
-        return self.max_value
+        return bucket_percentile(
+            self.bounds, self.counts, self.count, self.min_value, self.max_value, q
+        )
 
     def snapshot(self) -> dict:
         buckets = {f"le_{b:g}": c for b, c in zip(self.bounds, self.counts)}

@@ -30,8 +30,12 @@ from repro.obs.hub import ObservabilityConfig, ObservabilityHub
 from repro.power.edp import edp_joule_seconds
 from repro.power.micron import IDDParameters, PowerModel, PowerStats
 from repro.sim.results import RunResult
+from repro.utils.stats import truncating_percentile
 
 _INF = math.inf
+
+#: Event-heap entry kinds (see :meth:`SystemSimulator.run`).
+_EV_CORE, _EV_CTRL = 0, 1
 
 
 class SimulationError(RuntimeError):
@@ -126,6 +130,31 @@ class SystemSimulator:
         self._ctrl_next: list[float] = [0.0] * len(self.controllers)
         self._ctrl_dirty: list[bool] = [True] * len(self.controllers)
         self._traces = list(traces)
+        # Batched trace decode: every entry's address is decoded (and
+        # row-remapped) once here instead of per _try_send attempt.
+        # Cores replay entries strictly in order and retry a rejected
+        # entry until it is accepted, so a per-core cursor advanced only
+        # on acceptance tracks which decoded coordinate is in flight.
+        decode = self.mapper.decode
+        remapper = self.row_remapper
+        coord_cache: dict[int, tuple[int, int, int, int, int]] = {}
+        self._decoded: list[list[tuple[int, int, int, int, int]]] = []
+        for trace in traces:
+            decoded = []
+            for entry in trace.entries:
+                address = entry.address
+                tup = coord_cache.get(address)
+                if tup is None:
+                    coords = decode(address)
+                    row = coords.row
+                    if remapper is not None:
+                        row = remapper(coords.rank, coords.bank, row)
+                    tup = (coords.channel, coords.rank, coords.bank, row,
+                           coords.column)
+                    coord_cache[address] = tup
+                decoded.append(tup)
+            self._decoded.append(decoded)
+        self._send_cursor = [0] * len(traces)
 
     # ------------------------------------------------------------------
     # Core -> controller path
@@ -136,27 +165,26 @@ class SystemSimulator:
     ) -> MemoryRequest | None:
         cpm = self.core_params.cpu_cycles_per_mem_cycle
         arrival = math.ceil(fetch_cpu / cpm)
-        coords = self.mapper.decode(address)
-        row = coords.row
-        if self.row_remapper is not None:
-            row = self.row_remapper(coords.rank, coords.bank, row)
-        controller = self.controllers[coords.channel]
+        cursor = self._send_cursor[core_id]
+        channel, rank, bank, row, column = self._decoded[core_id][cursor]
+        controller = self.controllers[channel]
         if not controller.can_accept(is_write, arrival):
             return None
+        self._send_cursor[core_id] = cursor + 1
         self._req_counter += 1
         request = MemoryRequest(
             req_id=self._req_counter,
             core_id=core_id,
             is_write=is_write,
             address=address,
-            channel=coords.channel,
-            rank=coords.rank,
-            bank=coords.bank,
+            channel=channel,
+            rank=rank,
+            bank=bank,
             row=row,
-            column=coords.column,
+            column=column,
         )
         controller.enqueue(request, arrival)
-        self._ctrl_dirty[coords.channel] = True
+        self._ctrl_dirty[channel] = True
         return request
 
     # ------------------------------------------------------------------
@@ -164,12 +192,32 @@ class SystemSimulator:
     # ------------------------------------------------------------------
 
     def run(self, max_cycles: int | None = None) -> RunResult:
-        """Simulate until every core finishes; return the measurements."""
+        """Simulate until every core finishes; return the measurements.
+
+        The next event time is tracked in a lazily-invalidated min-heap
+        over controller estimates and core wake times (plus the separate
+        data-completion heap) rather than re-scanning ``core_wake`` /
+        ``_ctrl_next`` with ``min()`` every iteration. Heap entries are
+        ``(time, kind, index)``; an entry is stale — and discarded on
+        pop — when the tracked array no longer holds that exact time.
+        Every write to the arrays pushes a fresh entry, so the heap top
+        (after discarding stale entries) is always the true minimum.
+        """
         cpm = self.core_params.cpu_cycles_per_mem_cycle
         cores = self.cores
+        controllers = self.controllers
+        ctrl_next = self._ctrl_next
+        ctrl_dirty = self._ctrl_dirty
+        completions = self._completions
         core_wake: list[float] = [0.0] * len(cores)
         wq_blocked: set[int] = set()
         rq_blocked: set[int] = set()
+        event_heap: list[tuple[float, int, int]] = [
+            (0.0, _EV_CORE, idx) for idx in range(len(cores))
+        ]
+        heapq.heapify(event_heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
 
         def advance_core(idx: int, now_mem: float) -> None:
             result = cores[idx].advance(now_mem * cpm)
@@ -183,29 +231,40 @@ class SystemSimulator:
             elif blocked is BlockReason.FINISHED or result.wake_cpu is None:
                 core_wake[idx] = _INF
             else:
-                core_wake[idx] = result.wake_cpu / cpm
+                wake = result.wake_cpu / cpm
+                core_wake[idx] = wake
+                heappush(event_heap, (wake, _EV_CORE, idx))
 
         now = 0.0
-        guard = 0
         while not all(c.finished for c in cores):
-            guard += 1
             if max_cycles is not None and now > max_cycles:
                 raise SimulationError(f"exceeded max_cycles={max_cycles}")
-            for ch, dirty in enumerate(self._ctrl_dirty):
+            for ch, dirty in enumerate(ctrl_dirty):
                 if dirty:
                     # ceil, not int: when a core enqueues at a fractional
                     # instant, the controller's next opportunity is the
                     # NEXT integer cycle. Flooring would let the estimate
                     # land at int(now) and issue a command retroactively,
                     # at a cycle the wall clock has already passed.
-                    nxt = self.controllers[ch].next_action_cycle(math.ceil(now))
-                    self._ctrl_next[ch] = _INF if nxt is None else float(nxt)
-                    self._ctrl_dirty[ch] = False
-            t_comp = self._completions[0][0] if self._completions else _INF
-            t_core = min(core_wake)
-            t_ctrl = min(self._ctrl_next) if self._ctrl_next else _INF
-            t = min(t_comp, t_core, t_ctrl)
-            if t is _INF or t == _INF:
+                    nxt = controllers[ch].next_action_cycle(math.ceil(now))
+                    ctrl_dirty[ch] = False
+                    if nxt is None:
+                        ctrl_next[ch] = _INF
+                    else:
+                        ctrl_next[ch] = t = float(nxt)
+                        heappush(event_heap, (t, _EV_CTRL, ch))
+            # Discard stale heap entries until the top matches the value
+            # its array currently holds (or the heap empties).
+            while event_heap:
+                t_evt, kind, idx = event_heap[0]
+                tracked = core_wake[idx] if kind == _EV_CORE else ctrl_next[idx]
+                if t_evt == tracked:
+                    break
+                heappop(event_heap)
+            t_evt = event_heap[0][0] if event_heap else _INF
+            t_comp = completions[0][0] if completions else _INF
+            t = t_comp if t_comp < t_evt else t_evt
+            if t == _INF:
                 reasons = [
                     c.blocked.name if c.blocked is not None else "None"
                     for c in cores
@@ -218,13 +277,13 @@ class SystemSimulator:
 
             # 1. Data completions at exactly t.
             woke: set[int] = set()
-            while self._completions and self._completions[0][0] <= now:
-                _, _, request = heapq.heappop(self._completions)
+            while completions and completions[0][0] <= now:
+                _, _, request = heappop(completions)
                 core = cores[request.core_id]
                 core.on_read_complete(request, request.complete_cycle * cpm)
                 woke.add(request.core_id)
                 # A completed read frees its queue slot.
-                self._ctrl_dirty[request.channel] = True
+                ctrl_dirty[request.channel] = True
                 if rq_blocked:
                     woke |= rq_blocked
                     rq_blocked.clear()
@@ -238,20 +297,24 @@ class SystemSimulator:
                     advance_core(idx, now)
 
             # 3. Controllers whose next action is due.
-            for ch, ctrl in enumerate(self.controllers):
-                if self._ctrl_next[ch] <= now:
+            for ch, ctrl in enumerate(controllers):
+                if ctrl_next[ch] <= now:
                     events = ctrl.execute(int(now))
-                    self._ctrl_dirty[ch] = True
+                    ctrl_dirty[ch] = True
                     if not events.issued:
                         # Nothing was ready after all (stale estimate);
                         # force the estimate forward to guarantee progress.
                         nxt = ctrl.next_action_cycle(int(now) + 1)
-                        self._ctrl_next[ch] = _INF if nxt is None else float(nxt)
-                        self._ctrl_dirty[ch] = False
+                        ctrl_dirty[ch] = False
+                        if nxt is None:
+                            ctrl_next[ch] = _INF
+                        else:
+                            ctrl_next[ch] = t = float(nxt)
+                            heappush(event_heap, (t, _EV_CTRL, ch))
                     for request, done in events.read_completions:
                         self._completion_seq += 1
-                        heapq.heappush(
-                            self._completions, (done, self._completion_seq, request)
+                        heappush(
+                            completions, (done, self._completion_seq, request)
                         )
                     if events.writes_drained and wq_blocked:
                         stalled = list(wq_blocked)
@@ -287,16 +350,11 @@ class SystemSimulator:
             for controller in self.controllers
             for latency in controller.read_latencies
         )
-        if all_latencies:
-            def percentile(p: float) -> float:
-                index = min(
-                    len(all_latencies) - 1, int(p * (len(all_latencies) - 1))
-                )
-                return float(all_latencies[index])
-
-            percentiles = (percentile(0.50), percentile(0.95), percentile(0.99))
-        else:
-            percentiles = (0.0, 0.0, 0.0)
+        percentiles = (
+            truncating_percentile(all_latencies, 0.50),
+            truncating_percentile(all_latencies, 0.95),
+            truncating_percentile(all_latencies, 0.99),
+        )
 
         stats = self._power_stats(end_cycle)
         power_model = PowerModel(

@@ -1,0 +1,73 @@
+"""Shared percentile/quantile helpers.
+
+Two percentile conventions coexist in the codebase and both are
+intentional:
+
+- :func:`truncating_percentile` — the exact-sample convention used for
+  ``RunResult.read_latency_percentiles``: index into the sorted sample
+  list with a *truncating* rank, no interpolation. Deterministic and
+  bit-stable across platforms, which the golden-run fixtures rely on.
+- :func:`bucket_percentile` — the fixed-bucket estimate used by
+  :class:`repro.obs.metrics.Histogram`: linear interpolation within a
+  bucket, clamped to the observed min/max.
+
+They used to be duplicated inline in ``repro.sim.engine`` and
+``repro.obs.metrics``; this module is the single home for both.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def truncating_percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of a pre-sorted sample, truncating-rank style.
+
+    Picks ``sorted_values[int(q * (n - 1))]`` (clamped to the last
+    index), i.e. the classic nearest-lower-rank percentile with no
+    interpolation. Returns 0.0 for an empty sample.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must lie within [0, 1]")
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    return float(sorted_values[min(n - 1, int(q * (n - 1)))])
+
+
+def bucket_percentile(
+    bounds: Sequence[float],
+    counts: Sequence[int],
+    count: int,
+    min_value: float,
+    max_value: float,
+    q: float,
+) -> float:
+    """Estimated ``q``-quantile of a fixed-bucket histogram.
+
+    ``bounds`` are inclusive upper bounds; ``counts`` has one extra
+    trailing overflow bucket. Interpolates linearly within the bucket
+    containing the rank, clamped to the exact observed ``min_value`` /
+    ``max_value`` — exact whenever a bucket holds a single distinct
+    value. Returns 0.0 when the histogram is empty.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must lie within [0, 1]")
+    if count == 0:
+        return 0.0
+    rank = q * count
+    cumulative = 0.0
+    lower = min_value
+    for bound, bucket_count in zip(bounds, counts):
+        if bucket_count:
+            upper = min(bound, max_value)
+            if cumulative + bucket_count >= rank:
+                fraction = max(0.0, rank - cumulative) / bucket_count
+                value = lower + (upper - lower) * fraction
+                return min(max(value, min_value), max_value)
+            cumulative += bucket_count
+            lower = upper
+        else:
+            lower = max(lower, min(bound, max_value))
+    # Only the overflow bucket remains; its upper edge is the max.
+    return max_value

@@ -1,0 +1,95 @@
+"""Wake-set completeness of ``MemoryController.next_action_cycle``.
+
+The event-driven engine sleeps until the cycle ``next_action_cycle``
+returns; if the estimate ever lands *after* the first cycle ``execute``
+would actually issue a command, the simulator issues that command late
+and the run silently diverges. The property here walks every integer
+cycle of a random request stream and checks, at each cycle where
+``execute`` issues, that the estimate requested at that same cycle had
+already marked it due — under all three scheduling policies, so the
+incremental scheduler's memoization cannot over-cache for any of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.controller.controller import MemoryController, SchedulingPolicy
+from repro.controller.request import MemoryRequest
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRGenerator, MCRModeConfig
+from repro.dram.refresh import RefreshPlan
+from repro.dram.timing import TimingDomain
+
+
+def build_controller(policy):
+    geometry = single_core_geometry()
+    mode = MCRModeConfig(k=4, m=4, region_fraction=1.0)
+    domain = TimingDomain(geometry, mode)
+    return MemoryController(
+        geometry,
+        domain,
+        RefreshPlan(geometry, mode),
+        row_class_fn=MCRGenerator(geometry, mode).row_class,
+        policy=policy,
+    )
+
+
+@st.composite
+def request_streams(draw):
+    n = draw(st.integers(3, 25))
+    stream = []
+    cycle = 0
+    for _ in range(n):
+        cycle += draw(st.integers(0, 40))
+        stream.append(
+            dict(
+                arrival=cycle,
+                is_write=draw(st.booleans()),
+                rank=draw(st.integers(0, 1)),
+                bank=draw(st.integers(0, 7)),
+                row=draw(st.integers(0, 255)),
+                column=draw(st.integers(0, 127)),
+            )
+        )
+    return stream
+
+
+class TestNextActionNeverLate:
+    @settings(max_examples=15, deadline=None)
+    @given(request_streams(), st.sampled_from(list(SchedulingPolicy)))
+    def test_estimate_covers_first_issue(self, stream, policy):
+        controller = build_controller(policy)
+        pending = sorted(stream, key=lambda r: r["arrival"])
+        req_id = 0
+        cycle = 0
+        horizon = pending[-1]["arrival"] + 200_000
+        while pending or controller.outstanding():
+            assert cycle <= horizon, "stream did not drain"
+            while pending and pending[0]["arrival"] <= cycle:
+                spec = pending[0]
+                if not controller.can_accept(spec["is_write"], cycle):
+                    break
+                pending.pop(0)
+                req_id += 1
+                controller.enqueue(
+                    MemoryRequest(
+                        req_id=req_id, core_id=0, is_write=spec["is_write"],
+                        address=0, channel=0, rank=spec["rank"],
+                        bank=spec["bank"], row=spec["row"],
+                        column=spec["column"],
+                    ),
+                    cycle,
+                )
+            estimate = controller.next_action_cycle(cycle)
+            events = controller.execute(cycle)
+            if events.issued:
+                # The wake estimate asked at this very cycle must have
+                # declared it due — a later estimate means the engine
+                # would have slept through a ready command.
+                assert estimate is not None and estimate <= cycle, (
+                    f"{policy}: issued at {cycle} but estimate said "
+                    f"{estimate}"
+                )
+            cycle += 1
+        controller._collect(cycle + 100)
+        assert controller.outstanding() == 0

@@ -1,0 +1,89 @@
+"""Tests for the shared percentile helpers.
+
+The engine's ``read_latency_percentiles`` and the observability
+histograms both delegate to :mod:`repro.utils.stats` now; these tests
+pin the unit behaviour of each convention, check the Histogram
+delegation round-trips, and pin the golden run percentiles so a future
+refactor of either consumer cannot silently change reported numbers.
+"""
+
+import pytest
+
+from repro.core import MCRMode, run_system
+from repro.obs.metrics import Histogram
+from repro.utils.stats import bucket_percentile, truncating_percentile
+from repro.workloads import make_trace
+
+
+class TestTruncatingPercentile:
+    def test_empty_returns_zero(self):
+        assert truncating_percentile([], 0.5) == 0.0
+
+    def test_single_sample(self):
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert truncating_percentile([42], q) == 42.0
+
+    def test_truncating_rank_no_interpolation(self):
+        values = [10, 20, 30, 40, 50]
+        # rank = int(q * 4): truncation picks an exact sample.
+        assert truncating_percentile(values, 0.0) == 10.0
+        assert truncating_percentile(values, 0.49) == 20.0  # int(1.96) == 1
+        assert truncating_percentile(values, 0.50) == 30.0
+        assert truncating_percentile(values, 0.99) == 40.0
+        assert truncating_percentile(values, 1.0) == 50.0
+
+    def test_result_is_float(self):
+        assert isinstance(truncating_percentile([1, 2, 3], 0.5), float)
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            truncating_percentile([1.0], 1.5)
+        with pytest.raises(ValueError):
+            truncating_percentile([1.0], -0.1)
+
+
+class TestBucketPercentile:
+    def test_empty_returns_zero(self):
+        assert bucket_percentile((10.0,), (0, 0), 0, 0.0, 0.0, 0.5) == 0.0
+
+    def test_single_valued_bucket_is_exact(self):
+        # All mass in one bucket holding one distinct value: min == max
+        # clamping makes every quantile exact.
+        assert bucket_percentile((10.0, 20.0), (0, 5, 0), 5, 15.0, 15.0, 0.5) == 15.0
+
+    def test_clamped_to_observed_range(self):
+        value = bucket_percentile((10.0, 20.0), (3, 3, 0), 6, 4.0, 18.0, 0.99)
+        assert 4.0 <= value <= 18.0
+
+    def test_rejects_out_of_range_quantile(self):
+        with pytest.raises(ValueError):
+            bucket_percentile((10.0,), (1, 0), 1, 1.0, 1.0, 2.0)
+
+    def test_histogram_delegates(self):
+        hist = Histogram(bounds=(10.0, 20.0, 40.0))
+        for value in (5.0, 12.0, 13.0, 35.0):
+            hist.observe(value)
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert hist.percentile(q) == bucket_percentile(
+                hist.bounds, hist.counts, hist.count,
+                hist.min_value, hist.max_value, q,
+            )
+
+
+class TestGoldenPercentiles:
+    """Pin the engine percentiles on a small deterministic run, so the
+    stats refactor (and any future one) provably preserves reported
+    numbers."""
+
+    PINNED = {
+        "off": ((26.0, 105.0, 148.0), 7991),
+        "4/4x/100%reg": ((26.0, 105.0, 120.0), 7479),
+    }
+
+    @pytest.mark.parametrize("label", sorted(PINNED))
+    def test_golden_run_percentiles(self, label):
+        trace = make_trace("comm2", n_requests=1200, seed=2015)
+        result = run_system([trace], MCRMode.parse(label))
+        percentiles, cycles = self.PINNED[label]
+        assert result.read_latency_percentiles == percentiles
+        assert result.execution_cycles == cycles
