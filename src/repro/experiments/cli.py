@@ -362,6 +362,23 @@ def main(argv: list[str] | None = None) -> int:
     )
     diff_cmd.add_argument("run_a", help="run artifact JSON (from profile --save)")
     diff_cmd.add_argument("run_b", help="run artifact JSON to compare against")
+    verify_cmd = sub.add_parser(
+        "verify",
+        help="differential fuzz against the independent protocol oracle"
+        " (delegates to `python -m repro.verify`)",
+    )
+    verify_cmd.add_argument(
+        "verify_args",
+        nargs=argparse.REMAINDER,
+        help="arguments passed through, e.g. --seconds 60 --seed 0",
+    )
+    # argparse.REMAINDER does not capture leading options, so hand the
+    # verify sub-command's argv through before the main parse.
+    raw = sys.argv[1:] if argv is None else argv
+    if raw[:1] == ["verify"]:
+        from repro.verify.cli import main as verify_main
+
+        return verify_main(raw[1:])
     args = parser.parse_args(argv)
 
     if args.command == "trace":

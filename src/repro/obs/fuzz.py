@@ -28,66 +28,22 @@ import sys
 import time
 
 from repro.core.mcr_mode import MCRMode
-from repro.cpu.trace import Trace, TraceEntry
-from repro.dram.config import DRAMGeometry
 from repro.dram.mcr import RowClass
 from repro.dram.timing import RowTimings, TimingDomain
 from repro.obs.hub import ObservabilityConfig, observe_run
 
-#: Modes the fuzzer samples; covers baseline, full-region and partial
-#: MCR, and the combined two-class configuration.
-MODES = ("off", "2/2x/100%reg", "4/4x/100%reg", "2/2x/50%reg")
+# Stimulus generation (modes, geometry, trace shapes) is shared with the
+# differential verifier so both fuzzers draw from one source of
+# randomized stimuli; see repro.verify.generator.
+from repro.verify.generator import (
+    MODES,
+    fuzz_geometry,
+    miss_heavy_trace,
+    random_trace,
+)
 
 #: How much to shave off the true NORMAL tRCD in corrupted iterations.
 TRCD_CORRUPTION_CYCLES = 6
-
-
-def fuzz_geometry(channels: int = 2) -> DRAMGeometry:
-    """A tiny multi-channel device so short runs touch every structure."""
-    return DRAMGeometry(
-        channels=channels,
-        ranks_per_channel=2,
-        banks_per_rank=4,
-        rows_per_bank=2048,
-        columns_per_row=32,
-        rows_per_subarray=512,
-        density="1Gb",
-    )
-
-
-def random_trace(
-    rng: random.Random, geometry: DRAMGeometry, n_requests: int, name: str = "fuzz"
-) -> Trace:
-    """A random mixed read/write trace over the whole address space."""
-    max_block = geometry.capacity_bytes // 64 - 1
-    entries = [
-        TraceEntry(
-            gap=rng.randint(0, 30),
-            is_write=rng.random() < 0.3,
-            address=rng.randint(0, max_block) * 64,
-        )
-        for _ in range(n_requests)
-    ]
-    return Trace(name=name, entries=entries)
-
-
-def miss_heavy_trace(
-    rng: random.Random, geometry: DRAMGeometry, n_requests: int
-) -> Trace:
-    """A read stream striding across rows so nearly every access is a
-    row miss (each one exercises ACT -> column, i.e. tRCD)."""
-    row_bytes = geometry.columns_per_row * 64
-    rows = geometry.rows_per_bank
-    start = rng.randrange(rows)
-    entries = [
-        TraceEntry(
-            gap=rng.randint(0, 8),
-            is_write=False,
-            address=((start + i * 33) % rows) * row_bytes,
-        )
-        for i in range(n_requests)
-    ]
-    return Trace(name="fuzz-miss", entries=entries)
 
 
 def corrupted_trcd_overrides(

@@ -24,7 +24,7 @@ describes the whole run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.dram.commands import Command
 from repro.dram.config import DRAMGeometry
@@ -65,6 +65,13 @@ class ObservabilityConfig:
             accumulating past the cap; None = unbounded).
         quantiles: Percentiles reported by profile and histogram
             snapshots (p50/p95/p99 by default).
+        command_sink: Optional callable ``(channel, cmd, row_class)``
+            invoked with every issued command. This is the raw
+            command-stream tap external checkers attach to (notably the
+            differential oracle in :mod:`repro.verify`): unlike
+            ``invariants``, it runs *no* simulator-side constraint model,
+            so a sink-only config keeps the run free of shared-fate
+            checking.
     """
 
     trace: bool = False
@@ -76,10 +83,17 @@ class ObservabilityConfig:
     max_trace_events: int | None = None
     max_profiles: int | None = None
     quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+    command_sink: Callable[[int, Command, RowClass | None], None] | None = None
 
     @property
     def enabled(self) -> bool:
-        return self.trace or self.metrics or self.invariants or self.profile
+        return (
+            self.trace
+            or self.metrics
+            or self.invariants
+            or self.profile
+            or self.command_sink is not None
+        )
 
     @classmethod
     def full(cls, **overrides) -> "ObservabilityConfig":
@@ -199,6 +213,8 @@ class ObservabilityHub:
             self.tracer.record(channel, cmd, row_class, gate)
         if self.profiler is not None:
             self.profiler.on_command(channel, cmd, row_class)
+        if self.config.command_sink is not None:
+            self.config.command_sink(channel, cmd, row_class)
 
     def on_enqueue(
         self,

@@ -59,8 +59,21 @@ class SystemSimulator:
             effects (used by some ablations/tests).
         core_params: Core microarchitecture parameters.
         idd: Power-model currents.
+        base_timings: Override the channel-wide DDR3 base timings (fault
+            injection / sensitivity studies).
         wiring: Refresh-counter wiring (the paper's improved wiring by
             default).
+        record_commands: Keep every issued command on each channel's
+            ``command_log`` (golden-trace tests).
+        policy: Scheduling policy (FR-FCFS by default).
+        row_timing_overrides / trfc_overrides: Replace derived per-class
+            timings on the simulated device while checkers validate
+            against the true table (see :mod:`repro.obs.fuzz` and
+            :mod:`repro.verify.bugs`).
+        observability: Observation config; any enabled component —
+            including a bare ``command_sink`` tap, which is how the
+            :mod:`repro.verify` oracle attaches — builds the hub and
+            hooks every controller.
     """
 
     def __init__(

@@ -1,0 +1,5 @@
+"""``python -m repro.verify`` entry point."""
+
+from repro.verify.cli import main
+
+raise SystemExit(main())

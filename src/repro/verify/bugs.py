@@ -1,0 +1,109 @@
+"""Synthetic timing bugs (the test-only fault-injection hook).
+
+Each bug corrupts the *simulated device's* programmed timing table
+through the :class:`~repro.sim.engine.SystemSimulator` override hooks,
+while the oracle keeps checking the paper's truth — proving the oracle
+actually detects a wrong device rather than vacuously passing, and
+giving the shrinker real failures to minimize into ``tests/corpus/``.
+
+The corrupted values are computed from the *oracle's* timing table (the
+tables agree when the device is healthy — that equality is itself a
+differential test), so this module stays clear of
+``repro.dram.timing`` at import time; only the override container
+classes are pulled in lazily when a bug is applied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.verify.generator import VerifyCase
+from repro.verify.rules import RowKind, legal_trfc_values, oracle_timings
+
+#: Bug name -> the oracle rule expected to catch it.
+BUG_NAMES: dict[str, str] = {
+    "shaved-trcd": "tRCD",
+    "shaved-trp": "tRP",
+    "shaved-trfc": "tRFC-class",
+}
+
+#: Cycles shaved off the true value per bug.
+_TRCD_SHAVE = 4
+_TRP_SHAVE = 6
+_TRFC_SHAVE = 7
+
+
+def apply_bug(case: VerifyCase, name: str) -> dict:
+    """Simulator kwargs that install bug ``name`` for ``case``.
+
+    Returns a dict to splat into :class:`SystemSimulator` /
+    :func:`~repro.obs.hub.observe_run`.
+    """
+    # The device-side container classes; imported lazily so importing
+    # repro.verify never loads the timing implementation under test.
+    from repro.dram.mcr import RowClass
+    from repro.dram.timing import BaseTimings, RowTimings
+
+    kinds_to_classes = {
+        RowKind.NORMAL: RowClass.NORMAL,
+        RowKind.MCR: RowClass.MCR,
+        RowKind.MCR_ALT: RowClass.MCR_ALT,
+    }
+    timings = oracle_timings(case.oracle_config())
+    if name == "shaved-trcd":
+        return {
+            "row_timing_overrides": {
+                row_class: RowTimings(
+                    t_rcd=max(1, timings.trcd[kind] - _TRCD_SHAVE),
+                    t_ras=timings.tras[kind],
+                    t_rc=timings.trc[kind],
+                )
+                for kind, row_class in kinds_to_classes.items()
+            }
+        }
+    if name == "shaved-trp":
+        true_trp = timings.base["tRP"]
+        return {"base_timings": BaseTimings(t_rp=max(1, true_trp - _TRP_SHAVE))}
+    if name == "shaved-trfc":
+        legal = legal_trfc_values(case.oracle_config(), timings)
+        overrides = {}
+        for kind, row_class in kinds_to_classes.items():
+            shaved = max(1, timings.trfc[kind] - _TRFC_SHAVE)
+            while shaved in legal:  # must be distinguishable from a legal charge
+                shaved -= 1
+            overrides[row_class] = shaved
+        return {"trfc_overrides": overrides}
+    raise ValueError(f"unknown bug {name!r}; known: {sorted(BUG_NAMES)}")
+
+
+def bug_case(name: str, seed: int = 0) -> VerifyCase:
+    """A case shaped so bug ``name`` actually manifests on the bus.
+
+    - a shaved tRCD needs row misses followed promptly by column
+      commands (a read miss stream);
+    - a shaved tRP only binds when the precharge is delayed past tRAS,
+      which write recovery guarantees (a write miss stream);
+    - a shaved tRFC needs REFRESH commands, i.e. a run spanning several
+      tREFI periods (a sparse, gap-heavy trace).
+    """
+    base = VerifyCase(
+        seed=seed,
+        channels=1,
+        ranks_per_channel=1,
+        banks_per_rank=4,
+        rows_per_bank=1024,
+        k=2,
+        m=2,
+        region_pct=50.0,
+        policy="FR_FCFS",
+    )
+    if name == "shaved-trcd":
+        return replace(base, trace_kind="miss_heavy", n_requests=40)
+    if name == "shaved-trp":
+        return replace(base, trace_kind="write_miss", n_requests=40)
+    if name == "shaved-trfc":
+        return replace(base, trace_kind="refresh_heavy", n_requests=6)
+    raise ValueError(f"unknown bug {name!r}; known: {sorted(BUG_NAMES)}")
+
+
+__all__ = ["BUG_NAMES", "apply_bug", "bug_case"]

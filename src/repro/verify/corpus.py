@@ -1,0 +1,98 @@
+"""Replayable failure artifacts (``tests/corpus/``).
+
+A corpus artifact is one shrinker-minimized (config, trace) pair plus
+the fault that produced it, as a small JSON file. The regression suite
+replays every artifact two ways:
+
+- **red**: with the recorded bug injected, the oracle must still flag a
+  violation (the reproducer reproduces);
+- **green**: with a healthy device, the same case must replay clean (the
+  reproducer blames the bug, not the oracle).
+
+Artifacts produced by a *natural* failure (no injected bug) record
+``"bug": null``; their red replay is the plain run and there is no green
+counterpart — such an artifact documents an open engine/oracle
+disagreement and keeps failing until one of them is fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.verify.generator import VerifyCase
+from repro.verify.oracle import OracleViolation, run_case_with_oracle
+from repro.verify.shrinker import ShrinkResult
+
+CORPUS_SCHEMA_VERSION = 1
+
+#: The default on-disk corpus location (repo-relative).
+DEFAULT_CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+def write_artifact(
+    path: str | Path,
+    result: ShrinkResult,
+    bug: str | None,
+    description: str = "",
+) -> Path:
+    """Serialize a shrink result; returns the written path."""
+    path = Path(path)
+    payload = {
+        "schema": CORPUS_SCHEMA_VERSION,
+        "bug": bug,
+        "description": description,
+        "expected_rules": list(result.rules),
+        "commands": result.commands,
+        "entries": result.entries,
+        "case": result.case.to_dict(),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict:
+    """Parse an artifact; ``"case"`` comes back as a :class:`VerifyCase`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != CORPUS_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported corpus schema {payload.get('schema')!r}"
+        )
+    payload["case"] = VerifyCase.from_dict(payload["case"])
+    return payload
+
+
+def replay_artifact(
+    path: str | Path,
+) -> tuple[list[OracleViolation], list[OracleViolation] | None]:
+    """Replay an artifact red (bug in) and green (bug out).
+
+    Returns ``(red_violations, green_violations)``; the green list is
+    ``None`` for natural-failure artifacts (nothing to un-inject).
+    """
+    payload = load_artifact(path)
+    case, bug = payload["case"], payload["bug"]
+    _, red, _ = run_case_with_oracle(case, bug=bug)
+    if bug is None:
+        return red, None
+    _, green, _ = run_case_with_oracle(case, bug=None)
+    return red, green
+
+
+def corpus_paths(directory: str | Path | None = None) -> list[Path]:
+    """All artifact files in the corpus directory, sorted by name."""
+    directory = Path(directory) if directory is not None else DEFAULT_CORPUS_DIR
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+__all__ = [
+    "CORPUS_SCHEMA_VERSION",
+    "DEFAULT_CORPUS_DIR",
+    "corpus_paths",
+    "load_artifact",
+    "replay_artifact",
+    "write_artifact",
+]

@@ -1,0 +1,180 @@
+"""Metamorphic identities: full-run equalities the system must satisfy.
+
+Each identity builds *two* runs from one random draw whose results must
+be exactly equal — not approximately, exactly, down to every cycle count
+and energy figure. These catch whole classes of bug no spacing rule can
+see (a mechanism leaking into a disabled configuration, observability
+perturbing the simulation, scheduling depending on don't-care address
+bits).
+
+The four identities:
+
+- ``mcr-region-empty``: a K>1 mode with an *empty* MCR region is
+  conventional DRAM — equal to K=1 in every measured quantity;
+- ``skip-noop``: with M=K there is nothing to skip, so Refresh-Skipping
+  on and off are the same machine;
+- ``obs-transparent``: full observability (tracer + metrics + checker +
+  profiler) must not change the simulated outcome — equal RunResult once
+  the observation payloads themselves are stripped;
+- ``column-permutation``: XOR-ing a constant onto every address's column
+  bits permutes cache lines within rows and nothing else, so every
+  aggregate statistic is unchanged.
+
+Each check returns ``None`` when the identity holds, or a human-readable
+mismatch description.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Callable
+
+from repro.verify.generator import (
+    VerifyCase,
+    build_spec,
+    build_traces,
+    explicit_entries,
+    sample_case,
+)
+
+
+def run_case(case: VerifyCase, observability=None):
+    """One plain engine run for a case (lazy import of the engine)."""
+    from repro.core.api import run_system
+
+    return run_system(
+        build_traces(case),
+        case.mode(),
+        spec=build_spec(case),
+        max_cycles=case.max_cycles,
+        observability=observability,
+    )
+
+
+def _diff(label: str, a, b) -> str | None:
+    """First differing RunResult field, or None when equal."""
+    for name in (
+        "workloads",
+        "mode_label",
+        "execution_cycles",
+        "per_core_cycles",
+        "avg_read_latency_cycles",
+        "instructions",
+        "reads",
+        "writes",
+        "energy",
+        "edp",
+        "read_latency_percentiles",
+        "controller_stats",
+        "metrics",
+        "profile",
+    ):
+        left, right = getattr(a, name), getattr(b, name)
+        if left != right:
+            return f"{label}: {name} differs ({left!r} != {right!r})"
+    return None
+
+
+def _strip(result, *, stats: bool = False):
+    """Drop observation payloads (and optionally per-channel stats)."""
+    fields = {"metrics": None, "profile": None}
+    if stats:
+        fields["controller_stats"] = ()
+    return replace(result, **fields)
+
+
+# ----------------------------------------------------------------------
+# The identities
+# ----------------------------------------------------------------------
+
+
+def _mcr_region_empty(rng: random.Random) -> str | None:
+    base = sample_case(rng)
+    k = rng.choice((2, 4))
+    with_mcr_machinery = replace(
+        base, k=k, m=k, region_pct=0.0, alt_k=1, alt_m=1, alt_region_pct=0.0
+    )
+    plain = replace(
+        base, k=1, m=1, region_pct=0.0, alt_k=1, alt_m=1, alt_region_pct=0.0
+    )
+    return _diff(
+        f"K={k} with empty region != baseline (seed={base.seed})",
+        run_case(with_mcr_machinery),
+        run_case(plain),
+    )
+
+
+def _skip_noop(rng: random.Random) -> str | None:
+    base = sample_case(rng)
+    k = rng.choice((2, 4))
+    regions = (25.0, 50.0) if base.alt_region_pct > 0.0 else (25.0, 50.0, 100.0)
+    common = replace(
+        base,
+        k=k,
+        m=k,  # nothing to skip
+        region_pct=rng.choice(regions),
+        alt_m=base.alt_k,  # same for the secondary region, if any
+    )
+    return _diff(
+        f"M=K skip-on != skip-off (k={k}, seed={base.seed})",
+        run_case(replace(common, refresh_skipping=True)),
+        run_case(replace(common, refresh_skipping=False)),
+    )
+
+
+def _obs_transparent(rng: random.Random) -> str | None:
+    from repro.obs.hub import ObservabilityConfig
+
+    case = sample_case(rng)
+    observed = run_case(
+        case,
+        observability=ObservabilityConfig(
+            trace=True, metrics=True, invariants=True, profile=True
+        ),
+    )
+    bare = run_case(case)
+    return _diff(
+        f"observability changed the run (seed={case.seed})",
+        _strip(observed),
+        bare,
+    )
+
+
+def _column_permutation(rng: random.Random) -> str | None:
+    from repro.controller.address_mapping import AddressMapper, MappingScheme
+
+    case = sample_case(rng)
+    mapper = AddressMapper(case.geometry(), MappingScheme[case.mapping])
+    mask = rng.randrange(1, case.columns_per_row)
+
+    def permute(address: int) -> int:
+        coords = mapper.decode(address)
+        return mapper.encode(replace(coords, column=coords.column ^ mask))
+
+    original = explicit_entries(case)
+    permuted = tuple(
+        tuple((gap, is_write, permute(address)) for gap, is_write, address in trace)
+        for trace in original
+    )
+    return _diff(
+        f"column-bit XOR {mask:#x} changed aggregates (seed={case.seed})",
+        _strip(run_case(case.with_entries(original)), stats=True),
+        _strip(run_case(case.with_entries(permuted)), stats=True),
+    )
+
+
+IDENTITIES: dict[str, Callable[[random.Random], str | None]] = {
+    "mcr-region-empty": _mcr_region_empty,
+    "skip-noop": _skip_noop,
+    "obs-transparent": _obs_transparent,
+    "column-permutation": _column_permutation,
+}
+
+
+def check_identity(name: str, rng: random.Random) -> str | None:
+    """Run one identity check on a fresh draw; None means it held."""
+    return IDENTITIES[name](rng)
+
+
+__all__ = ["IDENTITIES", "check_identity", "run_case"]

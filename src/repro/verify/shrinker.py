@@ -1,0 +1,155 @@
+"""Delta-debugging shrinker for failing (config, trace) pairs.
+
+Given a case the oracle rejects, :func:`shrink_case` minimizes it while
+preserving *some* oracle violation (not necessarily the same rule — the
+smallest reproducer is what matters):
+
+1. **config simplification** — fewer channels, one trace, one rank: each
+   candidate is kept only if it still fails;
+2. **ddmin** (Zeller & Hildebrandt's algorithm) over the remaining
+   trace's entries, with doubling granularity, until no single chunk can
+   be removed;
+3. **gap zeroing** — large inter-request gaps that aren't needed to
+   reproduce are reset to 0 entry-by-entry, pulling the run (and its
+   command stream) as short as possible.
+
+The result carries explicit trace entries, so it replays bit-for-bit
+with no generator involved — that's what gets written to
+``tests/corpus/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.verify.generator import VerifyCase, explicit_entries
+from repro.verify.oracle import OracleViolation, run_case_with_oracle
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink: the minimized case and its failure."""
+
+    case: VerifyCase
+    violations: tuple[OracleViolation, ...]
+    commands: int  #: command-stream length of the minimized replay
+    runs: int  #: simulator runs the shrink spent
+    entries: int  #: trace entries remaining
+
+    @property
+    def rules(self) -> tuple[str, ...]:
+        return tuple(sorted({v.rule for v in self.violations}))
+
+
+class _Prober:
+    """Runs candidates, counting runs and tolerating broken candidates
+    (a shrunk trace that crashes the engine is simply not a keeper)."""
+
+    def __init__(self, bug: str | None) -> None:
+        self.bug = bug
+        self.runs = 0
+        self.last: tuple[list[OracleViolation], int] | None = None
+
+    def fails(self, case: VerifyCase) -> bool:
+        self.runs += 1
+        try:
+            _, violations, commands = run_case_with_oracle(case, bug=self.bug)
+        except Exception:
+            return False
+        if violations:
+            self.last = (violations, commands)
+            return True
+        return False
+
+
+def _ddmin(entries: list, still_fails) -> list:
+    """Classic ddmin over a list: remove chunks while failure persists."""
+    granularity = 2
+    while len(entries) >= 2:
+        chunk = max(1, len(entries) // granularity)
+        reduced = False
+        start = 0
+        while start < len(entries):
+            candidate = entries[:start] + entries[start + chunk :]
+            if candidate and still_fails(candidate):
+                entries = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(entries):
+                break
+            granularity = min(len(entries), granularity * 2)
+    return entries
+
+
+def shrink_case(
+    case: VerifyCase, bug: str | None = None, max_runs: int = 400
+) -> ShrinkResult:
+    """Minimize a failing case; raises ValueError if it doesn't fail.
+
+    ``bug`` replays the same injected fault (:mod:`repro.verify.bugs`)
+    on every candidate; ``None`` shrinks a naturally failing case.
+    ``max_runs`` soft-bounds the ddmin phase (config simplification and
+    gap zeroing always complete).
+    """
+    prober = _Prober(bug)
+    if not prober.fails(case):
+        raise ValueError("shrink_case needs a failing case")
+
+    # Pin the stimulus down to explicit entries first, so every later
+    # transformation is on concrete data.
+    case = case.with_entries(explicit_entries(case))
+
+    # Phase 1: structural config simplification.
+    for candidate in (
+        case.with_entries(case.entries[:1]),  # one core
+        replace(case, channels=1),
+        replace(case, ranks_per_channel=1),
+    ):
+        if candidate != case and prober.fails(candidate):
+            case = candidate
+
+    # Phase 2: ddmin over each remaining trace's entries.
+    for index in range(len(case.entries)):
+        def still_fails(entries: list) -> bool:
+            if prober.runs >= max_runs:
+                return False
+            traces = list(case.entries)
+            traces[index] = tuple(entries)
+            return prober.fails(case.with_entries(tuple(traces)))
+
+        minimized = _ddmin(list(case.entries[index]), still_fails)
+        traces = list(case.entries)
+        traces[index] = tuple(minimized)
+        case = case.with_entries(tuple(traces))
+
+    # Phase 3: zero out gaps that aren't load-bearing.
+    for index, trace in enumerate(case.entries):
+        for pos, (gap, is_write, address) in enumerate(trace):
+            if gap == 0:
+                continue
+            shortened = list(trace)
+            shortened[pos] = (0, is_write, address)
+            traces = list(case.entries)
+            traces[index] = tuple(shortened)
+            candidate = case.with_entries(tuple(traces))
+            if prober.fails(candidate):
+                case = candidate
+
+    # One authoritative replay of the final case.
+    if not prober.fails(case):  # pragma: no cover - ddmin invariant
+        raise AssertionError("shrinker lost the failure")
+    assert prober.last is not None
+    violations, commands = prober.last
+    return ShrinkResult(
+        case=case,
+        violations=tuple(violations),
+        commands=commands,
+        runs=prober.runs,
+        entries=sum(len(t) for t in case.entries),
+    )
+
+
+__all__ = ["ShrinkResult", "shrink_case"]

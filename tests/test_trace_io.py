@@ -102,6 +102,56 @@ class TestRoundTrip:
             load_trace(path)
 
 
+class TestFileRoundTripProperty:
+    """Full save_trace -> load_trace round trip as a property, over the
+    real device address space (including its top address) and the empty
+    trace."""
+
+    _GEOMETRY = single_core_geometry()
+    _MAX_BLOCK = _GEOMETRY.capacity_bytes // 64 - 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 10_000),
+                st.booleans(),
+                st.integers(0, _MAX_BLOCK).map(lambda block: block * 64),
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_save_load_round_trip(self, tmp_path_factory, raw):
+        entries = [TraceEntry(g, w, a) for g, w, a in raw]
+        path = tmp_path_factory.mktemp("roundtrip") / "t.trc"
+        save_trace(Trace(name="t", entries=entries), path)
+        if not entries:
+            # The loader treats an entry-less file as malformed: an empty
+            # trace cannot drive a simulation.
+            with pytest.raises(TraceFormatError):
+                load_trace(path)
+            return
+        loaded = load_trace(path)
+        assert loaded.entries == entries
+        assert sum(loaded.row_access_counts.values()) == len(entries)
+
+    def test_max_address_survives(self, tmp_path):
+        """The device's very last cache line must round-trip unwrapped —
+        a one-off boundary the wrap mask could silently corrupt."""
+        top = self._GEOMETRY.capacity_bytes - 64
+        entries = [TraceEntry(0, False, top), TraceEntry(1, True, top)]
+        path = tmp_path / "top.trc"
+        save_trace(Trace(name="top", entries=entries), path)
+        loaded = load_trace(path)
+        assert [e.address for e in loaded.entries] == [top, top]
+
+    def test_first_address_past_capacity_wraps_to_zero(self, tmp_path):
+        path = tmp_path / "wrap.trc"
+        path.write_text(f"0 R 0x{self._GEOMETRY.capacity_bytes:x} 0x0\n")
+        assert load_trace(path).entries[0].address == 0
+
+
 class TestEndToEnd:
     def test_loaded_trace_simulates(self, tmp_path):
         from repro.core import MCRMode, run_system

@@ -1,0 +1,82 @@
+"""Replay the shrinker-minimized corpus (tests/corpus/*.json).
+
+Every artifact must be **red** with its recorded bug injected (the
+reproducer reproduces, under the rule it was minimized for) and
+**green** with a healthy device (the reproducer blames the bug, not the
+oracle). Natural-failure artifacts (bug: null) are open engine/oracle
+disagreements and fail here until fixed.
+"""
+
+import json
+
+import pytest
+
+from repro.verify.bugs import BUG_NAMES
+from repro.verify.corpus import (
+    CORPUS_SCHEMA_VERSION,
+    DEFAULT_CORPUS_DIR,
+    corpus_paths,
+    load_artifact,
+    replay_artifact,
+    write_artifact,
+)
+
+ARTIFACTS = corpus_paths()
+
+
+def test_corpus_is_seeded():
+    """The repo ships at least 5 minimized reproducers covering every
+    synthetic bug."""
+    assert len(ARTIFACTS) >= 5
+    bugs = {load_artifact(p)["bug"] for p in ARTIFACTS}
+    assert bugs >= set(BUG_NAMES)
+
+
+@pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
+class TestReplay:
+    def test_red_with_bug_green_without(self, path):
+        payload = load_artifact(path)
+        red, green = replay_artifact(path)
+        flagged = {v.rule for v in red}
+        assert flagged, f"{path.name} no longer reproduces"
+        assert flagged >= set(payload["expected_rules"]), (
+            f"{path.name}: expected {payload['expected_rules']}, got {sorted(flagged)}"
+        )
+        if payload["bug"] is not None:
+            assert green == [], (
+                f"{path.name} flags a healthy device: {[str(v) for v in green[:3]]}"
+            )
+
+    def test_artifact_is_minimized(self, path):
+        payload = load_artifact(path)
+        assert payload["commands"] <= 20
+        assert payload["case"].entries is not None
+
+
+class TestArtifactIo:
+    def test_write_load_round_trip(self, tmp_path):
+        from repro.verify.bugs import bug_case
+        from repro.verify.shrinker import shrink_case
+
+        result = shrink_case(bug_case("shaved-trcd"), bug="shaved-trcd")
+        path = write_artifact(
+            tmp_path / "x.json", result, bug="shaved-trcd", description="round trip"
+        )
+        payload = load_artifact(path)
+        assert payload["bug"] == "shaved-trcd"
+        assert payload["case"] == result.case
+        assert payload["expected_rules"] == list(result.rules)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999, "case": {}}))
+        with pytest.raises(ValueError, match="schema"):
+            load_artifact(path)
+
+    def test_default_dir_is_tests_corpus(self):
+        assert DEFAULT_CORPUS_DIR.name == "corpus"
+        assert DEFAULT_CORPUS_DIR.parent.name == "tests"
+        assert CORPUS_SCHEMA_VERSION == 1
+
+    def test_corpus_paths_empty_for_missing_dir(self, tmp_path):
+        assert corpus_paths(tmp_path / "nope") == []
