@@ -1,0 +1,149 @@
+"""Bench: the simulation service under concurrent duplicate-heavy load.
+
+The service's reason to exist is that most of a production request mix
+is *duplicates* — sweep re-runs, dashboard refreshes, many tenants
+asking for the same configuration — and those must be served from the
+job registry / artifact cache at interactive latency, not re-simulated.
+
+This bench stands up a real server (thread backend, fresh artifact
+cache), warms a small pool of distinct specs, then hammers it with
+concurrent clients drawing from that pool. It reports sustained
+requests/s, request-latency p50/p99 and the cache hit rate, and asserts
+the acceptance bar: **>= 100 sustained jobs/s on the cache-warm,
+duplicate-heavy mix**.
+
+Writes ``BENCH_service.json`` at the repo root via :mod:`_emit`.
+"""
+
+import json
+import threading
+import time
+
+from _emit import emit_bench
+from conftest import run_once
+
+from repro.obs.profiler import exact_percentile
+from repro.service import ServiceClient, ServiceConfig, ServiceServer, SimulationService
+
+_CLIENTS = 4
+_REQUESTS_PER_CLIENT = 100
+_SPECS = [
+    {"workload": workload, "n_requests": 60, "seed": seed}
+    for workload in ("comm2", "libq")
+    for seed in range(4)
+]
+
+
+class _ServerThread:
+    def __init__(self, cache_dir: str):
+        self.config = ServiceConfig(
+            port=0, shards=2, backend="thread", cache_dir=cache_dir, queue_limit=256
+        )
+        self.ready = threading.Event()
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self):
+        import asyncio
+
+        async def main():
+            server = ServiceServer(SimulationService(self.config))
+            self.host, self.port = await server.start()
+            self.ready.set()
+            await server.serve_forever(handle_signals=False)
+
+        asyncio.run(main())
+
+    def start(self) -> ServiceClient:
+        self.thread.start()
+        assert self.ready.wait(30), "service never came up"
+        return ServiceClient(self.host, self.port, timeout=60)
+
+    def stop(self, client: ServiceClient):
+        try:
+            client.shutdown()
+        except Exception:
+            pass
+        self.thread.join(timeout=60)
+
+
+def test_service_load(benchmark, tmp_path):
+    server = _ServerThread(str(tmp_path))
+    client = server.start()
+    try:
+        # Warm: every distinct spec executes exactly once.
+        for spec in _SPECS:
+            client.wait(client.submit_with_backoff(spec)["job_id"])
+
+        latencies: list[float] = []
+        errors: list[BaseException] = []
+        lock = threading.Lock()
+
+        def hammer(worker: int):
+            mine = ServiceClient(server.host, server.port, timeout=60)
+            samples = []
+            try:
+                for i in range(_REQUESTS_PER_CLIENT):
+                    spec = _SPECS[(worker + i) % len(_SPECS)]
+                    begin = time.perf_counter()
+                    response = mine.submit(spec)
+                    assert response["status"] == "done", response
+                    samples.append(time.perf_counter() - begin)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+            with lock:
+                latencies.extend(samples)
+
+        def load() -> float:
+            threads = [
+                threading.Thread(target=hammer, args=(w,)) for w in range(_CLIENTS)
+            ]
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - begin
+
+        wall_s = run_once(benchmark, load)
+        assert not errors, errors[:1]
+        total = _CLIENTS * _REQUESTS_PER_CLIENT
+        assert len(latencies) == total
+        throughput = total / wall_s
+
+        snapshot = client.metrics()
+        submissions = snapshot["service.submissions"]["series"][0]["value"]
+        hits = sum(
+            series["value"] for series in snapshot["service.cache_hits"]["series"]
+        )
+        hit_rate = hits / submissions
+        ordered = sorted(latencies)
+        p50_ms = exact_percentile(ordered, 0.50) * 1000
+        p99_ms = exact_percentile(ordered, 0.99) * 1000
+
+        report = emit_bench(
+            "BENCH_service.json",
+            name="service_load",
+            wall_s=wall_s,
+            detail={
+                "clients": _CLIENTS,
+                "requests": total,
+                "distinct_specs": len(_SPECS),
+                "throughput_jobs_s": round(throughput, 1),
+                "request_p50_ms": round(p50_ms, 3),
+                "request_p99_ms": round(p99_ms, 3),
+                "cache_hit_rate": round(hit_rate, 4),
+                "simulations_executed": snapshot["harness.executed"]["series"][0][
+                    "value"
+                ],
+            },
+        )
+        print()
+        print(json.dumps(report["detail"], indent=2))
+
+        # Acceptance: cache-warm duplicate-heavy load sustains >= 100
+        # jobs/s, every distinct spec simulated exactly once.
+        assert throughput >= 100, f"only {throughput:.1f} jobs/s"
+        assert report["detail"]["simulations_executed"] == len(_SPECS)
+        assert hit_rate > 0.9
+    finally:
+        server.stop(client)

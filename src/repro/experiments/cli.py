@@ -15,6 +15,10 @@ Examples::
     mcr-dram profile comm2 --mode 4/4x/100%reg --attribution
     mcr-dram profile comm2 --mode 4/4x/100%reg --save run_a.json
     mcr-dram diff run_a.json run_b.json
+    mcr-dram serve --port 8763 --shards 4
+    mcr-dram submit comm2 --mode 4/4x/100%reg --requests 2000
+    mcr-dram cache stats
+    mcr-dram cache evict --max-mb 64
 
 Runs go through the execution harness (:mod:`repro.harness`): results
 are cached on disk under ``.repro-cache/`` (override with
@@ -235,6 +239,119 @@ def _run_diff(args: argparse.Namespace) -> int:
     return 0 if diff["identical"] else 1
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """``mcr-dram serve``: run the simulation service until SIGINT/SIGTERM."""
+    import asyncio
+
+    from repro.harness import DEFAULT_CACHE_DIR
+    from repro.service import ServiceConfig
+    from repro.service.server import run_server
+
+    cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        backend=args.backend,
+        queue_limit=args.queue_limit,
+        cache_dir=cache_dir,
+        cache_max_bytes=(
+            args.cache_max_mb * 1024 * 1024 if args.cache_max_mb else None
+        ),
+    )
+    summary = asyncio.run(
+        run_server(
+            config,
+            on_listen=lambda host, port: print(
+                f"mcr-dram service listening on http://{host}:{port} "
+                f"({config.shards} {config.backend} shards, "
+                f"cache={cache_dir or 'memory-only'})",
+                file=sys.stderr,
+                flush=True,
+            ),
+        )
+    )
+    print(
+        f"service drained: {summary['drained']} completed, "
+        f"{summary['cancelled']} cancelled",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    """``mcr-dram submit``: send one spec, follow its events, print result."""
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    spec: dict = {
+        "workload": args.workload,
+        "mode": args.mode,
+        "n_requests": args.requests,
+        "seed": args.seed,
+    }
+    if args.allocation is not None:
+        try:
+            spec["allocation"] = float(args.allocation)
+        except ValueError:
+            spec["allocation"] = args.allocation  # e.g. "collision-free"
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        response = client.submit_with_backoff(spec)
+        job_id = response["job_id"]
+        print(
+            f"job {job_id[:12]} {response['status']}"
+            + (f" (cached: {response['cached']})" if response.get("cached") else ""),
+            file=sys.stderr,
+        )
+        if response["status"] != "done":
+            for event in client.events(job_id):
+                print(f"  {event['event']}: {json.dumps(event)}", file=sys.stderr)
+        result = client.result(job_id)
+    except ServiceError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"cannot reach service at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        payload = result["result"]
+        print(
+            f"{args.workload} mode={payload['mode_label']}: "
+            f"{payload['execution_cycles']} cycles, "
+            f"avg read latency {payload['avg_read_latency_cycles']:.2f} cycles, "
+            f"EDP {payload['edp']:.4g}"
+        )
+    return 0
+
+
+def _run_cache(args: argparse.Namespace) -> int:
+    """``mcr-dram cache``: inspect or trim the shared artifact cache."""
+    import json
+
+    from repro.harness import DEFAULT_CACHE_DIR
+    from repro.service.cache import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.cache_command == "evict":
+        cap = args.max_mb * 1024 * 1024
+        evicted = cache.evict_to_cap(max_bytes=cap)
+        stats = cache.stats()
+        print(
+            f"evicted {evicted} entries; {stats['entries']} remain "
+            f"({stats['bytes']} bytes <= {cap} cap)"
+        )
+        return 0
+    print(json.dumps(cache.stats(), indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="mcr-dram",
@@ -362,6 +479,101 @@ def main(argv: list[str] | None = None) -> int:
     )
     diff_cmd.add_argument("run_a", help="run artifact JSON (from profile --save)")
     diff_cmd.add_argument("run_b", help="run artifact JSON to compare against")
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the simulation service (HTTP/JSON API over the harness)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8763, help="bind port (0 = pick a free one)"
+    )
+    serve_cmd.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker shards = execution concurrency (default: 2)",
+    )
+    serve_cmd.add_argument(
+        "--backend",
+        choices=("process", "thread"),
+        default="process",
+        help="worker backend (default: process)",
+    )
+    serve_cmd.add_argument(
+        "--queue-limit",
+        type=int,
+        default=64,
+        metavar="N",
+        help="queued jobs admitted per shard before 429 (default: 64)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="shared artifact cache location (default: .repro-cache)",
+    )
+    serve_cmd.add_argument(
+        "--no-cache", action="store_true", help="serve from memory only"
+    )
+    serve_cmd.add_argument(
+        "--cache-max-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="artifact-cache size cap; oldest-touched entries evicted",
+    )
+    submit_cmd = sub.add_parser(
+        "submit", help="submit one simulation to a running service"
+    )
+    submit_cmd.add_argument("workload", help="workload name, e.g. comm2, libq")
+    submit_cmd.add_argument(
+        "--mode", default="off", help="MCR mode string (default: off)"
+    )
+    submit_cmd.add_argument(
+        "--requests", type=int, default=1000, help="trace length (default: 1000)"
+    )
+    submit_cmd.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    submit_cmd.add_argument(
+        "--allocation",
+        default=None,
+        help="clone allocation: a ratio like 0.5, or 'collision-free'",
+    )
+    submit_cmd.add_argument("--host", default="127.0.0.1", help="service address")
+    submit_cmd.add_argument(
+        "--port", type=int, default=8763, help="service port (default: 8763)"
+    )
+    submit_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-request client timeout in seconds (default: 300)",
+    )
+    submit_cmd.add_argument(
+        "--json", action="store_true", help="print the full result as JSON"
+    )
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or trim the shared artifact cache"
+    )
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command")
+    cache_stats = cache_sub.add_parser("stats", help="occupancy and hit counters")
+    cache_evict = cache_sub.add_parser(
+        "evict", help="evict least-recently-used entries down to a size cap"
+    )
+    cache_evict.add_argument(
+        "--max-mb",
+        type=int,
+        required=True,
+        metavar="MB",
+        help="target cache size after eviction",
+    )
+    for cache_parser in (cache_cmd, cache_stats, cache_evict):
+        cache_parser.add_argument(
+            "--cache-dir",
+            default=None,
+            metavar="DIR",
+            help="cache location (default: .repro-cache)",
+        )
     verify_cmd = sub.add_parser(
         "verify",
         help="differential fuzz against the independent protocol oracle"
@@ -389,6 +601,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_profile(args)
     if args.command == "diff":
         return _run_diff(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "cache":
+        return _run_cache(args)
 
     registry = _registry()
     if args.command == "list":
@@ -396,11 +614,18 @@ def main(argv: list[str] | None = None) -> int:
             print(name)
         return 0
 
+    from repro.harness import HarnessInterrupted
+
     if args.command == "report":
         from repro.experiments.report import generate
 
         session = _configure_session(args)
-        _prewarm(session, list(registry), get_scale(args.scale))
+        try:
+            _prewarm(session, list(registry), get_scale(args.scale))
+        except HarnessInterrupted as stop:
+            print(f"interrupted: {stop}", file=sys.stderr)
+            print(session.telemetry.summary(), file=sys.stderr)
+            return 130
         text = generate(get_scale(args.scale) if args.scale else None)
         print(session.telemetry.summary(), file=sys.stderr)
         if args.metrics:
@@ -422,7 +647,12 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     scale = get_scale(args.scale) if args.scale else None
     session = _configure_session(args)
-    _prewarm(session, names, scale or get_scale())
+    try:
+        _prewarm(session, names, scale or get_scale())
+    except HarnessInterrupted as stop:
+        print(f"interrupted: {stop}", file=sys.stderr)
+        print(session.telemetry.summary(), file=sys.stderr)
+        return 130
     for name in names:
         start = time.time()
         result = registry[name](scale=scale) if scale else registry[name]()

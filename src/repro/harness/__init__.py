@@ -19,7 +19,7 @@ caching and optional process-level parallelism:
 - :mod:`repro.harness.telemetry` — counters and progress lines.
 """
 
-from repro.harness.executor import HarnessConfig, execute_jobs
+from repro.harness.executor import HarnessConfig, HarnessInterrupted, execute_jobs
 from repro.harness.fingerprint import (
     canonical,
     digest,
@@ -42,6 +42,7 @@ from repro.harness.telemetry import Telemetry, stderr_progress
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "HarnessConfig",
+    "HarnessInterrupted",
     "HarnessSession",
     "ResultStore",
     "STORE_SCHEMA_VERSION",

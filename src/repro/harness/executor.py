@@ -1,4 +1,4 @@
-"""Parallel job execution with retry and ordered collection.
+"""Parallel job execution with retry, graceful shutdown and ordered collection.
 
 The engine resolves each job against the in-memory memo and the on-disk
 store first; only genuinely missing simulations execute. With
@@ -10,13 +10,27 @@ themselves are deterministic functions of the job, so parallelism can
 only reorder wall-clock, never results).
 
 Failure policy: a job whose worker crashes, times out, or whose pool
-breaks is retried exactly once, serially, in the parent process. A job
-failing its retry raises — a broken simulation must surface, not vanish
-into a partial sweep.
+breaks is retried exactly once, serially, in the parent process — and
+the retry is *never silent*: the triggering exception type is counted in
+:class:`~repro.harness.telemetry.Telemetry` (``retried`` plus
+``retry_reasons``) and surfaces in ``report --metrics``. A job failing
+its retry raises — a broken simulation must surface, not vanish into a
+partial sweep.
+
+Shutdown policy: with ``HarnessConfig.graceful`` (the default), the
+first SIGINT/SIGTERM during a sweep *drains* instead of crashing —
+in-flight jobs finish and persist to the store, queued jobs are
+cancelled and counted, then :class:`HarnessInterrupted` is raised so the
+caller knows the sweep is partial. A second signal aborts immediately.
+Because every completed result is persisted the moment it exists, there
+is nothing further to flush: an interrupted sweep keeps everything it
+already computed, and re-running executes exactly the missing jobs.
 """
 
 from __future__ import annotations
 
+import signal
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -29,6 +43,24 @@ from repro.harness.telemetry import Telemetry
 from repro.sim.results import RunResult
 
 
+class HarnessInterrupted(RuntimeError):
+    """A graceful shutdown cut the sweep short.
+
+    Attributes:
+        completed: Jobs that finished (and persisted) before the drain.
+        cancelled: Queued jobs abandoned without executing.
+    """
+
+    def __init__(self, completed: int, cancelled: int) -> None:
+        super().__init__(
+            f"harness interrupted: drained {completed} in-flight job(s), "
+            f"cancelled {cancelled} queued job(s); completed results are "
+            f"persisted — re-run to execute only the missing jobs"
+        )
+        self.completed = completed
+        self.cancelled = cancelled
+
+
 @dataclass(frozen=True)
 class HarnessConfig:
     """Execution policy for a harness session.
@@ -39,12 +71,17 @@ class HarnessConfig:
         timeout_s: Per-job wall-clock budget in workers (``None`` = no
             limit). A timed-out job is retried serially in the parent.
         retry: Retry a crashed/timed-out job once in the parent.
+        graceful: Install SIGINT/SIGTERM handlers for the duration of a
+            sweep: first signal drains in-flight jobs and cancels queued
+            ones (raising :class:`HarnessInterrupted`), second aborts.
+            No-op off the main thread.
     """
 
     parallel: int = 1
     cache_dir: str | None = None
     timeout_s: float | None = None
     retry: bool = True
+    graceful: bool = True
 
 
 def _worker(payload: tuple) -> tuple[str, RunResult, float]:
@@ -57,6 +94,49 @@ def _worker(payload: tuple) -> tuple[str, RunResult, float]:
     start = time.perf_counter()
     result = job.execute()
     return job.fingerprint, result, time.perf_counter() - start
+
+
+class _ShutdownGuard:
+    """Scoped SIGINT/SIGTERM trap for one sweep.
+
+    First signal sets :attr:`triggered` (the executor then drains);
+    a second signal restores the previous handlers and raises
+    ``KeyboardInterrupt`` so a hung drain can still be aborted. Signal
+    handlers can only live on the main thread; anywhere else the guard
+    degrades to an inert flag.
+    """
+
+    _SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+    def __init__(self, enabled: bool) -> None:
+        self.triggered = False
+        self._armed = enabled and threading.current_thread() is threading.main_thread()
+        self._previous: dict[int, object] = {}
+
+    def __enter__(self) -> "_ShutdownGuard":
+        if self._armed:
+            for signum in self._SIGNALS:
+                self._previous[signum] = signal.signal(signum, self._handle)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._restore()
+
+    def _restore(self) -> None:
+        while self._previous:
+            signum, handler = self._previous.popitem()
+            signal.signal(signum, handler)
+
+    def _handle(self, signum, frame) -> None:
+        if self.triggered:
+            self._restore()
+            raise KeyboardInterrupt
+        self.triggered = True
+        print(
+            "[harness] shutdown requested: draining in-flight jobs, "
+            "cancelling queued ones (signal again to abort)",
+            flush=True,
+        )
 
 
 def _run_in_parent(
@@ -81,6 +161,10 @@ def execute_jobs(
 
     Jobs already present in ``memo`` or ``store`` are cache hits and do
     not execute. Duplicate fingerprints in ``jobs`` execute once.
+
+    Raises :class:`HarnessInterrupted` when a graceful shutdown drained
+    the sweep early; everything completed up to that point is in ``memo``
+    (and ``store``).
     """
     telemetry = telemetry if telemetry is not None else Telemetry()
     results: dict[str, RunResult] = {}
@@ -115,11 +199,16 @@ def execute_jobs(
         if store is not None:
             store.put(job.fingerprint, result)
 
-    if config.parallel <= 1 or len(pending) <= 1:
-        for job in pending:
-            complete(job, _run_in_parent(job, telemetry, where="parent"))
-    else:
-        _run_in_pool(pending, config, telemetry, complete)
+    with _ShutdownGuard(config.graceful) as guard:
+        if config.parallel <= 1 or len(pending) <= 1:
+            for index, job in enumerate(pending):
+                if guard.triggered:
+                    for skipped in pending[index:]:
+                        telemetry.job_cancelled(skipped.label)
+                    raise HarnessInterrupted(index, len(pending) - index)
+                complete(job, _run_in_parent(job, telemetry, where="parent"))
+        else:
+            _run_in_pool(pending, config, telemetry, complete, guard)
 
     # Return in original job order (dict preserves insertion; re-walk to
     # interleave cache hits and executed jobs the way they were asked).
@@ -135,14 +224,18 @@ def _run_in_pool(
     config: HarnessConfig,
     telemetry: Telemetry,
     complete,
+    guard: _ShutdownGuard,
 ) -> None:
     """Fan out to processes; collect in submission order; retry failures.
 
     ``complete(job, result)`` fires per job as its result is collected
     (submission order), so partial progress survives an interrupt."""
-    fallback: list[SimJob] = []  # jobs to re-run serially in the parent
+    # (job, reason) pairs to re-run serially in the parent.
+    fallback: list[tuple[SimJob, str]] = []
     workers = min(config.parallel, len(pending))
     starts: dict[str, float] = {}
+    completed = 0
+    cancelled = 0
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
         futures = []
@@ -151,10 +244,16 @@ def _run_in_pool(
             futures.append((job, pool.submit(_worker, job.payload())))
         pool_broken = False
         for job, future in futures:
+            if guard.triggered and future.cancel():
+                # Never started in a worker: abandon it outright.
+                telemetry.running -= 1
+                telemetry.job_cancelled(job.label)
+                cancelled += 1
+                continue
             if pool_broken:
                 # The pool died; everything unfinished goes to fallback.
                 telemetry.running -= 1
-                fallback.append(job)
+                fallback.append((job, "BrokenProcessPool"))
                 continue
             try:
                 fingerprint, result, seconds = future.result(timeout=config.timeout_s)
@@ -166,24 +265,34 @@ def _run_in_pool(
                     seconds=seconds,
                 )
                 complete(job, result)
+                completed += 1
             except BrokenProcessPool:
                 pool_broken = True
                 telemetry.running -= 1
-                fallback.append(job)
-            except Exception:  # crash or TimeoutError
+                fallback.append((job, "BrokenProcessPool"))
+            except Exception as exc:  # crash or TimeoutError
                 telemetry.running -= 1
                 future.cancel()
-                fallback.append(job)
+                fallback.append((job, type(exc).__name__))
     finally:
         # cancel_futures so a timeout doesn't wait for stragglers.
         pool.shutdown(wait=False, cancel_futures=True)
 
-    for job in fallback:
+    if guard.triggered:
+        # Draining: in-flight work above was collected and persisted;
+        # whatever fell into the retry bucket is abandoned, not re-run.
+        for job, _ in fallback:
+            telemetry.job_cancelled(job.label)
+            cancelled += 1
+        raise HarnessInterrupted(completed, cancelled)
+
+    for job, reason in fallback:
         if not config.retry:
             telemetry.failures += 1
-            raise RuntimeError(f"harness job failed in worker: {job.label}")
-        telemetry.retried += 1
-        telemetry.emit(f"[harness] retrying {job.label} in parent")
+            raise RuntimeError(
+                f"harness job failed in worker: {job.label} ({reason})"
+            )
+        telemetry.job_retried(job.label, reason)
         try:
             complete(job, _run_in_parent(job, telemetry, where="retry"))
         except Exception:

@@ -22,8 +22,10 @@ sweep executes exactly the missing jobs.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Any
 
@@ -38,6 +40,10 @@ STORE_SCHEMA_VERSION = 1
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Monotone suffix distinguishing concurrent temp files within a process
+#: (two *threads* share a pid, so pid alone is not a unique temp name).
+_tmp_seq = itertools.count()
 
 
 def schema_hash() -> str:
@@ -153,7 +159,9 @@ class ResultStore:
             "result": serialize_result(result),
         }
         path = self.path_for(fingerprint)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}.{next(_tmp_seq)}"
+        )
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(entry, handle)
         os.replace(tmp, path)

@@ -38,7 +38,10 @@ class Telemetry:
         store_misses: Store lookups that found nothing usable.
         store_rejected: Store entries ignored (corrupt / wrong schema).
         retried: Jobs re-run in the parent after a worker crash/timeout.
+        retry_reasons: Retry count per triggering exception type, so a
+            sweep that silently recovered still reports *why* it had to.
         failures: Jobs that failed even after retry.
+        cancelled: Jobs abandoned by a graceful shutdown before they ran.
     """
 
     planned: int = 0
@@ -50,7 +53,9 @@ class Telemetry:
     store_misses: int = 0
     store_rejected: int = 0
     retried: int = 0
+    retry_reasons: dict[str, int] = field(default_factory=dict)
     failures: int = 0
+    cancelled: int = 0
     records: list[JobRecord] = field(default_factory=list)
     #: Progress sink; ``None`` silences per-job lines. The CLI installs
     #: a stderr printer when ``--parallel`` is active.
@@ -85,6 +90,23 @@ class Telemetry:
         done = self.executed
         self.emit(f"[harness] {done}/{self.queued} {label} ({seconds:.2f}s, {where})")
 
+    def job_retried(self, label: str, reason: str) -> None:
+        """One job is being re-run in the parent after failing elsewhere.
+
+        ``reason`` is the triggering exception type (``TimeoutError``,
+        ``BrokenProcessPool``, ...); it is kept per-type so the retry is
+        never silent — it shows in :meth:`summary`, :meth:`to_metrics`
+        and therefore ``report --metrics`` even when the retry succeeds.
+        """
+        self.retried += 1
+        self.retry_reasons[reason] = self.retry_reasons.get(reason, 0) + 1
+        self.emit(f"[harness] retrying {label} in parent ({reason})")
+
+    def job_cancelled(self, label: str) -> None:
+        """One queued job was abandoned by a graceful shutdown."""
+        self.cancelled += 1
+        self.emit(f"[harness] cancelled {label} (shutdown)")
+
     def cache_hit(self, from_store: bool) -> None:
         if from_store:
             self.store_hits += 1
@@ -118,7 +140,10 @@ class Telemetry:
         registry.counter("harness.store_misses").inc(self.store_misses)
         registry.counter("harness.store_rejected").inc(self.store_rejected)
         registry.counter("harness.retried").inc(self.retried)
+        for reason, count in sorted(self.retry_reasons.items()):
+            registry.counter("harness.retries", reason=reason).inc(count)
         registry.counter("harness.failures").inc(self.failures)
+        registry.counter("harness.cancelled").inc(self.cancelled)
         histogram = registry.histogram(
             "harness.job_seconds", buckets=(0.1, 0.5, 1, 2, 5, 10, 30, 60)
         )
@@ -134,9 +159,15 @@ class Telemetry:
             f" ({self.store_hits} disk, {self.memory_hits} memory)",
         ]
         if self.retried:
-            parts.append(f"{self.retried} retried")
+            reasons = ", ".join(
+                f"{count}x {reason}"
+                for reason, count in sorted(self.retry_reasons.items())
+            )
+            parts.append(f"{self.retried} retried ({reasons})" if reasons else f"{self.retried} retried")
         if self.failures:
             parts.append(f"{self.failures} FAILED")
+        if self.cancelled:
+            parts.append(f"{self.cancelled} cancelled by shutdown")
         if self.store_rejected:
             parts.append(f"{self.store_rejected} stale cache entries ignored")
         if self.records:

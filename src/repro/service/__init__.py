@@ -1,0 +1,53 @@
+"""Simulation-as-a-service: the repro harness behind a long-running API.
+
+The one-shot harness (:mod:`repro.harness`) plans, executes and caches a
+sweep, then exits. This package keeps those exact mechanics resident:
+
+- :mod:`repro.service.spec` — JSON experiment specs, canonicalized into
+  the harness's content-addressed :class:`~repro.harness.jobs.SimJob`
+  fingerprints, which become service-wide job identities;
+- :mod:`repro.service.registry` — fingerprint-keyed job state where
+  identical in-flight submissions coalesce to one execution;
+- :mod:`repro.service.pool` — sharded single-worker executors over the
+  harness's worker entry point;
+- :mod:`repro.service.cache` — the result store promoted to a
+  multi-tenant artifact cache (size cap, LRU eviction, hit/miss metrics);
+- :mod:`repro.service.service` — admission control (bounded queues,
+  explicit 429 backpressure), dispatch, retry accounting, metrics;
+- :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  stdlib-only HTTP/JSON + NDJSON transport and its blocking client.
+
+Run one with ``mcr-dram serve`` (or ``python -m repro.service``), talk
+to it with ``mcr-dram submit`` or :class:`ServiceClient`.
+"""
+
+from repro.service.cache import ArtifactCache
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.events import EventStream
+from repro.service.registry import JobRegistry, ServiceJob
+from repro.service.server import ServiceServer, run_server
+from repro.service.service import (
+    Draining,
+    QueueFull,
+    ServiceConfig,
+    SimulationService,
+)
+from repro.service.spec import ExperimentSpec, SpecError, parse_spec
+
+__all__ = [
+    "ArtifactCache",
+    "Draining",
+    "EventStream",
+    "ExperimentSpec",
+    "JobRegistry",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceJob",
+    "ServiceServer",
+    "SimulationService",
+    "SpecError",
+    "parse_spec",
+    "run_server",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — shorthand for ``mcr-dram serve``."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

@@ -1,0 +1,155 @@
+"""The result store promoted to a multi-tenant artifact cache.
+
+:class:`ArtifactCache` keeps the :class:`~repro.harness.store.ResultStore`
+contract — content-addressed, schema-guarded, atomic writes, corrupt
+entries degrade to misses — and layers on what a shared long-running
+cache needs:
+
+- **accounting**: hit/miss/eviction counters and size/entry gauges in a
+  :class:`~repro.obs.metrics.MetricsRegistry` (exported by the service's
+  ``/metrics`` endpoint);
+- **a size cap with LRU eviction**: every hit touches the entry's mtime,
+  and when the directory exceeds ``max_bytes`` the oldest-touched
+  entries are unlinked until it fits. Eviction is safe under concurrent
+  readers and writers across threads *and* processes: an entry vanishing
+  mid-read is an ordinary miss (the base store already treats unreadable
+  entries as misses), and atomic ``os.replace`` writes mean no reader
+  can ever observe a torn artifact.
+
+Multi-tenancy falls out of content addressing: any number of service
+processes (or one-shot CLI sweeps) may share one cache directory, and a
+result computed by any of them serves all of them.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.harness.store import ResultStore
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.results import RunResult
+
+
+class ArtifactCache(ResultStore):
+    """Fingerprint-keyed artifact cache with a size cap and LRU eviction."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        max_bytes: int | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        super().__init__(root)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
+        self.max_bytes = max_bytes
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # store contract, instrumented
+
+    def get(self, fingerprint: str) -> RunResult | None:
+        result = super().get(fingerprint)
+        if result is None:
+            self.registry.counter("cache.misses").inc()
+            return None
+        self.registry.counter("cache.hits").inc()
+        try:
+            # Touch for LRU: a served entry is the last to be evicted.
+            os.utime(self.path_for(fingerprint))
+        except OSError:
+            pass  # evicted between read and touch: the result still stands
+        return result
+
+    def put(self, fingerprint: str, result: RunResult) -> None:
+        super().put(fingerprint, result)
+        self.registry.counter("cache.writes").inc()
+        if self.max_bytes is not None:
+            self.evict_to_cap(protect={fingerprint})
+        self._update_gauges()
+
+    # ------------------------------------------------------------------
+    # eviction
+
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """(mtime, size, path) per entry; tolerant of concurrent unlinks."""
+        entries = []
+        try:
+            listing = list(os.scandir(self.directory))
+        except FileNotFoundError:
+            return []
+        for dirent in listing:
+            if not dirent.name.endswith(".json"):
+                continue
+            try:
+                stat = dirent.stat()
+            except OSError:
+                continue  # unlinked under us by another tenant
+            entries.append((stat.st_mtime_ns, stat.st_size, Path(dirent.path)))
+        return entries
+
+    def evict_to_cap(
+        self, max_bytes: int | None = None, protect: set[str] = frozenset()
+    ) -> int:
+        """Evict least-recently-used entries until the cache fits.
+
+        ``protect`` names fingerprints never evicted (the entry just
+        written). Returns the number of entries evicted. Safe to call
+        from any thread and from multiple processes at once: losing an
+        unlink race to another evictor is not an error.
+        """
+        cap = max_bytes if max_bytes is not None else self.max_bytes
+        if cap is None:
+            return 0
+        protected = {str(self.path_for(fp)) for fp in protect}
+        evicted = 0
+        with self._lock:
+            entries = sorted(self._entries())
+            total = sum(size for _, size, _ in entries)
+            for _, size, path in entries:
+                if total <= cap:
+                    break
+                if str(path) in protected:
+                    continue
+                try:
+                    os.unlink(path)
+                except OSError:
+                    continue  # another tenant evicted it first
+                total -= size
+                evicted += 1
+        if evicted:
+            self.registry.counter("cache.evictions").inc(evicted)
+            self._update_gauges()
+        return evicted
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def _update_gauges(self) -> None:
+        entries = self._entries()
+        self.registry.gauge("cache.entries").set(len(entries))
+        self.registry.gauge("cache.bytes").set(sum(size for _, size, _ in entries))
+
+    def stats(self) -> dict:
+        """JSON-safe snapshot: occupancy plus hit/miss/eviction counters."""
+        entries = self._entries()
+
+        def count(name: str) -> int:
+            return self.registry.counter(name).value
+
+        hits, misses = count("cache.hits"), count("cache.misses")
+        lookups = hits + misses
+        return {
+            "directory": str(self.directory),
+            "entries": len(entries),
+            "bytes": sum(size for _, size, _ in entries),
+            "max_bytes": self.max_bytes,
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 4) if lookups else None,
+            "writes": count("cache.writes"),
+            "evictions": count("cache.evictions"),
+        }

@@ -1,0 +1,136 @@
+"""Blocking stdlib client for the simulation service.
+
+Built on ``http.client`` so scripts, tests and the ``mcr-dram submit``
+CLI need nothing beyond the standard library. One :class:`ServiceClient`
+is cheap — every request opens a fresh connection, matching the server's
+``Connection: close`` discipline.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Iterator
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and decoded body."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to one service instance at ``host:port``."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> tuple[int, dict, dict]:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            encoded = json.dumps(body).encode() if body is not None else None
+            headers = {"Content-Type": "application/json"} if encoded else {}
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            content_type = response.getheader("Content-Type", "")
+            if raw and "json" in content_type:
+                payload = json.loads(raw)
+            elif raw:
+                payload = {"text": raw.decode("utf-8", "replace")}
+            else:
+                payload = {}
+            return response.status, payload, dict(response.getheaders())
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str, body: dict | None = None) -> dict:
+        status, payload, _ = self._request(method, path, body)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # API surface
+
+    def health(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        """Submit one spec. Returns the job-status payload (which carries
+        ``job_id``); raises :class:`ServiceError` on 4xx/5xx."""
+        return self._checked("POST", "/v1/jobs", spec)
+
+    def submit_with_backoff(
+        self, spec: dict, attempts: int = 10, max_wait_s: float = 30.0
+    ) -> dict:
+        """Submit, honouring 429 ``Retry-After`` backpressure."""
+        waited = 0.0
+        for attempt in range(attempts):
+            try:
+                return self.submit(spec)
+            except ServiceError as exc:
+                if exc.status != 429 or attempt == attempts - 1:
+                    raise
+                pause = min(
+                    float(exc.payload.get("retry_after_s", 1.0)),
+                    max_wait_s - waited,
+                )
+                if pause <= 0:
+                    raise
+                time.sleep(pause)
+                waited += pause
+        raise AssertionError("unreachable")
+
+    def status(self, job_id: str) -> dict:
+        return self._checked("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The serialized RunResult; raises on 409 (still running)."""
+        return self._checked("GET", f"/v1/jobs/{job_id}/result")
+
+    def events(self, job_id: str, since: int = 0) -> Iterator[dict]:
+        """Follow the job's NDJSON event stream until its terminal event.
+
+        The connection stays open while the job runs; each yielded dict
+        is one lifecycle event.
+        """
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+            response = conn.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                raise ServiceError(response.status, json.loads(raw) if raw else {})
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str) -> dict:
+        """Stream events until terminal, then return the final status."""
+        for _ in self.events(job_id):
+            pass
+        return self.status(job_id)
+
+    def metrics(self) -> dict:
+        return self._checked("GET", "/metrics?format=json")
+
+    def cache_stats(self) -> dict:
+        return self._checked("GET", "/v1/cache")
+
+    def shutdown(self) -> dict:
+        return self._checked("POST", "/v1/admin/shutdown")

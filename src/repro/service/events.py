@@ -1,0 +1,77 @@
+"""Per-job event streams: append-only logs with async followers.
+
+Each service job owns one :class:`EventStream`. The service publishes
+lifecycle events into it (``queued``, ``started``, ``retrying``,
+``cache_hit``, ``finished``, ``failed``, ``cancelled``) and any number
+of HTTP clients *follow* it concurrently: a follower first replays the
+full history from its requested sequence number, then rides live updates
+until a terminal event closes the stream. That replay-then-follow
+contract is what makes the NDJSON endpoint stateless for clients — a
+subscriber arriving after completion still sees the whole lifecycle.
+
+Publishing is loop-thread-only (the service publishes from the event
+loop; worker threads never touch streams), so no locks are needed: the
+single-threaded event loop serializes appends, and followers re-check
+the log length after every await.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import AsyncIterator
+
+#: Event kinds that end a stream; a follower stops after yielding one.
+TERMINAL_EVENTS = frozenset({"finished", "failed", "cancelled"})
+
+
+class EventStream:
+    """Append-only event log for one job, with replay + live follow."""
+
+    __slots__ = ("_events", "_pulse", "_done")
+
+    def __init__(self) -> None:
+        self._events: list[dict] = []
+        self._pulse = asyncio.Event()
+        self._done = False
+
+    def publish(self, kind: str, **payload: object) -> dict:
+        """Append one event (event-loop thread only) and wake followers."""
+        event = {
+            "seq": len(self._events),
+            "event": kind,
+            "ts": round(time.time(), 6),
+            **payload,
+        }
+        self._events.append(event)
+        if kind in TERMINAL_EVENTS:
+            self._done = True
+        pulse, self._pulse = self._pulse, asyncio.Event()
+        pulse.set()
+        return event
+
+    @property
+    def events(self) -> list[dict]:
+        return list(self._events)
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    async def follow(self, since: int = 0) -> AsyncIterator[dict]:
+        """Yield events from sequence ``since``; return after a terminal
+        event (or immediately once the stream is fully replayed and done)."""
+        index = max(0, since)
+        while True:
+            while index < len(self._events):
+                event = self._events[index]
+                index += 1
+                yield event
+                if event["event"] in TERMINAL_EVENTS:
+                    return
+            if self._done:
+                return
+            # Capture the pulse *after* draining: publish replaces it on
+            # every append, so a stale pulse is already set and cannot
+            # lose a wake-up.
+            await self._pulse.wait()

@@ -1,0 +1,120 @@
+"""The job registry: fingerprint-keyed state of every known job.
+
+One :class:`ServiceJob` exists per distinct job fingerprint, whatever
+the number of clients that submitted it — the registry is where
+identical in-flight work *coalesces*. Submissions of a fingerprint that
+is already queued or running attach to the existing entry (bumping its
+``submissions`` count) instead of enqueueing a second execution, so a
+thundering herd of identical sweep requests costs one simulation and one
+store write.
+
+Finished jobs stay resident (status, timing, result) so late status
+polls and event-stream replays work, bounded by ``max_finished`` with
+FIFO pruning — the artifact cache, not the registry, is the durable
+record.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.harness.jobs import SimJob
+from repro.service.events import EventStream
+from repro.sim.results import RunResult
+
+#: Job lifecycle states.
+ACTIVE_STATES = frozenset({"queued", "running"})
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass
+class ServiceJob:
+    """All service-side state for one fingerprint."""
+
+    job: SimJob
+    spec: dict
+    status: str = "queued"
+    submissions: int = 1
+    created: float = field(default_factory=time.monotonic)
+    started: float | None = None
+    finished: float | None = None
+    result: RunResult | None = None
+    error: str | None = None
+    #: How the result was obtained: ``None`` (executed), ``"memory"`` or
+    #: ``"disk"`` (served from cache without executing).
+    cached: str | None = None
+    where: str | None = None
+    seconds: float | None = None
+    shard: int | None = None
+    events: EventStream = field(default_factory=EventStream)
+
+    @property
+    def fingerprint(self) -> str:
+        return self.job.fingerprint
+
+    def describe(self) -> dict:
+        """Status JSON for the HTTP API (no result payload)."""
+        out = {
+            "job_id": self.fingerprint,
+            "status": self.status,
+            "spec": self.spec,
+            "submissions": self.submissions,
+            "cached": self.cached,
+            "shard": self.shard,
+        }
+        if self.seconds is not None:
+            out["seconds"] = round(self.seconds, 6)
+        if self.where is not None:
+            out["where"] = self.where
+        if self.error is not None:
+            out["error"] = self.error
+        if self.finished is not None:
+            out["wall_s"] = round(self.finished - self.created, 6)
+        return out
+
+
+class JobRegistry:
+    """Fingerprint -> :class:`ServiceJob`, with bounded finished history."""
+
+    def __init__(self, max_finished: int = 4096) -> None:
+        if max_finished < 1:
+            raise ValueError("max_finished must be positive")
+        self._jobs: dict[str, ServiceJob] = {}
+        self._finished: deque[str] = deque()
+        self.max_finished = max_finished
+
+    def get(self, fingerprint: str) -> ServiceJob | None:
+        return self._jobs.get(fingerprint)
+
+    def install(self, job: ServiceJob) -> None:
+        """Register a fresh job (replacing any pruned/terminal ancestor)."""
+        previous = self._jobs.get(job.fingerprint)
+        if previous is not None and previous.status in ACTIVE_STATES:
+            raise RuntimeError(
+                f"job {job.fingerprint[:12]} is already {previous.status}; "
+                "coalesce instead of reinstalling"
+            )
+        self._jobs[job.fingerprint] = job
+
+    def finish(self, job: ServiceJob) -> None:
+        """Record a job reaching a terminal state; prune old history."""
+        if job.status not in TERMINAL_STATES:
+            raise RuntimeError(f"job is still {job.status}")
+        self._finished.append(job.fingerprint)
+        while len(self._finished) > self.max_finished:
+            stale = self._finished.popleft()
+            resident = self._jobs.get(stale)
+            if resident is not None and resident.status in TERMINAL_STATES:
+                del self._jobs[stale]
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per status (for ``/v1/jobs`` and the health endpoint)."""
+        out: dict[str, int] = {}
+        for job in self._jobs.values():
+            out[job.status] = out.get(job.status, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._jobs)

@@ -1,0 +1,337 @@
+"""The simulation service: admission, dedupe, dispatch, accounting.
+
+:class:`SimulationService` is the transport-free core the HTTP front-end
+(:mod:`repro.service.server`) wraps. One instance owns:
+
+- the **job registry** (fingerprint-keyed; identical in-flight requests
+  coalesce to one execution and one store write),
+- the **memo + artifact cache** (RAM tier, then the shared on-disk
+  :class:`~repro.service.cache.ArtifactCache` with LRU eviction),
+- per-shard **bounded admission queues** — a full queue rejects with
+  :class:`QueueFull`, which the HTTP layer maps to 429 +
+  ``Retry-After`` (explicit backpressure, never unbounded buffering),
+- the **sharded worker pool**, with the harness's retry-once policy and
+  its telemetry accounting (retries are counted per reason, exactly as
+  the one-shot executor now does),
+- the **metrics registry** (``service.*`` + ``cache.*``) merged with the
+  riding harness :class:`~repro.harness.telemetry.Telemetry` counters
+  for the ``/metrics`` endpoint.
+
+Every state transition publishes to the job's
+:class:`~repro.service.events.EventStream`, which the NDJSON endpoint
+streams; all service state is touched from the event-loop thread only
+(workers hand back results through ``run_in_executor`` futures), so the
+core needs no locks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+
+from repro.harness.store import DEFAULT_CACHE_DIR
+from repro.harness.telemetry import Telemetry
+from repro.obs.metrics import MetricsRegistry
+from repro.service.cache import ArtifactCache
+from repro.service.events import TERMINAL_EVENTS
+from repro.service.pool import ShardedWorkerPool, WorkerCrash
+from repro.service.registry import ACTIVE_STATES, JobRegistry, ServiceJob
+from repro.service.spec import parse_spec
+from repro.sim.results import RunResult
+
+#: Histogram buckets for job execution / queue-wait seconds.
+_SECONDS_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+
+class QueueFull(RuntimeError):
+    """Admission control rejected a submission; maps to HTTP 429."""
+
+
+class Draining(RuntimeError):
+    """The service is shutting down; maps to HTTP 503."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment knobs for one service instance.
+
+    Attributes:
+        host/port: Bind address (``port=0`` picks a free port).
+        shards: Worker shards — the service's execution concurrency.
+        backend: ``"process"`` (isolated workers) or ``"thread"``.
+        queue_limit: Queued jobs admitted per shard before 429.
+        retry_after_s: ``Retry-After`` hint sent with 429 responses.
+        cache_dir: Shared artifact-cache root (``None`` = memory only).
+        cache_max_bytes: LRU size cap for the artifact cache.
+        max_finished: Terminal jobs kept for status/event replay.
+        max_body_bytes: Largest accepted HTTP request body.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8763
+    shards: int = 2
+    backend: str = "process"
+    queue_limit: int = 64
+    retry_after_s: float = 1.0
+    cache_dir: str | None = DEFAULT_CACHE_DIR
+    cache_max_bytes: int | None = None
+    max_finished: int = 4096
+    max_body_bytes: int = 1 << 20
+
+
+class SimulationService:
+    """Transport-free service core; see module docstring."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = MetricsRegistry()
+        self.telemetry = Telemetry()
+        self.cache: ArtifactCache | None = (
+            ArtifactCache(
+                self.config.cache_dir,
+                max_bytes=self.config.cache_max_bytes,
+                registry=self.metrics,
+            )
+            if self.config.cache_dir is not None
+            else None
+        )
+        self.memo: dict[str, RunResult] = {}
+        self.registry = JobRegistry(max_finished=self.config.max_finished)
+        self.pool = ShardedWorkerPool(self.config.shards, self.config.backend)
+        self._queues: list[asyncio.Queue] = []
+        self._dispatchers: list[asyncio.Task] = []
+        self._draining = False
+        self.started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        """Create the admission queues and start one dispatcher per shard."""
+        if self._dispatchers:
+            return
+        self._queues = [
+            asyncio.Queue(maxsize=self.config.queue_limit)
+            for _ in range(self.pool.shards)
+        ]
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch(shard), name=f"dispatch-{shard}")
+            for shard in range(self.pool.shards)
+        ]
+
+    async def shutdown(self, drain: bool = True) -> dict:
+        """Graceful shutdown: cancel queued jobs, drain in-flight ones.
+
+        Mirrors the harness executor's signal policy: work already
+        executing completes (and persists); work still queued is
+        cancelled and its event streams closed. Returns a summary dict.
+        """
+        self._draining = True
+        cancelled = 0
+        for queue in self._queues:
+            while True:
+                try:
+                    job = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if job is None or job.status != "queued":
+                    continue
+                job.status = "cancelled"
+                job.finished = time.monotonic()
+                self.telemetry.job_cancelled(job.job.label)
+                self.metrics.counter("service.cancelled").inc()
+                job.events.publish("cancelled", reason="shutdown")
+                self.registry.finish(job)
+                cancelled += 1
+        for queue in self._queues:
+            queue.put_nowait(None)  # sentinel: dispatcher exits after drain
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._dispatchers = []
+        self.pool.shutdown(wait=drain)
+        completed = self.telemetry.executed
+        return {"drained": completed, "cancelled": cancelled}
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # submission (event-loop thread)
+
+    def submit(self, payload: object) -> ServiceJob:
+        """Admit one spec: dedupe, serve from cache, or enqueue.
+
+        Raises :class:`~repro.service.spec.SpecError` (400),
+        :class:`QueueFull` (429) or :class:`Draining` (503).
+        """
+        self.metrics.counter("service.submissions").inc()
+        if self._draining:
+            raise Draining("service is draining; resubmit elsewhere")
+        spec = parse_spec(payload)
+        sim_job = spec.to_job()
+        fingerprint = sim_job.fingerprint
+
+        existing = self.registry.get(fingerprint)
+        if existing is not None and (
+            existing.status in ACTIVE_STATES or existing.status == "done"
+        ):
+            existing.submissions += 1
+            if existing.status in ACTIVE_STATES:
+                self.metrics.counter("service.coalesced").inc()
+            else:
+                self.metrics.counter("service.cache_hits", tier="registry").inc()
+            return existing
+        # failed/cancelled ancestors don't poison the fingerprint: fall
+        # through and resubmit a fresh job under the same identity.
+
+        job = ServiceJob(job=sim_job, spec=spec.canonical())
+
+        result = self.memo.get(fingerprint)
+        tier = "memory" if result is not None else None
+        if result is None and self.cache is not None:
+            result = self.cache.get(fingerprint)  # counts cache.hits/.misses
+            if result is not None:
+                tier = "disk"
+                self.memo[fingerprint] = result
+        if result is not None:
+            self.telemetry.cache_hit(from_store=tier == "disk")
+            self.metrics.counter("service.cache_hits", tier=tier).inc()
+            job.status = "done"
+            job.result = result
+            job.cached = tier
+            job.seconds = 0.0
+            job.finished = time.monotonic()
+            job.events.publish("queued", job_id=fingerprint)
+            job.events.publish("cache_hit", tier=tier)
+            job.events.publish("finished", seconds=0.0, cached=tier)
+            self.registry.install(job)
+            self.registry.finish(job)
+            return job
+
+        shard = self.pool.shard_of(fingerprint)
+        job.shard = shard
+        try:
+            self._queues[shard].put_nowait(job)
+        except asyncio.QueueFull:
+            self.metrics.counter("service.rejected", reason="queue_full").inc()
+            raise QueueFull(
+                f"shard {shard} admission queue is full "
+                f"({self.config.queue_limit} jobs); retry after "
+                f"{self.config.retry_after_s:g}s"
+            ) from None
+        self.registry.install(job)
+        self.telemetry.queued += 1
+        self._observe_queue_depth()
+        job.events.publish("queued", job_id=fingerprint, shard=shard)
+        return job
+
+    async def wait(self, fingerprint: str, timeout: float | None = None) -> ServiceJob:
+        """Block until the job reaches a terminal state (test/client aid)."""
+        job = self.registry.get(fingerprint)
+        if job is None:
+            raise KeyError(fingerprint)
+
+        async def _follow() -> ServiceJob:
+            async for event in job.events.follow():
+                if event["event"] in TERMINAL_EVENTS:
+                    break
+            return job
+
+        return await asyncio.wait_for(_follow(), timeout)
+
+    # ------------------------------------------------------------------
+    # dispatch (one task per shard)
+
+    async def _dispatch(self, shard: int) -> None:
+        queue = self._queues[shard]
+        while True:
+            job = await queue.get()
+            if job is None:
+                return
+            if job.status != "queued":
+                continue
+            self._observe_queue_depth()
+            await self._run(job, shard)
+
+    async def _run(self, job: ServiceJob, shard: int) -> None:
+        loop = asyncio.get_running_loop()
+        job.status = "running"
+        job.started = time.monotonic()
+        started = self.telemetry.job_started(job.job.label)
+        self.metrics.histogram(
+            "service.queue_wait_seconds", buckets=_SECONDS_BUCKETS
+        ).observe(job.started - job.created)
+        job.events.publish("started", shard=shard, backend=self.pool.backend)
+        try:
+            result, seconds, where = await self.pool.run(job.job)
+        except WorkerCrash as crash:
+            # Retry-once in-process, with the reason on the record —
+            # the same never-silent policy as the harness executor.
+            self.telemetry.job_retried(job.job.label, crash.reason)
+            self.metrics.counter("service.retries", reason=crash.reason).inc()
+            job.events.publish("retrying", reason=crash.reason)
+            begin = time.perf_counter()
+            try:
+                result = await loop.run_in_executor(None, job.job.execute)
+            except Exception as exc:
+                self._fail(job, f"{type(exc).__name__}: {exc}")
+                return
+            seconds, where = time.perf_counter() - begin, "retry"
+        job.result = result
+        job.seconds = seconds
+        job.where = where
+        job.status = "done"
+        job.finished = time.monotonic()
+        self.memo[job.fingerprint] = result
+        if self.cache is not None:
+            # The single store write for this fingerprint, however many
+            # submissions coalesced onto it.
+            self.cache.put(job.fingerprint, result)
+        self.telemetry.job_finished(
+            job.fingerprint, job.job.label, started, where, seconds=seconds
+        )
+        self.metrics.counter("service.completed").inc()
+        self.metrics.histogram(
+            "service.job_seconds", buckets=_SECONDS_BUCKETS
+        ).observe(seconds)
+        job.events.publish("finished", seconds=round(seconds, 6), where=where)
+        self.registry.finish(job)
+
+    def _fail(self, job: ServiceJob, error: str) -> None:
+        job.status = "failed"
+        job.error = error
+        job.finished = time.monotonic()
+        self.telemetry.running -= 1
+        self.telemetry.failures += 1
+        self.metrics.counter("service.failed").inc()
+        job.events.publish("failed", error=error)
+        self.registry.finish(job)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def _observe_queue_depth(self) -> None:
+        self.metrics.gauge("service.queue_depth").set(
+            sum(queue.qsize() for queue in self._queues)
+        )
+
+    def metrics_snapshot(self) -> dict:
+        """Service + cache metrics merged with the harness telemetry."""
+        merged = dict(self.telemetry.to_metrics().snapshot())
+        merged.update(self.metrics.snapshot())
+        return dict(sorted(merged.items()))
+
+    def describe(self) -> dict:
+        """Health/status JSON for the HTTP front-end."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "shards": self.pool.shards,
+            "backend": self.pool.backend,
+            "queue_depth": sum(queue.qsize() for queue in self._queues),
+            "queue_limit": self.config.queue_limit,
+            "jobs": self.registry.counts(),
+            "cache": self.cache.stats() if self.cache is not None else None,
+        }

@@ -1,11 +1,21 @@
 """Executor: parallel output equals serial output; dedupe; failure policy."""
 
+import os
+import signal
+
 import pytest
 
 from repro.core.api import SystemSpec
 from repro.core.mcr_mode import MCRMode
 from repro.cpu.trace import TraceProvenance
-from repro.harness import HarnessConfig, SimJob, Telemetry, execute_jobs
+from repro.harness import (
+    HarnessConfig,
+    HarnessInterrupted,
+    ResultStore,
+    SimJob,
+    Telemetry,
+    execute_jobs,
+)
 from repro.workloads import geometry_key
 
 
@@ -86,3 +96,97 @@ def test_broken_job_surfaces_after_retry():
         )
     assert telemetry.retried == 1
     assert telemetry.failures == 1
+
+
+@pytest.mark.slow
+def test_retry_reason_is_counted_not_silent():
+    """Regression: a worker timeout that the parent retry recovers used to
+    vanish from all reporting. The retry must be counted per reason and
+    surface in the metrics registry (what ``report --metrics`` prints)."""
+    telemetry = Telemetry()
+    results = execute_jobs(
+        _jobs()[:2],
+        # Effectively-zero budget: both futures time out in the parent,
+        # then retry serially (and succeed).
+        HarnessConfig(parallel=2, timeout_s=1e-6),
+        memo={},
+        telemetry=telemetry,
+    )
+    assert len(results) == 2  # the sweep still completed
+    assert telemetry.retried >= 1
+    assert telemetry.retry_reasons.get("TimeoutError", 0) >= 1
+    snapshot = telemetry.to_metrics().snapshot()
+    series = snapshot["harness.retries"]["series"]
+    assert any(
+        entry["labels"] == {"reason": "TimeoutError"} and entry["value"] >= 1
+        for entry in series
+    )
+    assert f"{telemetry.retried} retried" in telemetry.summary()
+    assert "TimeoutError" in telemetry.summary()
+
+
+def test_graceful_shutdown_drains_and_persists(tmp_path, monkeypatch):
+    """SIGINT mid-sweep: the in-flight job finishes and persists, the
+    queued remainder is cancelled, and HarnessInterrupted reports both."""
+    jobs = _jobs()
+    calls = {"n": 0}
+    original = SimJob.execute
+
+    def execute_and_interrupt(self):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            os.kill(os.getpid(), signal.SIGINT)
+        return original(self)
+
+    monkeypatch.setattr(SimJob, "execute", execute_and_interrupt)
+    before = signal.getsignal(signal.SIGINT)
+    telemetry = Telemetry()
+    memo: dict = {}
+    store = ResultStore(tmp_path)
+    with pytest.raises(HarnessInterrupted) as stop:
+        execute_jobs(jobs, HarnessConfig(), memo=memo, store=store, telemetry=telemetry)
+    assert stop.value.completed == 1
+    assert stop.value.cancelled == len(jobs) - 1
+    assert "persisted" in str(stop.value)
+    # The drained job is on disk; the cancelled ones never executed.
+    assert len(memo) == 1
+    assert jobs[0].fingerprint in store
+    assert all(job.fingerprint not in store for job in jobs[1:])
+    assert telemetry.executed == 1
+    assert telemetry.cancelled == len(jobs) - 1
+    assert "cancelled by shutdown" in telemetry.summary()
+    # The sweep-scoped handlers were restored on exit.
+    assert signal.getsignal(signal.SIGINT) is before
+    # Re-running executes exactly the missing jobs.
+    monkeypatch.setattr(SimJob, "execute", original)
+    resumed = Telemetry()
+    results = execute_jobs(
+        jobs, HarnessConfig(), memo={}, store=store, telemetry=resumed
+    )
+    assert len(results) == len(jobs)
+    assert resumed.executed == len(jobs) - 1
+    assert resumed.store_hits == 1
+
+
+def test_graceful_false_keeps_default_signal_handling():
+    """With graceful=False the sweep must not install any handlers."""
+    before = signal.getsignal(signal.SIGINT)
+    seen = {}
+
+    class Probe:
+        fingerprint = "probe"
+        label = "probe"
+
+        def execute(self):
+            seen["handler"] = signal.getsignal(signal.SIGINT)
+            from repro.workloads import make_trace
+
+            job = SimJob.from_traces(
+                [make_trace("comm2", n_requests=50, seed=0)],
+                MCRMode.off(),
+                SystemSpec(),
+            )
+            return job.execute()
+
+    execute_jobs([Probe()], HarnessConfig(graceful=False), memo={})
+    assert seen["handler"] is before

@@ -1,6 +1,7 @@
 """On-disk result store: persistence, corruption tolerance, stale-cache guard."""
 
 import json
+import threading
 
 import pytest
 
@@ -72,6 +73,52 @@ def test_table3_change_moves_the_store_directory(tmp_path, monkeypatch, tiny_res
     bumped = ResultStore(tmp_path)
     assert bumped.directory != old.directory
     assert bumped.get(fingerprint) is None
+
+
+def test_two_writers_racing_same_fingerprint_stay_atomic(tmp_path, tiny_result):
+    """Regression: temp names derived from the pid alone collide for two
+    threads in one process, so racing writers could tear each other's
+    entry. Writers must never collide and readers must never observe a
+    torn artifact (which would surface as the entry being dropped)."""
+    fingerprint, result = tiny_result
+    store = ResultStore(tmp_path)
+    store.put(fingerprint, result)  # pre-seed: the entry must never vanish
+    rounds = 25
+    start = threading.Barrier(3)
+    errors: list[BaseException] = []
+
+    def write() -> None:
+        start.wait()
+        try:
+            for _ in range(rounds):
+                store.put(fingerprint, result)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    def read() -> None:
+        start.wait()
+        try:
+            for _ in range(rounds * 4):
+                # os.replace is atomic: every read sees a whole entry. A
+                # torn write would deserialize wrong or be dropped as
+                # corrupt (a None here) — both are failures.
+                assert store.get(fingerprint) == result
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=write),
+        threading.Thread(target=write),
+        threading.Thread(target=read),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert not errors
+    assert store.get(fingerprint) == result
+    # Atomic rename cleaned up after itself: no temp files left behind.
+    assert not list(store.directory.glob("*.tmp*"))
 
 
 def test_second_run_is_all_store_hits(tmp_path):

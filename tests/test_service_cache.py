@@ -1,0 +1,124 @@
+"""Artifact cache: hit/miss accounting, LRU eviction, concurrent safety."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.api import SystemSpec
+from repro.core.mcr_mode import MCRMode
+from repro.harness.jobs import SimJob
+from repro.obs.metrics import MetricsRegistry
+from repro.service.cache import ArtifactCache
+from repro.workloads import make_trace
+
+
+@pytest.fixture(scope="module")
+def tiny_result():
+    trace = make_trace("comm2", n_requests=150, seed=5)
+    job = SimJob.from_traces([trace], MCRMode.off(), SystemSpec())
+    return job.execute()
+
+
+def _fp(i: int) -> str:
+    """Distinct synthetic fingerprints (content addressing is opaque)."""
+    return f"{i:08x}" + "ab" * 28
+
+
+def test_hit_miss_counters(tmp_path, tiny_result):
+    registry = MetricsRegistry()
+    cache = ArtifactCache(tmp_path, registry=registry)
+    assert cache.get(_fp(0)) is None
+    cache.put(_fp(0), tiny_result)
+    assert cache.get(_fp(0)) == tiny_result
+    assert registry.counter("cache.misses").value == 1
+    assert registry.counter("cache.hits").value == 1
+    assert registry.counter("cache.writes").value == 1
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["bytes"] > 0
+
+
+def test_eviction_is_least_recently_used(tmp_path, tiny_result):
+    """Touching an entry (a hit) must protect it from the next eviction."""
+    cache = ArtifactCache(tmp_path)
+    for i in range(3):
+        cache.put(_fp(i), tiny_result)
+        time.sleep(0.02)  # distinct mtimes even on coarse filesystems
+    entry_bytes = cache.path_for(_fp(0)).stat().st_size
+    assert cache.get(_fp(0)) is not None  # touch: 0 is now newest
+    time.sleep(0.02)
+    evicted = cache.evict_to_cap(max_bytes=2 * entry_bytes + entry_bytes // 2)
+    assert evicted == 1
+    assert cache.get(_fp(1)) is None  # oldest-touched went first
+    assert cache.get(_fp(0)) is not None
+    assert cache.get(_fp(2)) is not None
+
+
+def test_put_with_cap_evicts_but_protects_fresh_write(tmp_path, tiny_result):
+    cache = ArtifactCache(tmp_path)
+    cache.put(_fp(0), tiny_result)
+    entry_bytes = cache.path_for(_fp(0)).stat().st_size
+    # Cap below two entries: every put must evict down to one — and the
+    # survivor must be the entry just written, never the fresh write.
+    cache.max_bytes = int(1.5 * entry_bytes)
+    for i in range(1, 4):
+        time.sleep(0.02)
+        cache.put(_fp(i), tiny_result)
+        assert cache.path_for(_fp(i)).is_file()
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["evictions"] == 3
+    assert cache.registry.gauge("cache.entries").value == 1
+
+
+def test_unbounded_cache_never_evicts(tmp_path, tiny_result):
+    cache = ArtifactCache(tmp_path)  # max_bytes=None
+    for i in range(4):
+        cache.put(_fp(i), tiny_result)
+    assert cache.evict_to_cap() == 0
+    assert cache.stats()["entries"] == 4
+
+
+def test_eviction_under_concurrent_readers(tmp_path, tiny_result):
+    """Readers racing eviction see a hit or a clean miss — never an error,
+    never a torn result. (The satellite-3 concurrency guarantee.)"""
+    cache = ArtifactCache(tmp_path)
+    fingerprints = [_fp(i) for i in range(6)]
+    for fp in fingerprints:
+        cache.put(fp, tiny_result)
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def read() -> None:
+        try:
+            while not stop.is_set():
+                for fp in fingerprints:
+                    value = cache.get(fp)
+                    assert value is None or value == tiny_result
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    readers = [threading.Thread(target=read) for _ in range(3)]
+    for thread in readers:
+        thread.start()
+    try:
+        # Churn: evict everything, rewrite, evict again — under readers.
+        for _ in range(10):
+            cache.evict_to_cap(max_bytes=1)
+            for fp in fingerprints[:2]:
+                cache.put(fp, tiny_result)
+    finally:
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=60)
+    assert not errors
+    # The final rewrites are intact.
+    for fp in fingerprints[:2]:
+        assert cache.get(fp) == tiny_result
+
+
+def test_bad_max_bytes_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        ArtifactCache(tmp_path, max_bytes=0)
