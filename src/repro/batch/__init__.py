@@ -1,0 +1,31 @@
+"""Batched lockstep simulation kernel.
+
+``repro.batch`` steps many (config, seed) simulation instances inside
+one process, bit-identical per instance to the scalar engine
+(``repro.sim`` / ``repro.controller``), which remains the reference.
+See docs/SIMULATOR.md "Batched execution".
+"""
+
+from repro.batch.compat import incompatibility, is_batchable, job_incompatibility
+from repro.batch.kernel import (
+    MAX_LANES,
+    BatchCompatError,
+    BatchInstance,
+    BatchKernel,
+    from_verify_case,
+    run_batch,
+)
+from repro.batch.tables import clear_caches
+
+__all__ = [
+    "MAX_LANES",
+    "BatchCompatError",
+    "BatchInstance",
+    "BatchKernel",
+    "clear_caches",
+    "from_verify_case",
+    "incompatibility",
+    "is_batchable",
+    "job_incompatibility",
+    "run_batch",
+]

@@ -1,0 +1,41 @@
+"""Which simulation instances the batched kernel may run.
+
+The kernel supports heterogeneous lanes — any mix of K/M modes,
+geometries, mappings, scheduling policies, core parameters, wiring and
+refresh settings batches together — but two scalar-engine features stay
+scalar-only, and the harness silently falls back for them:
+
+- **observability** (metrics, profiling, tracing, command sinks): the
+  hub hooks the scalar controller's hot path; batchable runs produce
+  ``metrics=None`` / ``profile=None`` exactly like an unobserved scalar
+  run, so RunResult equality is still field-complete;
+- **page-allocation policies** (``spec.allocation``): the scalar engine
+  derives a per-run row remapper from the traces; batching those would
+  per-lane-ify the shared decode tables for no aggregate win.
+
+``incompatibility`` returns a human-readable reason (or None when the
+instance is batchable); the harness surfaces the predicate as its
+grouping rule (see docs/SIMULATOR.md "Batched execution").
+"""
+
+from __future__ import annotations
+
+from repro.core.api import SystemSpec
+
+
+def incompatibility(spec: SystemSpec, observability=None) -> str | None:
+    """Why this instance cannot run on the batched kernel (None = it can)."""
+    if observability is not None and getattr(observability, "enabled", True):
+        return "observability requires the scalar engine's hub hooks"
+    if spec.allocation is not None:
+        return "page-allocation policies require the scalar engine's row remapper"
+    return None
+
+
+def is_batchable(spec: SystemSpec, observability=None) -> bool:
+    return incompatibility(spec, observability) is None
+
+
+def job_incompatibility(job) -> str | None:
+    """Compat reason for a harness :class:`~repro.harness.jobs.SimJob`."""
+    return incompatibility(job.spec)

@@ -100,6 +100,15 @@ def _add_harness_args(subparser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="keep results in memory only; neither read nor write the disk cache",
     )
+    subparser.add_argument(
+        "--batch",
+        action="store_true",
+        help=(
+            "run compatible simulations through the batched lockstep kernel "
+            "(bit-identical results; incompatible jobs fall back to the "
+            "scalar engine)"
+        ),
+    )
 
 
 def _configure_session(args: argparse.Namespace):
@@ -108,7 +117,13 @@ def _configure_session(args: argparse.Namespace):
     from repro.harness.telemetry import stderr_progress
 
     cache_dir = None if args.no_cache else (args.cache_dir or DEFAULT_CACHE_DIR)
-    session = configure(HarnessConfig(parallel=args.parallel, cache_dir=cache_dir))
+    session = configure(
+        HarnessConfig(
+            parallel=args.parallel,
+            cache_dir=cache_dir,
+            batch=getattr(args, "batch", False),
+        )
+    )
     if args.parallel > 1:
         session.telemetry.progress = stderr_progress
     return session

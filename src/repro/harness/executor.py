@@ -75,6 +75,11 @@ class HarnessConfig:
             sweep: first signal drains in-flight jobs and cancels queued
             ones (raising :class:`HarnessInterrupted`), second aborts.
             No-op off the main thread.
+        batch: Route batch-compatible jobs (``repro.batch``'s
+            ``job_incompatibility(job) is None``) through the lockstep
+            kernel in chunks of ``MAX_LANES``; incompatible jobs fall
+            back to the scalar path. Results are bit-identical either
+            way — batching only changes wall clock.
     """
 
     parallel: int = 1
@@ -82,6 +87,7 @@ class HarnessConfig:
     timeout_s: float | None = None
     retry: bool = True
     graceful: bool = True
+    batch: bool = False
 
 
 def _worker(payload: tuple) -> tuple[str, RunResult, float]:
@@ -200,15 +206,33 @@ def execute_jobs(
             store.put(job.fingerprint, result)
 
     with _ShutdownGuard(config.graceful) as guard:
-        if config.parallel <= 1 or len(pending) <= 1:
-            for index, job in enumerate(pending):
+        scalar_jobs = pending
+        if config.batch and pending:
+            from repro.batch import job_incompatibility
+
+            batched = [job for job in pending if job_incompatibility(job) is None]
+            if batched:
+                scalar_jobs = [
+                    job for job in pending if job_incompatibility(job) is not None
+                ]
+                try:
+                    _run_batched(batched, telemetry, complete, guard)
+                except HarnessInterrupted as exc:
+                    # The scalar-only leftovers never ran either.
+                    for job in scalar_jobs:
+                        telemetry.job_cancelled(job.label)
+                    raise HarnessInterrupted(
+                        exc.completed, exc.cancelled + len(scalar_jobs)
+                    ) from None
+        if config.parallel <= 1 or len(scalar_jobs) <= 1:
+            for index, job in enumerate(scalar_jobs):
                 if guard.triggered:
-                    for skipped in pending[index:]:
+                    for skipped in scalar_jobs[index:]:
                         telemetry.job_cancelled(skipped.label)
-                    raise HarnessInterrupted(index, len(pending) - index)
+                    raise HarnessInterrupted(index, len(scalar_jobs) - index)
                 complete(job, _run_in_parent(job, telemetry, where="parent"))
         else:
-            _run_in_pool(pending, config, telemetry, complete, guard)
+            _run_in_pool(scalar_jobs, config, telemetry, complete, guard)
 
     # Return in original job order (dict preserves insertion; re-walk to
     # interleave cache hits and executed jobs the way they were asked).
@@ -217,6 +241,47 @@ def execute_jobs(
         for job in jobs
         if job.fingerprint in results
     }
+
+
+def _run_batched(
+    jobs: list[SimJob],
+    telemetry: Telemetry,
+    complete,
+    guard: _ShutdownGuard,
+    chunk_size: int | None = None,
+) -> None:
+    """Run batch-compatible jobs through the lockstep kernel, one kernel
+    invocation per chunk of ``MAX_LANES`` jobs.
+
+    Results complete (and persist) chunk by chunk, so an interrupted
+    sweep keeps every finished chunk. Lanes of one chunk run interleaved
+    — there is no per-job wall clock — so telemetry attributes each job
+    the chunk's wall time amortized over its lanes.
+    """
+    from repro.batch import MAX_LANES, BatchInstance, run_batch
+
+    chunk_size = chunk_size if chunk_size is not None else MAX_LANES
+    done = 0
+    for start in range(0, len(jobs), chunk_size):
+        if guard.triggered:
+            remaining = jobs[start:]
+            for job in remaining:
+                telemetry.job_cancelled(job.label)
+            raise HarnessInterrupted(done, len(remaining))
+        chunk = jobs[start : start + chunk_size]
+        starts = [telemetry.job_started(job.label) for job in chunk]
+        began = time.perf_counter()
+        outputs = run_batch(
+            BatchInstance(traces=job.build_traces(), mode=job.mode, spec=job.spec)
+            for job in chunk
+        )
+        per_job = (time.perf_counter() - began) / len(chunk)
+        for job, started, result in zip(chunk, starts, outputs):
+            telemetry.job_finished(
+                job.fingerprint, job.label, started, where="batch", seconds=per_job
+            )
+            complete(job, result)
+            done += 1
 
 
 def _run_in_pool(

@@ -21,7 +21,7 @@ class JobRecord:
     fingerprint: str
     label: str
     seconds: float
-    where: str  # "parent" | "worker" | "retry"
+    where: str  # "parent" | "worker" | "retry" | "batch"
 
 
 @dataclass

@@ -7,7 +7,7 @@ see (a mechanism leaking into a disabled configuration, observability
 perturbing the simulation, scheduling depending on don't-care address
 bits).
 
-The four identities:
+The identities:
 
 - ``mcr-region-empty``: a K>1 mode with an *empty* MCR region is
   conventional DRAM — equal to K=1 in every measured quantity;
@@ -18,7 +18,12 @@ The four identities:
   the observation payloads themselves are stripped;
 - ``column-permutation``: XOR-ing a constant onto every address's column
   bits permutes cache lines within rows and nothing else, so every
-  aggregate statistic is unchanged.
+  aggregate statistic is unchanged;
+- ``batch-duplicates``: a batched-kernel run of N copies of one case is
+  N copies of the scalar single-run result — lanes neither leak into
+  each other nor depend on batch size;
+- ``batch-permutation``: permuting the lane order of a heterogeneous
+  batch permutes the results and changes nothing else.
 
 Each check returns ``None`` when the identity holds, or a human-readable
 mismatch description.
@@ -164,11 +169,52 @@ def _column_permutation(rng: random.Random) -> str | None:
     )
 
 
+def _batch_duplicates(rng: random.Random) -> str | None:
+    from repro.batch import from_verify_case, run_batch
+
+    case = sample_case(rng)
+    n = rng.randint(2, 4)
+    single = run_case(case)
+    for lane, got in enumerate(run_batch([from_verify_case(case)] * n)):
+        mismatch = _diff(
+            f"batch of {n} duplicates: lane {lane} != single scalar run "
+            f"(seed={case.seed})",
+            got,
+            single,
+        )
+        if mismatch is not None:
+            return mismatch
+    return None
+
+
+def _batch_permutation(rng: random.Random) -> str | None:
+    from repro.batch import from_verify_case, run_batch
+
+    cases = [sample_case(rng) for _ in range(rng.randint(2, 4))]
+    instances = [from_verify_case(case) for case in cases]
+    baseline = run_batch(instances)
+    order = list(range(len(instances)))
+    rng.shuffle(order)
+    permuted = run_batch(instances[i] for i in order)
+    for position, i in enumerate(order):
+        mismatch = _diff(
+            f"lane order changed a result (position {position}, "
+            f"case seed={cases[i].seed})",
+            permuted[position],
+            baseline[i],
+        )
+        if mismatch is not None:
+            return mismatch
+    return None
+
+
 IDENTITIES: dict[str, Callable[[random.Random], str | None]] = {
     "mcr-region-empty": _mcr_region_empty,
     "skip-noop": _skip_noop,
     "obs-transparent": _obs_transparent,
     "column-permutation": _column_permutation,
+    "batch-duplicates": _batch_duplicates,
+    "batch-permutation": _batch_permutation,
 }
 
 

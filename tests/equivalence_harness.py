@@ -1,0 +1,185 @@
+"""Shared machinery for cross-engine equivalence suites.
+
+Three engines can replay the same stimulus:
+
+- the **scalar** event-driven engine (``repro.sim`` via
+  ``repro.core.api.run_system``) — the bit-identity reference;
+- the **naive** tick-every-cycle loop (:func:`naive_run`) — a reference
+  for the scalar engine's event-jump fast path;
+- the **batched** lockstep kernel (``repro.batch``) — many instances in
+  one process, each bit-identical to its scalar run.
+
+The suites all reduce to "replay seeded stimuli through two engines and
+assert RunResult equality field-by-field"; this module hosts the common
+pieces: a structured differ that reports the *first divergence* by field
+name (:func:`diff_results`), replay helpers for seeded
+:class:`~repro.verify.generator.VerifyCase` stimuli
+(:func:`run_scalar` / :func:`run_batched` / :func:`batch_vs_scalar`),
+and the naive reference loop shared with the fast-path suite.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.dram.config import DRAMGeometry
+from repro.sim.engine import SystemSimulator
+
+#: Every field of ``repro.sim.results.RunResult``, in reporting order.
+RESULT_FIELDS = (
+    "workloads",
+    "mode_label",
+    "execution_cycles",
+    "per_core_cycles",
+    "avg_read_latency_cycles",
+    "instructions",
+    "reads",
+    "writes",
+    "energy",
+    "edp",
+    "read_latency_percentiles",
+    "controller_stats",
+    "metrics",
+    "profile",
+)
+
+
+def diff_results(a, b, label: str = "results") -> str | None:
+    """First differing RunResult field, or None when exactly equal."""
+    for name in RESULT_FIELDS:
+        left, right = getattr(a, name), getattr(b, name)
+        if left != right:
+            return f"{label}: first divergence at {name!r}: {left!r} != {right!r}"
+    return None
+
+
+def assert_equivalent(a, b, label: str = "results") -> None:
+    """Assert field-complete RunResult equality with a first-divergence
+    message on failure."""
+    mismatch = diff_results(a, b, label)
+    assert mismatch is None, mismatch
+
+
+# ----------------------------------------------------------------------
+# Seeded VerifyCase replay through the scalar and batched engines
+# ----------------------------------------------------------------------
+
+
+def run_scalar(case):
+    """Replay one VerifyCase through the scalar reference engine."""
+    from repro.verify.metamorphic import run_case
+
+    return run_case(case)
+
+
+def run_batched(cases):
+    """Replay VerifyCases through the batched kernel, results in order."""
+    from repro.batch import from_verify_case, run_batch
+
+    return run_batch(from_verify_case(case) for case in cases)
+
+
+def batch_vs_scalar(cases) -> list[str]:
+    """Replay cases through both engines; the per-case first-divergence
+    reports (empty list = every lane bit-identical)."""
+    cases = list(cases)
+    batched = run_batched(cases)
+    mismatches = []
+    for case, got in zip(cases, batched):
+        report = diff_results(got, run_scalar(case), f"case seed={case.seed}")
+        if report is not None:
+            mismatches.append(report)
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# Naive tick-every-cycle reference loop (fast-path equivalence)
+# ----------------------------------------------------------------------
+
+
+def small_geometry(channels: int = 2) -> DRAMGeometry:
+    """A small geometry keeping naive-loop runtimes reasonable."""
+    return DRAMGeometry(
+        channels=channels,
+        ranks_per_channel=2,
+        banks_per_rank=4,
+        rows_per_bank=2048,
+        columns_per_row=32,
+        rows_per_subarray=512,
+        density="1Gb",
+    )
+
+
+def naive_run(sim: SystemSimulator, max_mem_cycles: int = 200_000):
+    """Reference main loop: advance time 1/16 memory cycle at a time.
+
+    Mirrors ``SystemSimulator.run``'s per-instant processing order
+    (completions, then cores, then controllers) but never consults
+    ``next_action_cycle`` — controllers are polled at every integer
+    cycle, so a wrong fast-path estimate cannot be reproduced here. All
+    event timestamps land on the 1/16-cycle grid: cores fetch 4 ops per
+    CPU cycle (quarter-CPU-cycle wakes are exact binary floats) and
+    completions and controller actions are integer cycles, so the grid
+    visits every instant the event-driven loop can jump to.
+    """
+    from repro.cpu.core import BlockReason
+
+    cpm = sim.core_params.cpu_cycles_per_mem_cycle
+    cores = sim.cores
+    core_wake = [0.0] * len(cores)
+    wq_blocked: set[int] = set()
+    rq_blocked: set[int] = set()
+
+    def advance_core(idx: int, now_mem: float) -> None:
+        result = cores[idx].advance(now_mem * cpm)
+        blocked = cores[idx].blocked
+        if blocked is BlockReason.WRITE_QUEUE_FULL:
+            wq_blocked.add(idx)
+            core_wake[idx] = float("inf")
+        elif blocked is BlockReason.READ_QUEUE_FULL:
+            rq_blocked.add(idx)
+            core_wake[idx] = float("inf")
+        elif blocked is BlockReason.FINISHED or result.wake_cpu is None:
+            core_wake[idx] = float("inf")
+        else:
+            core_wake[idx] = result.wake_cpu / cpm
+
+    now = 0.0
+    while not all(c.finished for c in cores):
+        assert now <= max_mem_cycles, "reference loop exceeded cycle budget"
+
+        woke: set[int] = set()
+        while sim._completions and sim._completions[0][0] <= now:
+            _, _, request = heapq.heappop(sim._completions)
+            cores[request.core_id].on_read_complete(
+                request, request.complete_cycle * cpm
+            )
+            woke.add(request.core_id)
+            if rq_blocked:
+                woke |= rq_blocked
+                rq_blocked.clear()
+        for idx in woke:
+            if not cores[idx].finished:
+                advance_core(idx, now)
+
+        for idx, wake in enumerate(core_wake):
+            if wake <= now and not cores[idx].finished:
+                advance_core(idx, now)
+
+        if now == int(now):
+            for ctrl in sim.controllers:
+                events = ctrl.execute(int(now))
+                for request, done in events.read_completions:
+                    sim._completion_seq += 1
+                    heapq.heappush(
+                        sim._completions, (done, sim._completion_seq, request)
+                    )
+                if events.writes_drained and wq_blocked:
+                    stalled = list(wq_blocked)
+                    wq_blocked.clear()
+                    for idx in stalled:
+                        advance_core(idx, now)
+
+        now += 0.0625
+
+    return sim._collect_results()

@@ -3,108 +3,19 @@
 ``SystemSimulator.run`` jumps straight to the next event time using the
 dirty-tracked ``next_action_cycle`` estimates. A wrong estimate would not
 crash — it would silently issue commands late and skew every result. This
-suite re-runs identical systems under a *naive* reference loop that ticks
-time in 1/16-memory-cycle steps, invoking controllers at every integer
-cycle regardless of estimates, and asserts bit-identical results. All
-event timestamps land on that grid: cores fetch 4 ops per CPU cycle (so
-wakes fall on quarter-CPU-cycle = 1/16-memory-cycle boundaries, exact
-binary floats), and completions and controller actions are integer
-cycles — so the grid visits every instant the event-driven loop can jump
-to.
+suite re-runs identical systems under the *naive* reference loop from
+``tests.equivalence_harness`` that ticks time in 1/16-memory-cycle
+steps, invoking controllers at every integer cycle regardless of
+estimates, and asserts bit-identical results.
 """
 
-import heapq
-
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import MCRMode
-from repro.cpu.core import BlockReason
 from repro.cpu.trace import Trace, TraceEntry
-from repro.dram.config import DRAMGeometry
 from repro.sim.engine import SystemSimulator
-
-
-def small_geometry(channels=2):
-    return DRAMGeometry(
-        channels=channels,
-        ranks_per_channel=2,
-        banks_per_rank=4,
-        rows_per_bank=2048,
-        columns_per_row=32,
-        rows_per_subarray=512,
-        density="1Gb",
-    )
-
-
-def naive_run(sim: SystemSimulator, max_mem_cycles: int = 200_000):
-    """Reference main loop: advance time 1/16 memory cycle at a time.
-
-    Mirrors ``SystemSimulator.run``'s per-instant processing order
-    (completions, then cores, then controllers) but never consults
-    ``next_action_cycle`` — controllers are polled at every integer
-    cycle, so a wrong fast-path estimate cannot be reproduced here.
-    """
-    cpm = sim.core_params.cpu_cycles_per_mem_cycle
-    cores = sim.cores
-    core_wake = [0.0] * len(cores)
-    wq_blocked: set[int] = set()
-    rq_blocked: set[int] = set()
-
-    def advance_core(idx: int, now_mem: float) -> None:
-        result = cores[idx].advance(now_mem * cpm)
-        blocked = cores[idx].blocked
-        if blocked is BlockReason.WRITE_QUEUE_FULL:
-            wq_blocked.add(idx)
-            core_wake[idx] = float("inf")
-        elif blocked is BlockReason.READ_QUEUE_FULL:
-            rq_blocked.add(idx)
-            core_wake[idx] = float("inf")
-        elif blocked is BlockReason.FINISHED or result.wake_cpu is None:
-            core_wake[idx] = float("inf")
-        else:
-            core_wake[idx] = result.wake_cpu / cpm
-
-    now = 0.0
-    while not all(c.finished for c in cores):
-        assert now <= max_mem_cycles, "reference loop exceeded cycle budget"
-
-        woke: set[int] = set()
-        while sim._completions and sim._completions[0][0] <= now:
-            _, _, request = heapq.heappop(sim._completions)
-            cores[request.core_id].on_read_complete(
-                request, request.complete_cycle * cpm
-            )
-            woke.add(request.core_id)
-            if rq_blocked:
-                woke |= rq_blocked
-                rq_blocked.clear()
-        for idx in woke:
-            if not cores[idx].finished:
-                advance_core(idx, now)
-
-        for idx, wake in enumerate(core_wake):
-            if wake <= now and not cores[idx].finished:
-                advance_core(idx, now)
-
-        if now == int(now):
-            for ctrl in sim.controllers:
-                events = ctrl.execute(int(now))
-                for request, done in events.read_completions:
-                    sim._completion_seq += 1
-                    heapq.heappush(
-                        sim._completions, (done, sim._completion_seq, request)
-                    )
-                if events.writes_drained and wq_blocked:
-                    stalled = list(wq_blocked)
-                    wq_blocked.clear()
-                    for idx in stalled:
-                        advance_core(idx, now)
-
-        now += 0.0625
-
-    return sim._collect_results()
+from tests.equivalence_harness import assert_equivalent, naive_run, small_geometry
 
 
 @st.composite
@@ -132,23 +43,13 @@ def _build(traces, mode_text):
     return SystemSimulator(traces, mode.config, geometry=small_geometry())
 
 
-def _assert_identical(fast, slow):
-    assert fast.execution_cycles == slow.execution_cycles
-    assert fast.per_core_cycles == slow.per_core_cycles
-    assert fast.avg_read_latency_cycles == slow.avg_read_latency_cycles
-    assert fast.reads == slow.reads
-    assert fast.writes == slow.writes
-    assert fast.controller_stats == slow.controller_stats
-    assert fast.read_latency_percentiles == slow.read_latency_percentiles
-
-
 class TestFastPathEquivalence:
     @settings(max_examples=10, deadline=None)
     @given(fuzz_traces(), st.sampled_from(["off", "4/4x/100%reg"]))
     def test_fuzzed_traces_cycle_identical(self, traces, mode_text):
         fast = _build(traces, mode_text).run(max_cycles=200_000)
         slow = naive_run(_build(traces, mode_text))
-        _assert_identical(fast, slow)
+        assert_equivalent(fast, slow, "fast vs naive")
 
     def test_multicore_contention_cycle_identical(self):
         """Two cores hammering one channel exercise queue-full blocking
@@ -170,7 +71,7 @@ class TestFastPathEquivalence:
             max_cycles=200_000
         )
         slow = naive_run(SystemSimulator(traces, mode.config, geometry=geometry))
-        _assert_identical(fast, slow)
+        assert_equivalent(fast, slow, "fast vs naive")
 
     def test_refresh_heavy_cycle_identical(self):
         """Sparse traffic with large gaps crosses many tREFI boundaries,
@@ -189,4 +90,4 @@ class TestFastPathEquivalence:
             SystemSimulator(traces, MCRMode.off().config, geometry=geometry),
             max_mem_cycles=500_000,
         )
-        _assert_identical(fast, slow)
+        assert_equivalent(fast, slow, "fast vs naive")

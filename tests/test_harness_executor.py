@@ -190,3 +190,80 @@ def test_graceful_false_keeps_default_signal_handling():
 
     execute_jobs([Probe()], HarnessConfig(graceful=False), memo={})
     assert seen["handler"] is before
+
+
+# ----------------------------------------------------------------------
+# Batched execution (HarnessConfig.batch)
+# ----------------------------------------------------------------------
+
+
+def _batchable_jobs(n=5):
+    from repro.workloads import make_trace
+
+    return [
+        SimJob.from_traces(
+            [make_trace("comm2", n_requests=40, seed=seed)],
+            MCRMode.parse("2/2x/100%reg"),
+            SystemSpec(),
+        )
+        for seed in range(n)
+    ]
+
+
+def test_batched_results_equal_scalar():
+    """batch=True routes compatible jobs through the lockstep kernel and
+    the incompatible (collision-free allocation) ones through the scalar
+    fallback; the returned mapping is bit-identical to a scalar sweep."""
+    scalar = execute_jobs(_jobs(), HarnessConfig(), memo={})
+    telemetry = Telemetry()
+    batched = execute_jobs(
+        _jobs(), HarnessConfig(batch=True), memo={}, telemetry=telemetry
+    )
+    assert list(scalar) == list(batched)  # same fingerprints, same order
+    assert scalar == batched  # bit-identical RunResults
+    wheres = [record.where for record in telemetry.records]
+    assert wheres.count("batch") == 2  # the plain-spec jobs
+    assert wheres.count("parent") == 2  # the allocation jobs fell back
+
+
+def test_batch_chunking_runs_every_chunk():
+    from repro.harness.executor import _ShutdownGuard, _run_batched
+
+    jobs = _batchable_jobs(5)
+    telemetry = Telemetry()
+    done = {}
+    _run_batched(
+        jobs,
+        telemetry,
+        lambda job, result: done.__setitem__(job.fingerprint, result),
+        _ShutdownGuard(enabled=False),
+        chunk_size=2,
+    )
+    assert set(done) == {job.fingerprint for job in jobs}
+    assert telemetry.executed == 5
+    assert all(record.where == "batch" for record in telemetry.records)
+
+
+def test_batch_shutdown_drains_current_chunk():
+    """A shutdown mid-batch finishes the in-flight kernel chunk (its
+    results persist) and cancels the chunks that never started."""
+    from repro.harness.executor import _run_batched
+
+    jobs = _batchable_jobs(5)
+    telemetry = Telemetry()
+
+    class Guard:
+        triggered = False
+
+    done = []
+
+    def complete(job, result):
+        done.append(job.fingerprint)
+        Guard.triggered = True  # request shutdown during the first chunk
+
+    with pytest.raises(HarnessInterrupted) as stop:
+        _run_batched(jobs, telemetry, complete, Guard, chunk_size=2)
+    assert done == [job.fingerprint for job in jobs[:2]]
+    assert stop.value.completed == 2
+    assert stop.value.cancelled == 3
+    assert telemetry.cancelled == 3

@@ -15,12 +15,14 @@ from repro.verify.metamorphic import IDENTITIES, check_identity, run_case
 
 
 class TestIdentityCatalog:
-    def test_the_four_identities_exist(self):
+    def test_the_identity_catalog_is_complete(self):
         assert set(IDENTITIES) == {
             "mcr-region-empty",
             "skip-noop",
             "obs-transparent",
             "column-permutation",
+            "batch-duplicates",
+            "batch-permutation",
         }
 
     def test_unknown_identity_raises(self):
