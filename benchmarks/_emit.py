@@ -12,6 +12,12 @@ one schema and are diffable across commits:
 - ``commit``: short git SHA of the working tree (``"unknown"`` outside a
   checkout), so a stray artifact can always be traced to its source;
 - ``detail``: benchmark-specific structure, free-form.
+
+Every emission is also appended to the ``BENCH_history.jsonl`` perf ring
+(:mod:`repro.obs.history`), and the report carries that benchmark's
+trend verdict under ``history`` — so a single bench run both updates the
+trend and reports where it stands. History failures never fail a bench:
+the ring is advisory here; CI enforces it via ``history check``.
 """
 
 from __future__ import annotations
@@ -61,6 +67,15 @@ def emit_bench(
         "commit": current_commit(),
         "detail": detail or {},
     }
+    try:
+        from repro.obs import history
+
+        history.append(report, path=_REPO_ROOT / history.DEFAULT_HISTORY_FILE)
+        report["history"] = history.verdict(
+            name, path=_REPO_ROOT / history.DEFAULT_HISTORY_FILE
+        ).summary()
+    except Exception as exc:  # the ring must never fail a benchmark
+        report["history"] = f"unavailable ({type(exc).__name__}: {exc})"
     out = _REPO_ROOT / filename
     out.write_text(json.dumps(report, indent=2) + "\n")
     return report

@@ -2,13 +2,15 @@
 
 The kernel supports heterogeneous lanes — any mix of K/M modes,
 geometries, mappings, scheduling policies, core parameters, wiring and
-refresh settings batches together — but two scalar-engine features stay
-scalar-only, and the harness silently falls back for them:
+refresh settings batches together — and metrics-only observability is
+mirrored per lane (see :class:`repro.batch.lane._MetricsMirror`). Two
+scalar-engine features stay scalar-only, and the harness silently falls
+back for them:
 
-- **observability** (metrics, profiling, tracing, command sinks): the
-  hub hooks the scalar controller's hot path; batchable runs produce
-  ``metrics=None`` / ``profile=None`` exactly like an unobserved scalar
-  run, so RunResult equality is still field-complete;
+- **deep observability** (profiling, tracing, invariants, command
+  sinks): those hub hooks need the scalar controller's per-command
+  object graph; batchable runs produce ``profile=None`` exactly like an
+  unobserved scalar run, so RunResult equality is still field-complete;
 - **page-allocation policies** (``spec.allocation``): the scalar engine
   derives a per-run row remapper from the traces; batching those would
   per-lane-ify the shared decode tables for no aggregate win.
@@ -23,10 +25,27 @@ from __future__ import annotations
 from repro.core.api import SystemSpec
 
 
+def _metrics_only(observability) -> bool:
+    """Is this config satisfiable by the batch kernel's metric mirrors?"""
+    return bool(getattr(observability, "metrics", False)) and not (
+        getattr(observability, "trace", False)
+        or getattr(observability, "invariants", False)
+        or getattr(observability, "profile", False)
+        or getattr(observability, "command_sink", None) is not None
+    )
+
+
 def incompatibility(spec: SystemSpec, observability=None) -> str | None:
     """Why this instance cannot run on the batched kernel (None = it can)."""
-    if observability is not None and getattr(observability, "enabled", True):
-        return "observability requires the scalar engine's hub hooks"
+    if (
+        observability is not None
+        and getattr(observability, "enabled", True)
+        and not _metrics_only(observability)
+    ):
+        return (
+            "observability beyond metrics (tracing, invariants, profiling, "
+            "command sinks) requires the scalar engine's hub hooks"
+        )
     if spec.allocation is not None:
         return "page-allocation policies require the scalar engine's row remapper"
     return None

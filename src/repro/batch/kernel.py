@@ -61,6 +61,9 @@ class BatchInstance:
     mode: MCRModeConfig
     spec: SystemSpec = field(default_factory=SystemSpec)
     max_cycles: int | None = None
+    #: Mirror the observability hub's metrics into ``RunResult.metrics``
+    #: (the batched counterpart of ``ObservabilityConfig(metrics=True)``).
+    metrics: bool = False
 
 
 def from_verify_case(case) -> BatchInstance:
@@ -142,6 +145,7 @@ class BatchKernel:
                     spread,
                     decoded,
                     generator.row_class,
+                    instance.metrics,
                 )
             )
         self.lanes = lanes

@@ -17,6 +17,8 @@ Examples::
     mcr-dram diff run_a.json run_b.json
     mcr-dram serve --port 8763 --shards 4
     mcr-dram submit comm2 --mode 4/4x/100%reg --requests 2000
+    mcr-dram metrics comm2 --mode 4/4x/100%reg --batch
+    mcr-dram metrics --scrape --port 8763
     mcr-dram cache stats
     mcr-dram cache evict --max-mb 64
 
@@ -346,6 +348,65 @@ def _run_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_metrics(args: argparse.Namespace) -> int:
+    """``mcr-dram metrics``: one-shot Prometheus/OpenMetrics exposition.
+
+    Without ``--scrape``, runs one workload with the metrics registry
+    attached (scalar hub, or the batched kernel's per-lane mirrors with
+    ``--batch`` — the snapshots are equal either way) and prints the
+    OpenMetrics rendering. With ``--scrape``, fetches a running
+    service's ``/metrics`` and relays it after validating it parses.
+    """
+    from repro.obs.prometheus import parse_exposition, render_openmetrics
+
+    if args.scrape:
+        from repro.service.client import ServiceClient, ServiceError
+
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+        try:
+            text, content_type = client.metrics_text()
+        except (ServiceError, ConnectionError, OSError) as exc:
+            print(
+                f"cannot scrape service at {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        parse_exposition(text)  # refuse to relay a malformed exposition
+        print(f"[{content_type}]", file=sys.stderr)
+        sys.stdout.write(text)
+        return 0
+
+    if not args.workload:
+        print(
+            "metrics: a workload is required unless --scrape is given",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.core.api import SystemSpec
+    from repro.core.mcr_mode import MCRMode
+    from repro.harness.jobs import SimJob
+    from repro.workloads import make_trace
+
+    trace = make_trace(args.workload, n_requests=args.requests, seed=args.seed)
+    job = SimJob.from_traces(
+        [trace],
+        MCRMode.parse(args.mode),
+        SystemSpec(),
+        metrics=True,
+        batch=args.batch,
+    )
+    result = job.execute()
+    print(
+        f"[{trace.name} mode={result.mode_label} "
+        f"{result.execution_cycles} cycles"
+        + (f" trace_id={result.trace['trace_id']}" if result.trace else "")
+        + "]",
+        file=sys.stderr,
+    )
+    sys.stdout.write(render_openmetrics(result.metrics))
+    return 0
+
+
 def _run_cache(args: argparse.Namespace) -> int:
     """``mcr-dram cache``: inspect or trim the shared artifact cache."""
     import json
@@ -567,6 +628,41 @@ def main(argv: list[str] | None = None) -> int:
     submit_cmd.add_argument(
         "--json", action="store_true", help="print the full result as JSON"
     )
+    metrics_cmd = sub.add_parser(
+        "metrics",
+        help="one-shot Prometheus/OpenMetrics exposition for one run "
+        "(or scrape a running service with --scrape)",
+    )
+    metrics_cmd.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="workload name, e.g. comm2 (omit with --scrape)",
+    )
+    metrics_cmd.add_argument(
+        "--mode", default="off", help="MCR mode string (default: off)"
+    )
+    metrics_cmd.add_argument(
+        "--requests", type=int, default=1000, help="trace length (default: 1000)"
+    )
+    metrics_cmd.add_argument("--seed", type=int, default=0, help="trace RNG seed")
+    metrics_cmd.add_argument(
+        "--batch",
+        action="store_true",
+        help="collect through the batched kernel's per-lane metric mirrors",
+    )
+    metrics_cmd.add_argument(
+        "--scrape",
+        action="store_true",
+        help="fetch /metrics from a running service instead of running locally",
+    )
+    metrics_cmd.add_argument("--host", default="127.0.0.1", help="service address")
+    metrics_cmd.add_argument(
+        "--port", type=int, default=8763, help="service port (default: 8763)"
+    )
+    metrics_cmd.add_argument(
+        "--timeout", type=float, default=60.0, help="scrape timeout in seconds"
+    )
     cache_cmd = sub.add_parser(
         "cache", help="inspect or trim the shared artifact cache"
     )
@@ -620,6 +716,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "submit":
         return _run_submit(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
     if args.command == "cache":
         return _run_cache(args)
 

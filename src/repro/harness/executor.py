@@ -29,6 +29,7 @@ already computed, and re-running executes exactly the missing jobs.
 
 from __future__ import annotations
 
+import dataclasses
 import signal
 import threading
 import time
@@ -40,6 +41,7 @@ from typing import Sequence
 from repro.harness.jobs import SimJob
 from repro.harness.store import ResultStore
 from repro.harness.telemetry import Telemetry
+from repro.obs import plane
 from repro.sim.results import RunResult
 
 
@@ -90,15 +92,30 @@ class HarnessConfig:
     batch: bool = False
 
 
-def _worker(payload: tuple) -> tuple[str, RunResult, float]:
+def _worker(
+    payload: tuple, traceparent: str | None = None
+) -> tuple[str, RunResult, float]:
     """Pool entry point: rebuild the job's traces and simulate.
 
     Times the simulation in the worker itself, so per-job telemetry
-    reports execution time, not queue wait + worker startup.
+    reports execution time, not queue wait + worker startup. A
+    ``traceparent`` header (if the submitter had a trace context bound)
+    crosses the process boundary here; the worker re-binds it and stamps
+    the result with an ``execute`` span, so the correlation id survives
+    the hop without touching any measurement field.
     """
     job = SimJob.from_payload(payload)
+    ctx = plane.parse_traceparent(traceparent)
     start = time.perf_counter()
-    result = job.execute()
+    if ctx is None:
+        result = job.execute()
+        return job.fingerprint, result, time.perf_counter() - start
+    wall = time.time()
+    with plane.bind(ctx):
+        result = job.execute()
+    result = plane.stamp_result(
+        result, ctx, [plane.span("execute", ctx, wall, time.time())]
+    )
     return job.fingerprint, result, time.perf_counter() - start
 
 
@@ -149,7 +166,13 @@ def _run_in_parent(
     job: SimJob, telemetry: Telemetry, where: str
 ) -> RunResult:
     started = telemetry.job_started(job.label)
+    ctx = plane.current()
+    wall = time.time()
     result = job.execute()
+    if ctx is not None:
+        result = plane.stamp_result(
+            result, ctx, [plane.span("execute", ctx, wall, time.time())]
+        )
     telemetry.job_finished(job.fingerprint, job.label, started, where)
     return result
 
@@ -216,7 +239,9 @@ def execute_jobs(
                     job for job in pending if job_incompatibility(job) is not None
                 ]
                 try:
-                    _run_batched(batched, telemetry, complete, guard)
+                    _run_batched(
+                        batched, telemetry, complete, guard, retry=config.retry
+                    )
                 except HarnessInterrupted as exc:
                     # The scalar-only leftovers never ran either.
                     for job in scalar_jobs:
@@ -249,6 +274,7 @@ def _run_batched(
     complete,
     guard: _ShutdownGuard,
     chunk_size: int | None = None,
+    retry: bool = True,
 ) -> None:
     """Run batch-compatible jobs through the lockstep kernel, one kernel
     invocation per chunk of ``MAX_LANES`` jobs.
@@ -257,10 +283,17 @@ def _run_batched(
     sweep keeps every finished chunk. Lanes of one chunk run interleaved
     — there is no per-job wall clock — so telemetry attributes each job
     the chunk's wall time amortized over its lanes.
+
+    Failure policy matches the pool path: a chunk whose kernel
+    invocation raises is unwound and each of its jobs is retried exactly
+    once, serially, on the scalar engine in the parent — never silently:
+    the triggering exception type lands in ``harness.retries{reason}``
+    exactly as a worker crash would.
     """
     from repro.batch import MAX_LANES, BatchInstance, run_batch
 
     chunk_size = chunk_size if chunk_size is not None else MAX_LANES
+    ctx = plane.current()
     done = 0
     for start in range(0, len(jobs), chunk_size):
         if guard.triggered:
@@ -271,12 +304,46 @@ def _run_batched(
         chunk = jobs[start : start + chunk_size]
         starts = [telemetry.job_started(job.label) for job in chunk]
         began = time.perf_counter()
-        outputs = run_batch(
-            BatchInstance(traces=job.build_traces(), mode=job.mode, spec=job.spec)
-            for job in chunk
-        )
+        wall = time.time()
+        try:
+            outputs = run_batch(
+                BatchInstance(
+                    traces=job.build_traces(),
+                    mode=job.mode,
+                    spec=job.spec,
+                    metrics=job.metrics,
+                )
+                for job in chunk
+            )
+        except Exception as exc:
+            reason = type(exc).__name__
+            for _ in chunk:
+                telemetry.running -= 1
+            if not retry:
+                telemetry.failures += len(chunk)
+                raise RuntimeError(
+                    f"harness batch chunk failed: {len(chunk)} job(s) ({reason})"
+                ) from exc
+            for job in chunk:
+                telemetry.job_retried(job.label, reason)
+                # batch=False so the retry cannot re-enter the kernel
+                # that just failed; the scalar engine is the reference.
+                scalar_job = dataclasses.replace(job, batch=False)
+                try:
+                    complete(job, _run_in_parent(scalar_job, telemetry, where="retry"))
+                except Exception:
+                    telemetry.failures += 1
+                    raise
+                done += 1
+            continue
         per_job = (time.perf_counter() - began) / len(chunk)
         for job, started, result in zip(chunk, starts, outputs):
+            if ctx is not None:
+                result = plane.stamp_result(
+                    result,
+                    ctx,
+                    [plane.span("execute", ctx, wall, time.time())],
+                )
             telemetry.job_finished(
                 job.fingerprint, job.label, started, where="batch", seconds=per_job
             )
@@ -301,12 +368,14 @@ def _run_in_pool(
     starts: dict[str, float] = {}
     completed = 0
     cancelled = 0
+    ctx = plane.current()
+    traceparent = ctx.traceparent() if ctx is not None else None
     pool = ProcessPoolExecutor(max_workers=workers)
     try:
         futures = []
         for job in pending:
             starts[job.fingerprint] = telemetry.job_started(job.label)
-            futures.append((job, pool.submit(_worker, job.payload())))
+            futures.append((job, pool.submit(_worker, job.payload(), traceparent)))
         pool_broken = False
         for job, future in futures:
             if guard.triggered and future.cancel():

@@ -96,16 +96,24 @@ def job_fingerprint(
     trace_fingerprints: Sequence[str],
     mode: MCRModeConfig,
     spec: SystemSpec,
+    metrics: bool = False,
 ) -> str:
-    """Fingerprint of one ``run_system`` invocation."""
-    return digest(
-        [
-            "job",
-            list(trace_fingerprints),
-            canonical(mode),
-            canonical(spec),
-        ]
-    )
+    """Fingerprint of one ``run_system`` invocation.
+
+    ``metrics`` jobs carry a metrics-registry snapshot in their result,
+    so they must not collide with (or be served from cache entries of)
+    plain runs. The marker is appended only when True, keeping every
+    pre-existing fingerprint byte-identical.
+    """
+    encoded = [
+        "job",
+        list(trace_fingerprints),
+        canonical(mode),
+        canonical(spec),
+    ]
+    if metrics:
+        encoded.append(["metrics", True])
+    return digest(encoded)
 
 
 def fingerprint_run(

@@ -54,6 +54,12 @@ class SimJob:
     provenances: tuple[TraceProvenance, ...] = ()
     literal_traces: tuple[Trace, ...] = field(default=(), compare=False)
     label: str = field(default="", compare=False)
+    #: Collect an observability-metrics snapshot into the result
+    #: (fingerprint-relevant: a metrics result is a different artifact).
+    metrics: bool = False
+    #: Routing hint only — *where* a job runs never changes *what* it
+    #: computes (bit-identity), so it is excluded from equality.
+    batch: bool = field(default=False, compare=False)
 
     @classmethod
     def from_provenances(
@@ -62,6 +68,8 @@ class SimJob:
         mode: MCRModeConfig | MCRMode,
         spec: SystemSpec,
         label: str = "",
+        metrics: bool = False,
+        batch: bool = False,
     ) -> "SimJob":
         """Declarative job: traces described, not built."""
         mode_cfg = mode.config if isinstance(mode, MCRMode) else mode
@@ -70,11 +78,13 @@ class SimJob:
             for built in (_ProvenanceOnly(p) for p in provenances)
         ]
         return cls(
-            fingerprint=job_fingerprint(fps, mode_cfg, spec),
+            fingerprint=job_fingerprint(fps, mode_cfg, spec, metrics=metrics),
             mode=mode_cfg,
             spec=spec,
             provenances=tuple(provenances),
             label=label or _default_label(provenances, mode_cfg),
+            metrics=metrics,
+            batch=batch,
         )
 
     @classmethod
@@ -84,6 +94,8 @@ class SimJob:
         mode: MCRModeConfig | MCRMode,
         spec: SystemSpec,
         label: str = "",
+        metrics: bool = False,
+        batch: bool = False,
     ) -> "SimJob":
         """Job from already-built traces.
 
@@ -94,7 +106,7 @@ class SimJob:
         mode_cfg = mode.config if isinstance(mode, MCRMode) else mode
         traces = tuple(traces)
         fps = [fingerprint_trace(t) for t in traces]
-        fingerprint = job_fingerprint(fps, mode_cfg, spec)
+        fingerprint = job_fingerprint(fps, mode_cfg, spec, metrics=metrics)
         if all(t.provenance is not None for t in traces):
             provenances = tuple(t.provenance for t in traces)
             # Seed the memo so local execution reuses these exact objects.
@@ -106,6 +118,8 @@ class SimJob:
                 spec=spec,
                 provenances=provenances,
                 label=label or _default_label(provenances, mode_cfg),
+                metrics=metrics,
+                batch=batch,
             )
         return cls(
             fingerprint=fingerprint,
@@ -113,6 +127,8 @@ class SimJob:
             spec=spec,
             literal_traces=traces,
             label=label or "+".join(t.name for t in traces) + f" {mode_cfg.label()}",
+            metrics=metrics,
+            batch=batch,
         )
 
     def build_traces(self) -> tuple[Trace, ...]:
@@ -122,8 +138,41 @@ class SimJob:
         return tuple(built_trace(p) for p in self.provenances)
 
     def execute(self) -> RunResult:
-        """Run the simulation in this process."""
-        return run_system(self.build_traces(), MCRMode(self.mode), spec=self.spec)
+        """Run the simulation in this process.
+
+        ``batch`` jobs route through the lockstep kernel when compatible
+        (one-lane batch — same bit-identical result, and the only path
+        that exercises the batch metric mirrors for a single job);
+        everything else runs the scalar engine, with the observability
+        hub attached when ``metrics`` is set.
+        """
+        if self.batch:
+            from repro.batch.compat import job_incompatibility
+            from repro.batch.kernel import BatchInstance, run_batch
+
+            if job_incompatibility(self) is None:
+                [result] = run_batch(
+                    [
+                        BatchInstance(
+                            traces=self.build_traces(),
+                            mode=self.mode,
+                            spec=self.spec,
+                            metrics=self.metrics,
+                        )
+                    ]
+                )
+                return result
+        observability = None
+        if self.metrics:
+            from repro.obs.hub import ObservabilityConfig
+
+            observability = ObservabilityConfig(metrics=True)
+        return run_system(
+            self.build_traces(),
+            MCRMode(self.mode),
+            spec=self.spec,
+            observability=observability,
+        )
 
     def payload(self) -> tuple:
         """Picklable form shipped to pool workers."""
@@ -133,17 +182,26 @@ class SimJob:
             self.literal_traces,
             self.mode,
             self.spec,
+            self.metrics,
+            self.batch,
         )
 
     @classmethod
     def from_payload(cls, payload: tuple) -> "SimJob":
-        fingerprint, provenances, literal_traces, mode, spec = payload
+        # Two trailing fields were appended in the telemetry-plane
+        # release; accept the older 5-tuple so a mixed-version pool
+        # (parent newer than a long-lived worker, or vice versa) still
+        # round-trips.
+        fingerprint, provenances, literal_traces, mode, spec = payload[:5]
+        metrics, batch = (payload[5], payload[6]) if len(payload) >= 7 else (False, False)
         return cls(
             fingerprint=fingerprint,
             mode=mode,
             spec=spec,
             provenances=provenances,
             literal_traces=literal_traces,
+            metrics=metrics,
+            batch=batch,
         )
 
 

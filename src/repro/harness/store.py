@@ -86,6 +86,7 @@ def serialize_result(result: RunResult) -> dict:
         "read_latency_percentiles": list(result.read_latency_percentiles),
         "metrics": _jsonable(result.metrics) if result.metrics is not None else None,
         "profile": _jsonable(result.profile) if result.profile is not None else None,
+        "trace": _jsonable(result.trace) if result.trace is not None else None,
     }
 
 
@@ -108,6 +109,7 @@ def deserialize_result(data: dict) -> RunResult:
         # key; they deserialize with metrics=None rather than invalidating.
         metrics=data.get("metrics"),
         profile=data.get("profile"),
+        trace=data.get("trace"),
     )
 
 

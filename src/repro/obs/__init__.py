@@ -10,6 +10,9 @@ simulation results. Entry points:
 - :class:`RequestProfiler` / :func:`attribute_mechanisms` — per-request
   latency decomposition and Fig.-17-style mechanism attribution;
 - :func:`to_perfetto` / :func:`diff_runs` — trace export and run diff;
+- :mod:`repro.obs.plane` — trace-context propagation (service → harness
+  → engine) and :func:`render_openmetrics` Prometheus exposition;
+- ``python -m repro.obs.history check`` — perf-history trend gate;
 - ``python -m repro.obs.fuzz`` — the CI invariant-checker fuzz driver.
 """
 
@@ -46,6 +49,18 @@ from repro.obs.metrics import (
     MetricsRegistry,
     format_metrics,
 )
+from repro.obs.plane import (
+    TraceContext,
+    new_trace,
+    parse_traceparent,
+    stamp_result,
+)
+from repro.obs.prometheus import (
+    OPENMETRICS_CONTENT_TYPE,
+    ExemplarStore,
+    parse_exposition,
+    render_openmetrics,
+)
 from repro.obs.profiler import (
     COMPONENTS,
     RequestProfile,
@@ -71,11 +86,14 @@ __all__ = [
     "Histogram",
     "InvariantChecker",
     "InvariantError",
+    "ExemplarStore",
     "MECHANISMS",
     "MetricsRegistry",
+    "OPENMETRICS_CONTENT_TYPE",
     "ObservabilityConfig",
     "ObservabilityHub",
     "ROW_CLASS_LABELS",
+    "TraceContext",
     "RequestProfile",
     "RequestProfiler",
     "TRACE_SCHEMA_VERSION",
@@ -88,8 +106,13 @@ __all__ = [
     "format_diff",
     "format_metrics",
     "format_profile",
+    "new_trace",
     "observe_run",
+    "parse_exposition",
+    "parse_traceparent",
+    "render_openmetrics",
     "run_artifact",
+    "stamp_result",
     "to_perfetto",
     "write_perfetto",
     "write_run_artifact",

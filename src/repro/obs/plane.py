@@ -1,0 +1,177 @@
+"""Trace-context plane: one correlation id from HTTP admission to RunResult.
+
+The service mints a :class:`TraceContext` when a job is admitted; the
+context rides through the registry, the worker pool and the harness down
+to the engine run, so every NDJSON lifecycle event, store write, retry
+and benchmark artifact can be joined on the same ``trace_id``. Span
+records are plain dicts (JSON-ready) — the plane never influences
+simulation results, it only annotates them.
+
+Wire format is the W3C ``traceparent`` header::
+
+    00-<32 hex trace id>-<16 hex span id>-01
+
+so the ids survive a hop through any HTTP intermediary unchanged.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import secrets
+import time
+
+PLANE_SCHEMA_VERSION = 1
+
+_TRACE_HEX = 32
+_SPAN_HEX = 16
+
+
+def new_trace_id() -> str:
+    return secrets.token_hex(_TRACE_HEX // 2)
+
+
+def new_span_id() -> str:
+    return secrets.token_hex(_SPAN_HEX // 2)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """An immutable (trace, span) coordinate in one request's span tree."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None = None
+
+    def traceparent(self) -> str:
+        """W3C ``traceparent`` header value for this context."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    def child(self, span_id: str | None = None) -> "TraceContext":
+        """A context one level down: same trace, this span as parent."""
+        return TraceContext(
+            self.trace_id, span_id or new_span_id(), parent_id=self.span_id
+        )
+
+
+def new_trace() -> TraceContext:
+    """Mint a fresh root context (no parent)."""
+    return TraceContext(new_trace_id(), new_span_id())
+
+
+def _is_hex(text: str, width: int) -> bool:
+    if len(text) != width or set(text) <= {"0"}:
+        return False
+    try:
+        int(text, 16)
+    except ValueError:
+        return False
+    return True
+
+
+def parse_traceparent(header: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header; ``None`` on anything malformed.
+
+    Lenient by design — a bad header must never fail a job, it just
+    breaks correlation for that hop.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    parts = header.strip().lower().split("-")
+    if len(parts) != 4:
+        return None
+    version, trace_id, span_id, _flags = parts
+    if version != "00":
+        return None
+    if not _is_hex(trace_id, _TRACE_HEX) or not _is_hex(span_id, _SPAN_HEX):
+        return None
+    return TraceContext(trace_id, span_id)
+
+
+# ----------------------------------------------------------------------
+# Ambient context (contextvar — safe across threads and asyncio tasks)
+# ----------------------------------------------------------------------
+
+_current: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+def current() -> TraceContext | None:
+    """The context bound to the running thread/task, if any."""
+    return _current.get()
+
+
+@contextlib.contextmanager
+def bind(ctx: TraceContext):
+    """Bind ``ctx`` as the ambient context for the enclosed block."""
+    token = _current.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _current.reset(token)
+
+
+# ----------------------------------------------------------------------
+# Span records and result stamping
+# ----------------------------------------------------------------------
+
+_ROOT = object()  # sentinel: "derive parent from ctx"
+
+
+def span(
+    name: str,
+    ctx: TraceContext,
+    start_s: float,
+    end_s: float,
+    span_id: str | None = None,
+    parent_id=_ROOT,
+) -> dict:
+    """One JSON-ready span record under ``ctx``.
+
+    By default the new span is a child of ``ctx``'s span; pass
+    ``span_id=ctx.span_id, parent_id=None`` to record the root itself.
+    """
+    return {
+        "name": name,
+        "trace_id": ctx.trace_id,
+        "span_id": span_id or new_span_id(),
+        "parent_id": ctx.span_id if parent_id is _ROOT else parent_id,
+        "start_s": round(start_s, 6),
+        "end_s": round(end_s, 6),
+    }
+
+
+def trace_payload(ctx: TraceContext, spans=()) -> dict:
+    """The ``RunResult.trace`` dict shape for ``ctx``."""
+    return {
+        "schema": PLANE_SCHEMA_VERSION,
+        "trace_id": ctx.trace_id,
+        "root_span_id": ctx.span_id,
+        "spans": list(spans),
+    }
+
+
+def stamp_result(result, ctx: TraceContext, spans=()):
+    """Return ``result`` with ``ctx`` (plus ``spans``) on its ``trace``.
+
+    Purely additive: every measurement field is untouched, so a stamped
+    result stays bit-identical to its unstamped twin everywhere except
+    the ``trace`` annotation. Re-stamping the same trace merges spans.
+    """
+    if result.trace is not None and result.trace.get("trace_id") == ctx.trace_id:
+        merged = dict(result.trace)
+        merged["spans"] = list(merged.get("spans", ())) + list(spans)
+        return dataclasses.replace(result, trace=merged)
+    return dataclasses.replace(result, trace=trace_payload(ctx, spans))
+
+
+@contextlib.contextmanager
+def timed_span(name: str, ctx: TraceContext, sink: list, parent_id=_ROOT):
+    """Append a span covering the enclosed block to ``sink``."""
+    start = time.time()
+    try:
+        yield
+    finally:
+        sink.append(span(name, ctx, start, time.time(), parent_id=parent_id))

@@ -1,0 +1,309 @@
+"""Prometheus / OpenMetrics text exposition for registry snapshots.
+
+:func:`render_openmetrics` turns a :meth:`MetricsRegistry.snapshot`
+dict (optionally merged across registries, as the service does) into
+the OpenMetrics 1.0 text format: counters gain the ``_total`` suffix,
+histograms are re-cumulated into ``le``-labelled buckets with ``+Inf``,
+``_sum`` and ``_count`` samples, and latency histograms can carry
+trace-id exemplars recorded through :class:`ExemplarStore`.
+
+:func:`parse_exposition` is the matching validator — strict enough to
+catch malformed families, non-cumulative buckets or a missing ``# EOF``
+terminator, and used by both the test suite and the CI smoke job in
+place of an external Prometheus client library.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import time
+from dataclasses import dataclass, field
+
+#: Content type of the OpenMetrics rendering (exemplar-capable).
+OPENMETRICS_CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+#: Content type of the classic Prometheus text format.
+PROMETHEUS_TEXT_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_SUFFIXES = ("_total", "_bucket", "_sum", "_count")
+_KINDS = frozenset({"counter", "gauge", "histogram"})
+
+
+def metric_name(name: str) -> str:
+    """Sanitize a dotted registry name into a legal Prometheus name."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape(value: object) -> str:
+    return (
+        str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labelset(labels, extra=()) -> str:
+    items = sorted(labels.items()) + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _num(value: float) -> str:
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+class ExemplarStore:
+    """Latest trace-id exemplar per histogram family.
+
+    The service records one exemplar per observation site (job seconds,
+    queue wait); the renderer attaches it to the first bucket wide
+    enough to hold the value, per the OpenMetrics exemplar rules.
+    """
+
+    def __init__(self) -> None:
+        self._latest: dict[str, tuple[float, str, float]] = {}
+
+    def record(self, family: str, value: float, trace_id: str, ts: float | None = None) -> None:
+        self._latest[family] = (float(value), trace_id, ts if ts is not None else time.time())
+
+    def get(self, family: str) -> tuple[float, str, float] | None:
+        return self._latest.get(family)
+
+
+def _exemplar_suffix(exemplar: tuple[float, str, float]) -> str:
+    value, trace_id, ts = exemplar
+    return f' # {{trace_id="{_escape(trace_id)}"}} {_num(value)} {ts:.3f}'
+
+
+def render_openmetrics(snapshot, exemplars: ExemplarStore | None = None) -> str:
+    """Render a registry snapshot as OpenMetrics text (ends ``# EOF``)."""
+    lines: list[str] = []
+    for name in snapshot:
+        family = snapshot[name]
+        base = metric_name(name)
+        kind = family["type"]
+        lines.append(f"# TYPE {base} {kind}")
+        exemplar = exemplars.get(name) if exemplars is not None else None
+        # Exemplars are only unambiguous when the family has one series.
+        if exemplar is not None and len(family["series"]) != 1:
+            exemplar = None
+        for series in family["series"]:
+            labels = series["labels"]
+            if kind == "counter":
+                lines.append(f"{base}_total{_labelset(labels)} {_num(series['value'])}")
+            elif kind == "gauge":
+                lines.append(f"{base}{_labelset(labels)} {_num(series['value'])}")
+            elif kind == "histogram":
+                lines.extend(_histogram_lines(base, series, exemplar))
+            else:  # pragma: no cover - registry only emits the three kinds
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _histogram_lines(base, series, exemplar) -> list[str]:
+    labels = series["labels"]
+    buckets = series["buckets"]
+    bounds = sorted(
+        float(key[3:]) for key in buckets if key.startswith("le_")
+    )
+    lines = []
+    cumulative = 0
+    attached = False
+    for bound in bounds:
+        cumulative += buckets[f"le_{bound:g}"]
+        line = (
+            f"{base}_bucket{_labelset(labels, (('le', _num(bound)),))} {cumulative}"
+        )
+        if exemplar is not None and not attached and exemplar[0] <= bound:
+            line += _exemplar_suffix(exemplar)
+            attached = True
+        lines.append(line)
+    line = f"{base}_bucket{_labelset(labels, (('le', '+Inf'),))} {series['count']}"
+    if exemplar is not None and not attached:
+        line += _exemplar_suffix(exemplar)
+    lines.append(line)
+    lines.append(f"{base}_sum{_labelset(labels)} {_num(series['sum'])}")
+    lines.append(f"{base}_count{_labelset(labels)} {series['count']}")
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Validator / parser
+# ----------------------------------------------------------------------
+
+
+class ExpositionError(ValueError):
+    """The text is not valid Prometheus/OpenMetrics exposition."""
+
+
+_NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_VALUE_RE = r"[+-]?(?:[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?|Inf|NaN)"
+_TYPE_RE = re.compile(rf"^# TYPE ({_NAME_RE}) ([a-z]+)$")
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME_RE})(\{{.*?\}})?\s+({_VALUE_RE})"
+    rf"(?:\s+#\s+(\{{.*?\}})\s+({_VALUE_RE})(?:\s+({_VALUE_RE}))?)?$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_labels(block: str | None) -> dict[str, str]:
+    if not block:
+        return {}
+    inner = block[1:-1].rstrip(",")
+    matches = list(_LABEL_RE.finditer(inner))
+    if ",".join(match.group(0) for match in matches) != inner:
+        raise ExpositionError(f"malformed label set: {block!r}")
+    return {
+        match.group(1): match.group(2)
+        .replace("\\n", "\n")
+        .replace('\\"', '"')
+        .replace("\\\\", "\\")
+        for match in matches
+    }
+
+
+@dataclass
+class Sample:
+    name: str
+    labels: dict[str, str]
+    value: float
+    exemplar: dict | None = None
+
+
+@dataclass
+class Family:
+    name: str
+    type: str
+    samples: list[Sample] = field(default_factory=list)
+
+
+def _family_for(sample_name: str, families: dict[str, Family]) -> Family | None:
+    if sample_name in families:
+        return families[sample_name]
+    for suffix in _SUFFIXES:
+        if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+            return families[sample_name[: -len(suffix)]]
+    return None
+
+
+def parse_exposition(text: str) -> dict[str, Family]:
+    """Parse (and validate) exposition text; raises :class:`ExpositionError`.
+
+    Checks: every sample belongs to a declared ``# TYPE`` family with
+    the right suffix for its kind, histogram buckets are cumulative and
+    agree with ``_count``/``+Inf``, and the document ends in ``# EOF``.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1].strip() != "# EOF":
+        raise ExpositionError("exposition must terminate with '# EOF'")
+    families: dict[str, Family] = {}
+    for raw in lines[:-1]:
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE "):
+                match = _TYPE_RE.match(line)
+                if match is None:
+                    raise ExpositionError(f"bad TYPE line: {line!r}")
+                name, kind = match.groups()
+                if kind not in _KINDS and kind not in ("untyped", "summary", "info"):
+                    raise ExpositionError(f"unknown family kind {kind!r}")
+                if name in families:
+                    raise ExpositionError(f"duplicate family {name!r}")
+                families[name] = Family(name, kind)
+            # HELP/UNIT/other comments are tolerated, not interpreted.
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(f"bad sample line: {line!r}")
+        name, labels_block, value, ex_labels, ex_value, ex_ts = match.groups()
+        family = _family_for(name, families)
+        if family is None:
+            raise ExpositionError(f"sample {name!r} has no TYPE declaration")
+        _check_suffix(family, name)
+        exemplar = None
+        if ex_labels is not None:
+            exemplar = {
+                "labels": _parse_labels(ex_labels),
+                "value": float(ex_value),
+                "ts": float(ex_ts) if ex_ts is not None else None,
+            }
+        family.samples.append(
+            Sample(name, _parse_labels(labels_block), float(value), exemplar)
+        )
+    for family in families.values():
+        if family.type == "histogram":
+            _check_histogram(family)
+    return families
+
+
+def _check_suffix(family: Family, sample_name: str) -> None:
+    suffix = sample_name[len(family.name):]
+    allowed = {
+        "counter": {"_total"},
+        "gauge": {""},
+        "histogram": {"_bucket", "_sum", "_count"},
+    }.get(family.type, {"", "_total", "_bucket", "_sum", "_count"})
+    if suffix not in allowed:
+        raise ExpositionError(
+            f"sample {sample_name!r} has illegal suffix {suffix!r} "
+            f"for {family.type} family {family.name!r}"
+        )
+
+
+def _check_histogram(family: Family) -> None:
+    series: dict[tuple, dict] = {}
+    for sample in family.samples:
+        labels = dict(sample.labels)
+        le = labels.pop("le", None)
+        key = tuple(sorted(labels.items()))
+        entry = series.setdefault(key, {"buckets": [], "sum": None, "count": None})
+        if sample.name.endswith("_bucket"):
+            if le is None:
+                raise ExpositionError(f"{sample.name} bucket missing 'le' label")
+            bound = math.inf if le == "+Inf" else float(le)
+            entry["buckets"].append((bound, sample.value))
+        elif sample.name.endswith("_sum"):
+            entry["sum"] = sample.value
+        else:
+            entry["count"] = sample.value
+    for key, entry in series.items():
+        buckets = sorted(entry["buckets"])
+        if not buckets or buckets[-1][0] != math.inf:
+            raise ExpositionError(
+                f"histogram {family.name!r}{dict(key)} lacks a '+Inf' bucket"
+            )
+        counts = [count for _, count in buckets]
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            raise ExpositionError(
+                f"histogram {family.name!r}{dict(key)} buckets not cumulative"
+            )
+        if entry["count"] is None or entry["count"] != counts[-1]:
+            raise ExpositionError(
+                f"histogram {family.name!r}{dict(key)} _count disagrees with +Inf"
+            )
+        if entry["sum"] is None:
+            raise ExpositionError(f"histogram {family.name!r}{dict(key)} missing _sum")
+
+
+__all__ = [
+    "ExemplarStore",
+    "ExpositionError",
+    "Family",
+    "OPENMETRICS_CONTENT_TYPE",
+    "PROMETHEUS_TEXT_CONTENT_TYPE",
+    "Sample",
+    "metric_name",
+    "parse_exposition",
+    "render_openmetrics",
+]

@@ -47,6 +47,12 @@ class ArtifactCache(ResultStore):
         self.max_bytes = max_bytes
         self.registry = registry if registry is not None else MetricsRegistry()
         self._lock = threading.Lock()
+        # Pre-register every cache series so a scrape taken before the
+        # first lookup still exposes the full cache.* family set (a
+        # counter that never fired otherwise would simply not exist).
+        for name in ("cache.hits", "cache.misses", "cache.writes", "cache.evictions"):
+            self.registry.counter(name).inc(0)
+        self.refresh_gauges()
 
     # ------------------------------------------------------------------
     # store contract, instrumented
@@ -132,6 +138,11 @@ class ArtifactCache(ResultStore):
         entries = self._entries()
         self.registry.gauge("cache.entries").set(len(entries))
         self.registry.gauge("cache.bytes").set(sum(size for _, size, _ in entries))
+
+    def refresh_gauges(self) -> None:
+        """Re-stat the directory so occupancy gauges are scrape-fresh
+        (other tenants may have written or evicted since our last put)."""
+        self._update_gauges()
 
     def stats(self) -> dict:
         """JSON-safe snapshot: occupancy plus hit/miss/eviction counters."""

@@ -72,6 +72,14 @@ class ServiceClient:
         ``job_id``); raises :class:`ServiceError` on 4xx/5xx."""
         return self._checked("POST", "/v1/jobs", spec)
 
+    def submit_with_headers(self, spec: dict) -> tuple[dict, dict]:
+        """Like :meth:`submit`, also returning the response headers
+        (``X-Trace-Id`` / ``Traceparent`` carry the job's trace context)."""
+        status, payload, headers = self._request("POST", "/v1/jobs", spec)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        return payload, headers
+
     def submit_with_backoff(
         self, spec: dict, attempts: int = 10, max_wait_s: float = 30.0
     ) -> dict:
@@ -128,6 +136,19 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self._checked("GET", "/metrics?format=json")
+
+    def metrics_text(self, fmt: str | None = None) -> tuple[str, str]:
+        """Scrape ``/metrics`` as text; returns (body, content type).
+
+        Default is the OpenMetrics exposition; ``fmt="text"`` requests
+        the legacy human-readable dump.
+        """
+        path = "/metrics" if fmt is None else f"/metrics?format={fmt}"
+        status, payload, headers = self._request("GET", path)
+        if status >= 400:
+            raise ServiceError(status, payload)
+        content_type = headers.get("Content-Type", "")
+        return payload.get("text", ""), content_type
 
     def cache_stats(self) -> dict:
         return self._checked("GET", "/v1/cache")

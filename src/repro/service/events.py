@@ -28,12 +28,17 @@ TERMINAL_EVENTS = frozenset({"finished", "failed", "cancelled"})
 class EventStream:
     """Append-only event log for one job, with replay + live follow."""
 
-    __slots__ = ("_events", "_pulse", "_done")
+    __slots__ = ("_events", "_pulse", "_done", "trace_id", "span_id")
 
     def __init__(self) -> None:
         self._events: list[dict] = []
         self._pulse = asyncio.Event()
         self._done = False
+        #: Telemetry-plane correlation ids stamped onto every event once
+        #: set (at admission, before the first publish) — the NDJSON
+        #: stream then carries the same trace id the HTTP response did.
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
 
     def publish(self, kind: str, **payload: object) -> dict:
         """Append one event (event-loop thread only) and wake followers."""
@@ -43,6 +48,9 @@ class EventStream:
             "ts": round(time.time(), 6),
             **payload,
         }
+        if self.trace_id is not None:
+            event.setdefault("trace_id", self.trace_id)
+            event.setdefault("span_id", self.span_id)
         self._events.append(event)
         if kind in TERMINAL_EVENTS:
             self._done = True

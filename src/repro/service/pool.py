@@ -40,10 +40,12 @@ class WorkerCrash(RuntimeError):
         self.reason = reason
 
 
-def _thread_worker(payload: tuple) -> tuple[str, RunResult, float]:
+def _thread_worker(
+    payload: tuple, traceparent: str | None = None
+) -> tuple[str, RunResult, float]:
     """Thread-backend entry point (separate from the process entry point
     so tests can monkeypatch execution without touching the harness)."""
-    return _worker(payload)
+    return _worker(payload, traceparent)
 
 
 class ShardedWorkerPool:
@@ -68,18 +70,23 @@ class ShardedWorkerPool:
         """Stable shard placement from the leading fingerprint bits."""
         return int(fingerprint[:8], 16) % self.shards
 
-    async def run(self, job: SimJob) -> tuple[RunResult, float, str]:
+    async def run(
+        self, job: SimJob, traceparent: str | None = None
+    ) -> tuple[RunResult, float, str]:
         """Execute ``job`` on its shard; return (result, seconds, where).
 
-        Raises :class:`WorkerCrash` on any worker-side failure so the
-        caller can apply its retry policy with the reason preserved.
+        ``traceparent`` (a W3C header string) rides along so the worker
+        rebinds the submitter's trace context around execution and the
+        result comes back stamped with it. Raises :class:`WorkerCrash`
+        on any worker-side failure so the caller can apply its retry
+        policy with the reason preserved.
         """
         loop = asyncio.get_running_loop()
         executor = self._executors[self.shard_of(job.fingerprint)]
         entry = _worker if self.backend == "process" else _thread_worker
         try:
             _, result, seconds = await loop.run_in_executor(
-                executor, entry, job.payload()
+                executor, entry, job.payload(), traceparent
             )
         except asyncio.CancelledError:
             raise

@@ -49,6 +49,13 @@ class ServiceJob:
     seconds: float | None = None
     shard: int | None = None
     events: EventStream = field(default_factory=EventStream)
+    #: Telemetry-plane trace context minted at admission
+    #: (:class:`repro.obs.plane.TraceContext`); ``None`` only for jobs
+    #: created before the plane existed (deserialized history).
+    trace: object | None = None
+    #: Service-side span records accumulated over the job's lifecycle
+    #: (service.admit, cache.lookup, queue.wait, execute, store.write).
+    spans: list = field(default_factory=list)
 
     @property
     def fingerprint(self) -> str:
@@ -64,6 +71,10 @@ class ServiceJob:
             "cached": self.cached,
             "shard": self.shard,
         }
+        if self.trace is not None:
+            out["trace_id"] = self.trace.trace_id
+            out["traceparent"] = self.trace.traceparent()
+            out["spans"] = list(self.spans)
         if self.seconds is not None:
             out["seconds"] = round(self.seconds, 6)
         if self.where is not None:

@@ -11,7 +11,9 @@ A deliberately small HTTP/1.1 implementation on ``asyncio.start_server``
 - ``GET  /v1/jobs/{id}/result``the RunResult (409 until terminal).
 - ``GET  /v1/jobs/{id}/events``NDJSON lifecycle stream: full replay
   from ``?since=SEQ`` then live follow; closes after a terminal event.
-- ``GET  /metrics``            text exposition (``?format=json`` for raw).
+- ``GET  /metrics``            OpenMetrics/Prometheus exposition with
+  trace-id exemplars (``?format=json`` for the raw snapshot,
+  ``?format=text`` for the legacy human-readable dump).
 - ``GET  /v1/cache``           artifact-cache stats.
 - ``GET  /healthz``            liveness + summary.
 - ``POST /v1/admin/shutdown``  begin graceful shutdown (also SIGINT/
@@ -32,6 +34,7 @@ from urllib.parse import parse_qs, urlsplit
 
 from repro.harness.store import serialize_result
 from repro.obs.metrics import format_metrics
+from repro.obs.prometheus import OPENMETRICS_CONTENT_TYPE, render_openmetrics
 from repro.service.service import Draining, QueueFull, ServiceConfig, SimulationService
 from repro.service.spec import SpecError
 
@@ -169,10 +172,19 @@ class ServiceServer:
             return
         if path == "/metrics" and method == "GET":
             snapshot = service.metrics_snapshot()
-            if query.get("format") == "json":
+            fmt = query.get("format")
+            if fmt == "json":
                 await self._respond(writer, 200, snapshot)
-            else:
+            elif fmt == "text":
+                # Legacy human-readable dump (pre-Prometheus format).
                 await self._respond_text(writer, 200, format_metrics(snapshot) + "\n")
+            else:
+                await self._respond_text(
+                    writer,
+                    200,
+                    render_openmetrics(snapshot, service.exemplars),
+                    content_type=OPENMETRICS_CONTENT_TYPE,
+                )
             return
         if path == "/v1/cache" and method == "GET":
             cache = service.cache
@@ -233,7 +245,20 @@ class ServiceServer:
         response = job.describe()
         response["events_url"] = f"/v1/jobs/{job.fingerprint}/events"
         response["result_url"] = f"/v1/jobs/{job.fingerprint}/result"
-        await self._respond(writer, 200 if job.status == "done" else 202, response)
+        trace_headers: tuple[tuple[str, str], ...] = ()
+        if job.trace is not None:
+            # The same ids the NDJSON stream and the stored RunResult
+            # carry, so one grep joins the whole request lifecycle.
+            trace_headers = (
+                ("X-Trace-Id", job.trace.trace_id),
+                ("Traceparent", job.trace.traceparent()),
+            )
+        await self._respond(
+            writer,
+            200 if job.status == "done" else 202,
+            response,
+            extra_headers=trace_headers,
+        )
 
     async def _job_route(
         self,
@@ -308,11 +333,13 @@ class ServiceServer:
         )
 
     async def _respond_text(
-        self, writer: asyncio.StreamWriter, status: int, text: str
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        text: str,
+        content_type: str = "text/plain; charset=utf-8",
     ) -> None:
-        await self._write_response(
-            writer, status, text.encode(), "text/plain; charset=utf-8", ()
-        )
+        await self._write_response(writer, status, text.encode(), content_type, ())
 
     async def _write_response(
         self, writer, status, body: bytes, content_type: str, extra_headers

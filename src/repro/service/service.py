@@ -32,7 +32,9 @@ from dataclasses import dataclass
 
 from repro.harness.store import DEFAULT_CACHE_DIR
 from repro.harness.telemetry import Telemetry
+from repro.obs import plane
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import ExemplarStore
 from repro.service.cache import ArtifactCache
 from repro.service.events import TERMINAL_EVENTS
 from repro.service.pool import ShardedWorkerPool, WorkerCrash
@@ -87,6 +89,9 @@ class SimulationService:
         self.config = config if config is not None else ServiceConfig()
         self.metrics = MetricsRegistry()
         self.telemetry = Telemetry()
+        #: Latest trace-id exemplar per latency histogram, attached to
+        #: the OpenMetrics rendering of ``/metrics``.
+        self.exemplars = ExemplarStore()
         self.cache: ArtifactCache | None = (
             ArtifactCache(
                 self.config.cache_dir,
@@ -169,6 +174,7 @@ class SimulationService:
         self.metrics.counter("service.submissions").inc()
         if self._draining:
             raise Draining("service is draining; resubmit elsewhere")
+        admit_start = time.time()
         spec = parse_spec(payload)
         sim_job = spec.to_job()
         fingerprint = sim_job.fingerprint
@@ -186,8 +192,15 @@ class SimulationService:
         # failed/cancelled ancestors don't poison the fingerprint: fall
         # through and resubmit a fresh job under the same identity.
 
-        job = ServiceJob(job=sim_job, spec=spec.canonical())
+        # Every admitted job gets a fresh trace context; it rides the
+        # registry entry, the event stream, the worker hop and the
+        # RunResult, so one trace id joins the whole lifecycle.
+        ctx = plane.new_trace()
+        job = ServiceJob(job=sim_job, spec=spec.canonical(), trace=ctx)
+        job.events.trace_id = ctx.trace_id
+        job.events.span_id = ctx.span_id
 
+        lookup_start = time.time()
         result = self.memo.get(fingerprint)
         tier = "memory" if result is not None else None
         if result is None and self.cache is not None:
@@ -195,17 +208,30 @@ class SimulationService:
             if result is not None:
                 tier = "disk"
                 self.memo[fingerprint] = result
+        job.spans.append(plane.span("cache.lookup", ctx, lookup_start, time.time()))
         if result is not None:
             self.telemetry.cache_hit(from_store=tier == "disk")
             self.metrics.counter("service.cache_hits", tier=tier).inc()
             job.status = "done"
-            job.result = result
             job.cached = tier
             job.seconds = 0.0
             job.finished = time.monotonic()
             job.events.publish("queued", job_id=fingerprint)
             job.events.publish("cache_hit", tier=tier)
             job.events.publish("finished", seconds=0.0, cached=tier)
+            job.spans.append(
+                plane.span(
+                    "service.admit",
+                    ctx,
+                    admit_start,
+                    time.time(),
+                    span_id=ctx.span_id,
+                    parent_id=None,
+                )
+            )
+            # The served copy carries this submission's trace; the memo
+            # keeps the unstamped original for the next hit.
+            job.result = plane.stamp_result(result, ctx, job.spans)
             self.registry.install(job)
             self.registry.finish(job)
             return job
@@ -225,6 +251,16 @@ class SimulationService:
         self.telemetry.queued += 1
         self._observe_queue_depth()
         job.events.publish("queued", job_id=fingerprint, shard=shard)
+        job.spans.append(
+            plane.span(
+                "service.admit",
+                ctx,
+                admit_start,
+                time.time(),
+                span_id=ctx.span_id,
+                parent_id=None,
+            )
+        )
         return job
 
     async def wait(self, fingerprint: str, timeout: float | None = None) -> ServiceJob:
@@ -257,15 +293,23 @@ class SimulationService:
 
     async def _run(self, job: ServiceJob, shard: int) -> None:
         loop = asyncio.get_running_loop()
+        ctx = job.trace
         job.status = "running"
         job.started = time.monotonic()
         started = self.telemetry.job_started(job.job.label)
+        wait_s = job.started - job.created
         self.metrics.histogram(
             "service.queue_wait_seconds", buckets=_SECONDS_BUCKETS
-        ).observe(job.started - job.created)
+        ).observe(wait_s)
+        if ctx is not None:
+            now = time.time()
+            job.spans.append(plane.span("queue.wait", ctx, now - wait_s, now))
+            self.exemplars.record("service.queue_wait_seconds", wait_s, ctx.trace_id)
         job.events.publish("started", shard=shard, backend=self.pool.backend)
         try:
-            result, seconds, where = await self.pool.run(job.job)
+            result, seconds, where = await self.pool.run(
+                job.job, ctx.traceparent() if ctx is not None else None
+            )
         except WorkerCrash as crash:
             # Retry-once in-process, with the reason on the record —
             # the same never-silent policy as the harness executor.
@@ -273,13 +317,25 @@ class SimulationService:
             self.metrics.counter("service.retries", reason=crash.reason).inc()
             job.events.publish("retrying", reason=crash.reason)
             begin = time.perf_counter()
+            wall = time.time()
             try:
                 result = await loop.run_in_executor(None, job.job.execute)
             except Exception as exc:
                 self._fail(job, f"{type(exc).__name__}: {exc}")
                 return
             seconds, where = time.perf_counter() - begin, "retry"
-        job.result = result
+            # run_in_executor doesn't propagate contextvars, so the
+            # retry path stamps its execute span by hand.
+            if ctx is not None:
+                result = plane.stamp_result(
+                    result, ctx, [plane.span("execute", ctx, wall, time.time())]
+                )
+        if ctx is not None and (
+            result.trace is None or result.trace.get("trace_id") != ctx.trace_id
+        ):
+            # Worker predates the plane (or dropped the header): keep
+            # the correlation id on the artifact anyway.
+            result = plane.stamp_result(result, ctx)
         job.seconds = seconds
         job.where = where
         job.status = "done"
@@ -288,7 +344,20 @@ class SimulationService:
         if self.cache is not None:
             # The single store write for this fingerprint, however many
             # submissions coalesced onto it.
+            begin = time.time()
             self.cache.put(job.fingerprint, result)
+            if ctx is not None:
+                job.spans.append(plane.span("store.write", ctx, begin, time.time()))
+        if ctx is not None:
+            self.exemplars.record("service.job_seconds", seconds, ctx.trace_id)
+            # Served result carries the full span tree: the worker's
+            # execute span (already on result.trace) merged with the
+            # service-side admit / cache.lookup / queue.wait /
+            # store.write spans.
+            job.result = plane.stamp_result(result, ctx, job.spans)
+            job.spans = list(job.result.trace["spans"])
+        else:
+            job.result = result
         self.telemetry.job_finished(
             job.fingerprint, job.job.label, started, where, seconds=seconds
         )
@@ -319,6 +388,10 @@ class SimulationService:
 
     def metrics_snapshot(self) -> dict:
         """Service + cache metrics merged with the harness telemetry."""
+        if self.cache is not None:
+            # Occupancy gauges go stale between writes (other tenants
+            # share the directory); re-stat so every scrape is current.
+            self.cache.refresh_gauges()
         merged = dict(self.telemetry.to_metrics().snapshot())
         merged.update(self.metrics.snapshot())
         return dict(sorted(merged.items()))

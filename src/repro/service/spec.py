@@ -58,6 +58,12 @@ class ExperimentSpec:
     policy: str = "FR_FCFS"
     wiring: str = "K_TO_N_MINUS_1_K"
     refresh_enabled: bool = True
+    #: Collect an observability-metrics snapshot into the result
+    #: (fingerprint-relevant — a metrics job is a distinct artifact).
+    metrics: bool = False
+    #: Route through the batched lockstep kernel when compatible
+    #: (placement hint; results are bit-identical either way).
+    batch: bool = False
 
     def canonical(self) -> dict:
         """Normalized JSON payload (stable shape, defaults materialized)."""
@@ -71,6 +77,8 @@ class ExperimentSpec:
             "policy": self.policy,
             "wiring": self.wiring,
             "refresh_enabled": self.refresh_enabled,
+            "metrics": self.metrics,
+            "batch": self.batch,
         }
 
     def to_job(self) -> SimJob:
@@ -92,7 +100,14 @@ class ExperimentSpec:
             allocation=self.allocation,
         )
         label = f"{self.workload} {mode.config.label()} n={self.n_requests} s={self.seed}"
-        return SimJob.from_provenances([provenance], mode, spec, label=label)
+        return SimJob.from_provenances(
+            [provenance],
+            mode,
+            spec,
+            label=label,
+            metrics=self.metrics,
+            batch=self.batch,
+        )
 
 
 _FIELDS = frozenset(ExperimentSpec.__dataclass_fields__)
@@ -165,6 +180,13 @@ def parse_spec(payload: object) -> ExperimentSpec:
     if not isinstance(refresh_enabled, bool):
         raise SpecError("'refresh_enabled' must be a boolean")
 
+    metrics = payload.get("metrics", False)
+    if not isinstance(metrics, bool):
+        raise SpecError("'metrics' must be a boolean")
+    batch = payload.get("batch", False)
+    if not isinstance(batch, bool):
+        raise SpecError("'batch' must be a boolean")
+
     return ExperimentSpec(
         workload=workload,
         n_requests=n_requests,
@@ -175,4 +197,6 @@ def parse_spec(payload: object) -> ExperimentSpec:
         policy=_enum_name(payload.get("policy", "FR_FCFS"), SchedulingPolicy, "policy"),
         wiring=_enum_name(payload.get("wiring", "K_TO_N_MINUS_1_K"), WiringMethod, "wiring"),
         refresh_enabled=refresh_enabled,
+        metrics=metrics,
+        batch=batch,
     )

@@ -45,6 +45,11 @@ class RunResult:
     #: Latency-attribution profile snapshot (see
     #: :mod:`repro.obs.profiler`); None unless profiling was on.
     profile: dict | None = None
+    #: Telemetry-plane annotation (see :mod:`repro.obs.plane`): trace id
+    #: and span records for the request that produced this run. Purely
+    #: descriptive — never part of equality-checked measurements — and
+    #: None unless a trace context was propagated to the run.
+    trace: dict | None = None
 
     @property
     def total_energy_j(self) -> float:

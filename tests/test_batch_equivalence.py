@@ -90,6 +90,34 @@ class TestConfigMatrix:
         mismatches = batch_vs_scalar(CONFIG_MATRIX)
         assert mismatches == [], "\n".join(mismatches)
 
+    def test_matrix_metrics_equal_scalar_hub(self):
+        """Batch-lane metric mirrors vs the scalar observability hub:
+        the whole matrix batched in ONE kernel invocation with
+        ``metrics=True`` must yield, per lane, a ``RunResult`` (metrics
+        snapshot included) equal to a scalar run under
+        ``ObservabilityConfig(metrics=True)`` — same series, same label
+        sets, same counts, buckets and quantiles."""
+        from repro.core.api import run_system
+        from repro.obs.hub import ObservabilityConfig
+
+        instances = [
+            replace(from_verify_case(case), metrics=True)
+            for case in CONFIG_MATRIX
+        ]
+        batched = run_batch(instances)
+        for case, instance, got in zip(CONFIG_MATRIX, instances, batched):
+            want = run_system(
+                instance.traces,
+                MCRMode(instance.mode),
+                spec=instance.spec,
+                max_cycles=instance.max_cycles,
+                observability=ObservabilityConfig(metrics=True),
+            )
+            label = f"metrics seed={case.seed}"
+            assert got.metrics is not None, label
+            assert got.metrics == want.metrics, label
+            assert_equivalent(got, want, label)
+
 
 class TestSampledSweep:
     @pytest.mark.parametrize("seed", (101, 202, 303))
@@ -228,13 +256,27 @@ class TestCompatPredicate:
         assert reason is not None and "allocation" in reason
         assert not is_batchable(spec)
 
-    def test_observability_requires_scalar(self):
+    def test_metrics_only_observability_is_batchable(self):
         from repro.obs.hub import ObservabilityConfig
 
-        reason = incompatibility(
-            SystemSpec(), observability=ObservabilityConfig(metrics=True)
+        assert (
+            incompatibility(
+                SystemSpec(), observability=ObservabilityConfig(metrics=True)
+            )
+            is None
         )
-        assert reason is not None and "observability" in reason
+
+    def test_deep_observability_requires_scalar(self):
+        from repro.obs.hub import ObservabilityConfig
+
+        for config in (
+            ObservabilityConfig(trace=True),
+            ObservabilityConfig(metrics=True, invariants=True),
+            ObservabilityConfig(profile=True),
+            ObservabilityConfig(command_sink=lambda *a: None),
+        ):
+            reason = incompatibility(SystemSpec(), observability=config)
+            assert reason is not None and "observability" in reason
 
     def test_job_predicate_follows_spec(self):
         from repro.harness.jobs import SimJob

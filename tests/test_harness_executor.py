@@ -244,6 +244,40 @@ def test_batch_chunking_runs_every_chunk():
     assert all(record.where == "batch" for record in telemetry.records)
 
 
+def test_batch_chunk_failure_counts_retry_reason(monkeypatch):
+    """Regression: a kernel-chunk failure used to fall back to the
+    scalar engine without touching ``harness.retries{reason}`` — the
+    batch path must report its retries exactly like a worker crash."""
+    import repro.batch as batch_module
+
+    def exploding_kernel(instances):
+        raise MemoryError("lane allocation failed")
+
+    monkeypatch.setattr(batch_module, "run_batch", exploding_kernel)
+    jobs = _batchable_jobs(3)
+    telemetry = Telemetry()
+    results = execute_jobs(
+        jobs, HarnessConfig(batch=True), memo={}, telemetry=telemetry
+    )
+    # Every job completed via the scalar fallback...
+    assert list(results) == [job.fingerprint for job in jobs]
+    assert all(record.where == "retry" for record in telemetry.records)
+    # ...and none of the retries were silent.
+    assert telemetry.retried == 3
+    assert telemetry.retry_reasons == {"MemoryError": 3}
+    snapshot = telemetry.to_metrics().snapshot()
+    series = snapshot["harness.retries"]["series"]
+    assert any(
+        entry["labels"] == {"reason": "MemoryError"} and entry["value"] == 3
+        for entry in series
+    )
+    assert "MemoryError" in telemetry.summary()
+    # The fallback results are the reference scalar results, bit-identical.
+    monkeypatch.undo()
+    scalar = execute_jobs(_batchable_jobs(3), HarnessConfig(), memo={})
+    assert results == scalar
+
+
 def test_batch_shutdown_drains_current_chunk():
     """A shutdown mid-batch finishes the in-flight kernel chunk (its
     results persist) and cancels the chunks that never started."""

@@ -33,10 +33,10 @@ class _GatedWorker:
         self.gate = threading.Event()
         self.calls = 0
 
-    def __call__(self, payload):
+    def __call__(self, payload, traceparent=None):
         self.calls += 1
         assert self.gate.wait(60), "test never opened the worker gate"
-        return pool_module._worker(payload)
+        return pool_module._worker(payload, traceparent)
 
 
 def test_duplicate_inflight_submissions_coalesce(tmp_path, monkeypatch):
@@ -176,7 +176,7 @@ def test_shutdown_cancels_queued_drains_running(tmp_path, monkeypatch):
 
 
 def test_worker_crash_is_retried_with_reason(tmp_path, monkeypatch):
-    def crashing_worker(payload):
+    def crashing_worker(payload, traceparent=None):
         raise OSError("simulated worker loss")
 
     monkeypatch.setattr(pool_module, "_thread_worker", crashing_worker)
@@ -202,7 +202,7 @@ def test_worker_crash_is_retried_with_reason(tmp_path, monkeypatch):
 def test_failed_job_reports_and_does_not_poison(tmp_path, monkeypatch):
     attempts = {"n": 0}
 
-    def crashing_worker(payload):
+    def crashing_worker(payload, traceparent=None):
         raise RuntimeError("worker down")
 
     monkeypatch.setattr(pool_module, "_thread_worker", crashing_worker)

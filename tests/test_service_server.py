@@ -124,9 +124,9 @@ def test_error_statuses(tmp_path):
         gated = threading.Event()
         real = pool_module._thread_worker
 
-        def gated_worker(job_payload):
+        def gated_worker(job_payload, traceparent=None):
             gated.wait(60)
-            return real(job_payload)
+            return real(job_payload, traceparent)
 
         pool_module._thread_worker = gated_worker
         try:
@@ -146,9 +146,9 @@ def test_queue_full_maps_to_429_with_retry_after(tmp_path):
     gated = threading.Event()
     real = pool_module._thread_worker
 
-    def gated_worker(job_payload):
+    def gated_worker(job_payload, traceparent=None):
         gated.wait(60)
-        return real(job_payload)
+        return real(job_payload, traceparent)
 
     pool_module._thread_worker = gated_worker
     try:
@@ -178,14 +178,34 @@ def test_queue_full_maps_to_429_with_retry_after(tmp_path):
 
 
 def test_metrics_endpoint_text_and_json(tmp_path):
+    from repro.obs.prometheus import OPENMETRICS_CONTENT_TYPE, parse_exposition
+
     with _Server(_config(tmp_path)) as client:
         client.wait(client.submit(SPEC)["job_id"])
         snapshot = client.metrics()
         assert snapshot["service.completed"]["series"][0]["value"] == 1
         assert "harness.executed" in snapshot
-        status, _, headers = client._request("GET", "/metrics")
-        assert status == 200
-        assert headers["Content-Type"].startswith("text/plain")
+        # Default scrape is OpenMetrics with the matching Content-Type,
+        # and it parses cleanly (histograms cumulative, # EOF present).
+        body, content_type = client.metrics_text()
+        assert content_type == OPENMETRICS_CONTENT_TYPE
+        families = parse_exposition(body)
+        assert "service_completed" in families
+        # Cache gauges/counters are exposed even before any miss/evict.
+        for name in (
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "cache_entries",
+            "cache_bytes",
+        ):
+            assert name in families, name
+        # The legacy dump stays reachable, correctly typed as plain text.
+        _, legacy_type = client.metrics_text(fmt="text")
+        assert legacy_type.startswith("text/plain")
+        # And the JSON variant is typed as JSON.
+        _, _, headers = client._request("GET", "/metrics?format=json")
+        assert headers["Content-Type"] == "application/json"
 
 
 def test_admin_shutdown_drains(tmp_path):
