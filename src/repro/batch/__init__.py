@@ -6,7 +6,12 @@ one process, bit-identical per instance to the scalar engine
 See docs/SIMULATOR.md "Batched execution".
 """
 
-from repro.batch.compat import incompatibility, is_batchable, job_incompatibility
+from repro.batch.compat import (
+    group_key,
+    incompatibility,
+    is_batchable,
+    job_incompatibility,
+)
 from repro.batch.kernel import (
     MAX_LANES,
     BatchCompatError,
@@ -24,6 +29,7 @@ __all__ = [
     "BatchKernel",
     "clear_caches",
     "from_verify_case",
+    "group_key",
     "incompatibility",
     "is_batchable",
     "job_incompatibility",

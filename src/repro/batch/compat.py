@@ -58,3 +58,17 @@ def is_batchable(spec: SystemSpec, observability=None) -> bool:
 def job_incompatibility(job) -> str | None:
     """Compat reason for a harness :class:`~repro.harness.jobs.SimJob`."""
     return incompatibility(job.spec)
+
+
+def group_key(spec: SystemSpec) -> tuple:
+    """Chunk-packing key for the planner and the service coalescer.
+
+    Lanes sharing a key share the kernel's most expensive construction
+    tables: the address-decode memo is keyed by ``(geometry, mapping)``
+    inside :class:`~repro.batch.kernel.BatchKernel`, and the refresh
+    spread schedules and timing domains hash off the geometry. Grouping
+    is a packing heuristic, never a correctness rule — the kernel
+    accepts fully heterogeneous lanes; :func:`incompatibility` alone
+    decides what may batch at all.
+    """
+    return (spec.geometry, spec.mapping)

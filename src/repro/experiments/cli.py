@@ -102,14 +102,23 @@ def _add_harness_args(subparser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="keep results in memory only; neither read nor write the disk cache",
     )
-    subparser.add_argument(
+    batch = subparser.add_mutually_exclusive_group()
+    batch.add_argument(
         "--batch",
+        dest="batch",
         action="store_true",
+        default=True,
         help=(
             "run compatible simulations through the batched lockstep kernel "
-            "(bit-identical results; incompatible jobs fall back to the "
-            "scalar engine)"
+            "(the default; bit-identical results, incompatible jobs fall "
+            "back to the scalar engine)"
         ),
+    )
+    batch.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="disable kernel batching; run every simulation on the scalar engine",
     )
 
 
@@ -123,7 +132,7 @@ def _configure_session(args: argparse.Namespace):
         HarnessConfig(
             parallel=args.parallel,
             cache_dir=cache_dir,
-            batch=getattr(args, "batch", False),
+            batch=getattr(args, "batch", True),
         )
     )
     if args.parallel > 1:
@@ -275,6 +284,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         cache_max_bytes=(
             args.cache_max_mb * 1024 * 1024 if args.cache_max_mb else None
         ),
+        batch=not args.no_batch,
     )
     summary = asyncio.run(
         run_server(
@@ -598,6 +608,14 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="MB",
         help="artifact-cache size cap; oldest-touched entries evicted",
+    )
+    serve_cmd.add_argument(
+        "--no-batch",
+        action="store_true",
+        help=(
+            "disable the coalescing window; dispatch every queued job to "
+            "the scalar engine individually"
+        ),
     )
     submit_cmd = sub.add_parser(
         "submit", help="submit one simulation to a running service"

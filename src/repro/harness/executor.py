@@ -79,9 +79,12 @@ class HarnessConfig:
             No-op off the main thread.
         batch: Route batch-compatible jobs (``repro.batch``'s
             ``job_incompatibility(job) is None``) through the lockstep
-            kernel in chunks of ``MAX_LANES``; incompatible jobs fall
-            back to the scalar path. Results are bit-identical either
-            way — batching only changes wall clock.
+            kernel, chunked by the planner's ``plan_units`` (grouped by
+            ``group_key``, up to ``MAX_LANES`` lanes); incompatible jobs
+            fall back to the scalar path. Results are bit-identical
+            either way — batching only changes wall clock. On by
+            default; ``--no-batch`` (or ``batch=False``) restores the
+            scalar-everywhere seed behavior.
     """
 
     parallel: int = 1
@@ -89,7 +92,7 @@ class HarnessConfig:
     timeout_s: float | None = None
     retry: bool = True
     graceful: bool = True
-    batch: bool = False
+    batch: bool = True
 
 
 def _worker(
@@ -117,6 +120,48 @@ def _worker(
         result, ctx, [plane.span("execute", ctx, wall, time.time())]
     )
     return job.fingerprint, result, time.perf_counter() - start
+
+
+def _batch_worker(
+    payloads: Sequence[tuple], traceparents: Sequence[str | None] | None = None
+) -> list[tuple[str, RunResult, float]]:
+    """Pool/service entry point: run one kernel chunk of rebuilt jobs.
+
+    The service's coalescing dispatch ships a whole batch-compatible
+    chunk across the process boundary as payloads; the worker rebuilds
+    each job's traces and runs them as lanes of a single kernel
+    invocation. Per-lane traceparents survive the hop: each lane's
+    result is stamped with its own ``execute`` span (sharing the chunk's
+    wall-clock window — lanes run interleaved, there is no per-lane
+    wall time), and each lane reports the chunk's time amortized over
+    its lanes, mirroring the in-process batch path's telemetry.
+    """
+    from repro.batch import BatchInstance, run_batch
+
+    jobs = [SimJob.from_payload(payload) for payload in payloads]
+    start = time.perf_counter()
+    wall = time.time()
+    outputs = run_batch(
+        BatchInstance(
+            traces=job.build_traces(),
+            mode=job.mode,
+            spec=job.spec,
+            metrics=job.metrics,
+        )
+        for job in jobs
+    )
+    per_lane = (time.perf_counter() - start) / len(jobs)
+    end_wall = time.time()
+    collected: list[tuple[str, RunResult, float]] = []
+    for index, (job, result) in enumerate(zip(jobs, outputs)):
+        header = traceparents[index] if traceparents is not None else None
+        ctx = plane.parse_traceparent(header)
+        if ctx is not None:
+            result = plane.stamp_result(
+                result, ctx, [plane.span("execute", ctx, wall, end_wall)]
+            )
+        collected.append((job.fingerprint, result, per_lane))
+    return collected
 
 
 class _ShutdownGuard:
@@ -230,17 +275,27 @@ def execute_jobs(
 
     with _ShutdownGuard(config.graceful) as guard:
         scalar_jobs = pending
+        batch_done = 0
         if config.batch and pending:
-            from repro.batch import job_incompatibility
+            from repro.harness.planner import plan_units
 
-            batched = [job for job in pending if job_incompatibility(job) is None]
-            if batched:
+            units = plan_units(pending)
+            chunks = [list(unit.jobs) for unit in units if unit.kind == "chunk"]
+            if chunks:
                 scalar_jobs = [
-                    job for job in pending if job_incompatibility(job) is not None
+                    job
+                    for unit in units
+                    if unit.kind == "scalar"
+                    for job in unit.jobs
                 ]
                 try:
-                    _run_batched(
-                        batched, telemetry, complete, guard, retry=config.retry
+                    batch_done = _run_batched(
+                        [],
+                        telemetry,
+                        complete,
+                        guard,
+                        retry=config.retry,
+                        chunks=chunks,
                     )
                 except HarnessInterrupted as exc:
                     # The scalar-only leftovers never ran either.
@@ -254,10 +309,14 @@ def execute_jobs(
                 if guard.triggered:
                     for skipped in scalar_jobs[index:]:
                         telemetry.job_cancelled(skipped.label)
-                    raise HarnessInterrupted(index, len(scalar_jobs) - index)
+                    raise HarnessInterrupted(
+                        batch_done + index, len(scalar_jobs) - index
+                    )
                 complete(job, _run_in_parent(job, telemetry, where="parent"))
         else:
-            _run_in_pool(scalar_jobs, config, telemetry, complete, guard)
+            _run_in_pool(
+                scalar_jobs, config, telemetry, complete, guard, done=batch_done
+            )
 
     # Return in original job order (dict preserves insertion; re-walk to
     # interleave cache hits and executed jobs the way they were asked).
@@ -275,9 +334,15 @@ def _run_batched(
     guard: _ShutdownGuard,
     chunk_size: int | None = None,
     retry: bool = True,
-) -> None:
+    chunks: list[list[SimJob]] | None = None,
+) -> int:
     """Run batch-compatible jobs through the lockstep kernel, one kernel
-    invocation per chunk of ``MAX_LANES`` jobs.
+    invocation per chunk; returns the number of jobs completed.
+
+    ``chunks`` (from :func:`repro.harness.planner.plan_units`) names the
+    kernel invocations explicitly — each chunk's lanes share a
+    ``group_key`` so construction tables amortize. Without it, ``jobs``
+    is split naively every ``chunk_size`` (default ``MAX_LANES``).
 
     Results complete (and persist) chunk by chunk, so an interrupted
     sweep keeps every finished chunk. Lanes of one chunk run interleaved
@@ -292,16 +357,20 @@ def _run_batched(
     """
     from repro.batch import MAX_LANES, BatchInstance, run_batch
 
-    chunk_size = chunk_size if chunk_size is not None else MAX_LANES
+    if chunks is None:
+        chunk_size = chunk_size if chunk_size is not None else MAX_LANES
+        chunks = [
+            jobs[start : start + chunk_size]
+            for start in range(0, len(jobs), chunk_size)
+        ]
     ctx = plane.current()
     done = 0
-    for start in range(0, len(jobs), chunk_size):
+    for index, chunk in enumerate(chunks):
         if guard.triggered:
-            remaining = jobs[start:]
+            remaining = [job for rest in chunks[index:] for job in rest]
             for job in remaining:
                 telemetry.job_cancelled(job.label)
             raise HarnessInterrupted(done, len(remaining))
-        chunk = jobs[start : start + chunk_size]
         starts = [telemetry.job_started(job.label) for job in chunk]
         began = time.perf_counter()
         wall = time.time()
@@ -349,6 +418,7 @@ def _run_batched(
             )
             complete(job, result)
             done += 1
+    return done
 
 
 def _run_in_pool(
@@ -357,16 +427,19 @@ def _run_in_pool(
     telemetry: Telemetry,
     complete,
     guard: _ShutdownGuard,
+    done: int = 0,
 ) -> None:
     """Fan out to processes; collect in submission order; retry failures.
 
     ``complete(job, result)`` fires per job as its result is collected
-    (submission order), so partial progress survives an interrupt."""
+    (submission order), so partial progress survives an interrupt.
+    ``done`` counts jobs a preceding batch phase already completed, so
+    an interrupt mid-pool reports the sweep's true completed total."""
     # (job, reason) pairs to re-run serially in the parent.
     fallback: list[tuple[SimJob, str]] = []
     workers = min(config.parallel, len(pending))
     starts: dict[str, float] = {}
-    completed = 0
+    completed = done
     cancelled = 0
     ctx = plane.current()
     traceparent = ctx.traceparent() if ctx is not None else None

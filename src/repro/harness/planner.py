@@ -17,6 +17,7 @@ wasted work, not wrong output. The registry test in
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.controller.address_mapping import MappingScheme
@@ -284,3 +285,63 @@ def plan(experiments: Sequence[str], scale: ScaleConfig) -> list[SimJob]:
                 seen.add(job.fingerprint)
                 jobs.append(job)
     return jobs
+
+
+# ----------------------------------------------------------------------
+# kernel-chunk work units
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One executor dispatch.
+
+    ``kind == "chunk"`` is a kernel invocation: up to ``MAX_LANES``
+    batch-compatible jobs sharing a :func:`repro.batch.compat.group_key`
+    so the lanes amortize one set of construction tables. ``kind ==
+    "scalar"`` is a single job the kernel refused, carrying the compat
+    ``reason`` for telemetry and debugging.
+    """
+
+    kind: str
+    jobs: tuple[SimJob, ...]
+    reason: str | None = None
+
+
+def plan_units(
+    jobs: Sequence[SimJob], max_lanes: int | None = None
+) -> list[WorkUnit]:
+    """Partition deduplicated (and cache-peeled) jobs into work units.
+
+    Batch-compatible jobs are grouped by ``group_key`` — one kernel
+    invocation then shares address-decode memos, spread schedules and
+    timing domains across its lanes — and each group is split into
+    chunks of at most ``max_lanes`` (default ``MAX_LANES``). Jobs the
+    compat predicate refuses become one scalar unit each. Unit order is
+    deterministic: chunk groups in first-seen order, then scalar units
+    in first-seen order, so the executor's telemetry and collection
+    order are reproducible run to run.
+
+    Callers peel cache hits *before* planning units (the executor
+    resolves memo and store first), so a partially-cached sweep packs
+    only its cold lanes into chunks.
+    """
+    from repro.batch import MAX_LANES, job_incompatibility
+    from repro.batch.compat import group_key
+
+    lanes = max_lanes if max_lanes is not None else MAX_LANES
+    if lanes < 1:
+        raise ValueError(f"max_lanes must be >= 1, got {lanes}")
+    groups: dict[tuple, list[SimJob]] = {}
+    scalars: list[WorkUnit] = []
+    for job in jobs:
+        reason = job_incompatibility(job)
+        if reason is not None:
+            scalars.append(WorkUnit("scalar", (job,), reason))
+            continue
+        groups.setdefault(group_key(job.spec), []).append(job)
+    units: list[WorkUnit] = []
+    for members in groups.values():  # dicts preserve first-seen order
+        for start in range(0, len(members), lanes):
+            units.append(WorkUnit("chunk", tuple(members[start : start + lanes])))
+    units.extend(scalars)
+    return units

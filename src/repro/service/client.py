@@ -11,7 +11,8 @@ from __future__ import annotations
 import http.client
 import json
 import time
-from typing import Iterator
+from typing import Iterable, Iterator
+from urllib.parse import urlencode
 
 
 class ServiceError(RuntimeError):
@@ -107,6 +108,20 @@ class ServiceClient:
     def result(self, job_id: str) -> dict:
         """The serialized RunResult; raises on 409 (still running)."""
         return self._checked("GET", f"/v1/jobs/{job_id}/result")
+
+    def results_batch(self, job_ids: Iterable[str]) -> dict:
+        """Fetch many jobs' states/results in one round trip.
+
+        ``GET /v1/jobs?fp=a&fp=b&...`` — the response maps each
+        requested fingerprint to its state, including the serialized
+        result for terminal jobs and ``{"status": "unknown"}`` for
+        fingerprints the service has never seen.
+        """
+        ids = list(job_ids)
+        if not ids:
+            return {"jobs": {}, "requested": 0, "done": 0}
+        suffix = urlencode([("fp", job_id) for job_id in ids])
+        return self._checked("GET", f"/v1/jobs?{suffix}")
 
     def events(self, job_id: str, since: int = 0) -> Iterator[dict]:
         """Follow the job's NDJSON event stream until its terminal event.

@@ -25,7 +25,7 @@ from __future__ import annotations
 import asyncio
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
-from repro.harness.executor import _worker
+from repro.harness.executor import _batch_worker, _worker
 from repro.harness.jobs import SimJob
 from repro.sim.results import RunResult
 
@@ -46,6 +46,15 @@ def _thread_worker(
     """Thread-backend entry point (separate from the process entry point
     so tests can monkeypatch execution without touching the harness)."""
     return _worker(payload, traceparent)
+
+
+def _thread_chunk_worker(
+    payloads: list[tuple], traceparents: list[str | None] | None = None
+) -> list[tuple[str, RunResult, float]]:
+    """Thread-backend chunk entry point — distinct from
+    :func:`_thread_worker` so tests that monkeypatch the single-job
+    entry keep exercising exactly the single-job dispatch path."""
+    return _batch_worker(payloads, traceparents)
 
 
 class ShardedWorkerPool:
@@ -93,6 +102,38 @@ class ShardedWorkerPool:
         except Exception as exc:
             raise WorkerCrash(type(exc).__name__) from exc
         return result, seconds, "worker"
+
+    async def run_chunk(
+        self,
+        jobs: list[SimJob],
+        traceparents: list[str | None] | None = None,
+        shard: int | None = None,
+    ) -> list[tuple[RunResult, float]]:
+        """Execute batch-compatible ``jobs`` as lanes of one kernel
+        invocation on ``shard``; return (result, seconds) per lane in
+        job order.
+
+        The whole chunk ships across the worker boundary in one hop —
+        one executor submission instead of ``len(jobs)`` — and each
+        lane's ``traceparent`` rides along so results come back stamped
+        per submission. Raises :class:`WorkerCrash` on any chunk-level
+        failure; the service then unwinds to its per-job retry policy.
+        """
+        loop = asyncio.get_running_loop()
+        if shard is None:
+            shard = self.shard_of(jobs[0].fingerprint)
+        executor = self._executors[shard]
+        entry = _batch_worker if self.backend == "process" else _thread_chunk_worker
+        payloads = [job.payload() for job in jobs]
+        try:
+            collected = await loop.run_in_executor(
+                executor, entry, payloads, traceparents
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            raise WorkerCrash(type(exc).__name__) from exc
+        return [(result, seconds) for _, result, seconds in collected]
 
     def shutdown(self, wait: bool = True) -> None:
         for executor in self._executors:

@@ -150,7 +150,9 @@ class ServiceServer:
             return
         body = await reader.readexactly(length) if length else b""
         url = urlsplit(target)
-        query = {k: v[-1] for k, v in parse_qs(url.query).items()}
+        # Repeatable params (``?fp=a&fp=b``) keep their full value
+        # lists; single-valued lookups collapse to the last value.
+        query = parse_qs(url.query)
         await self._route(writer, method.upper(), url.path, query, body)
 
     # ------------------------------------------------------------------
@@ -161,18 +163,19 @@ class ServiceServer:
         writer: asyncio.StreamWriter,
         method: str,
         path: str,
-        query: dict[str, str],
+        query: dict[str, list[str]],
         body: bytes,
     ) -> None:
         service = self.service
         service.metrics.counter("service.http_requests", path=_metric_path(path)).inc()
+        single = {k: v[-1] for k, v in query.items()}
 
         if path == "/healthz" and method == "GET":
             await self._respond(writer, 200, service.describe())
             return
         if path == "/metrics" and method == "GET":
             snapshot = service.metrics_snapshot()
-            fmt = query.get("format")
+            fmt = single.get("format")
             if fmt == "json":
                 await self._respond(writer, 200, snapshot)
             elif fmt == "text":
@@ -200,6 +203,10 @@ class ServiceServer:
             await self._submit(writer, body)
             return
         if path == "/v1/jobs" and method == "GET":
+            fingerprints = query.get("fp", [])
+            if fingerprints:
+                await self._batch_results(writer, fingerprints)
+                return
             await self._respond(
                 writer,
                 200,
@@ -210,7 +217,7 @@ class ServiceServer:
             )
             return
         if path.startswith("/v1/jobs/"):
-            await self._job_route(writer, method, path, query)
+            await self._job_route(writer, method, path, single)
             return
         await self._respond(writer, 404, {"error": f"no such route: {method} {path}"})
 
@@ -258,6 +265,33 @@ class ServiceServer:
             200 if job.status == "done" else 202,
             response,
             extra_headers=trace_headers,
+        )
+
+    #: Largest ``?fp=`` list one batch query may carry.
+    MAX_BATCH_QUERY = 256
+
+    async def _batch_results(
+        self, writer: asyncio.StreamWriter, fingerprints: list[str]
+    ) -> None:
+        """``GET /v1/jobs?fp=a&fp=b&...``: every requested job's state —
+        and its serialized result when terminal — in one response, so a
+        sweep client polls N fingerprints with one round trip instead
+        of N."""
+        unique = list(dict.fromkeys(fingerprints))
+        if len(unique) > self.MAX_BATCH_QUERY:
+            await self._respond(
+                writer,
+                400,
+                {
+                    "error": f"too many fingerprints: {len(unique)} > "
+                    f"{self.MAX_BATCH_QUERY} per batch query"
+                },
+            )
+            return
+        jobs = {fp: self.service.lookup(fp) for fp in unique}
+        done = sum(1 for entry in jobs.values() if entry["status"] == "done")
+        await self._respond(
+            writer, 200, {"jobs": jobs, "requested": len(unique), "done": done}
         )
 
     async def _job_route(

@@ -30,7 +30,7 @@ import asyncio
 import time
 from dataclasses import dataclass
 
-from repro.harness.store import DEFAULT_CACHE_DIR
+from repro.harness.store import DEFAULT_CACHE_DIR, serialize_result
 from repro.harness.telemetry import Telemetry
 from repro.obs import plane
 from repro.obs.metrics import MetricsRegistry
@@ -68,6 +68,12 @@ class ServiceConfig:
         cache_max_bytes: LRU size cap for the artifact cache.
         max_finished: Terminal jobs kept for status/event replay.
         max_body_bytes: Largest accepted HTTP request body.
+        batch: Coalesce queued batch-compatible jobs into one kernel
+            chunk per shard dispatch (results stay bit-identical per
+            lane; only wall clock changes). ``False`` restores strictly
+            one-job-per-dispatch execution.
+        max_lanes: Lane cap per coalesced chunk (``None`` = the
+            kernel's ``MAX_LANES``).
     """
 
     host: str = "127.0.0.1"
@@ -80,6 +86,8 @@ class ServiceConfig:
     cache_max_bytes: int | None = None
     max_finished: int = 4096
     max_body_bytes: int = 1 << 20
+    batch: bool = True
+    max_lanes: int | None = None
 
 
 class SimulationService:
@@ -263,6 +271,37 @@ class SimulationService:
         )
         return job
 
+    def lookup(self, fingerprint: str) -> dict:
+        """One batch-query entry for ``fingerprint``: live registry
+        state first (with the serialized result when terminal), then the
+        memo and artifact-cache tiers — an artifact computed by an
+        earlier process still answers — else ``{"status": "unknown"}``.
+        """
+        job = self.registry.get(fingerprint)
+        if job is not None:
+            entry: dict = {"status": job.status, "cached": job.cached}
+            if job.status == "done":
+                entry["where"] = job.where
+                entry["result"] = serialize_result(job.result)
+            elif job.status == "failed":
+                entry["error"] = job.error
+            return entry
+        result = self.memo.get(fingerprint)
+        tier = "memory" if result is not None else None
+        if result is None and self.cache is not None:
+            result = self.cache.get(fingerprint)
+            if result is not None:
+                tier = "disk"
+                self.memo[fingerprint] = result
+        if result is not None:
+            self.metrics.counter("service.cache_hits", tier=tier).inc()
+            return {
+                "status": "done",
+                "cached": tier,
+                "result": serialize_result(result),
+            }
+        return {"status": "unknown"}
+
     async def wait(self, fingerprint: str, timeout: float | None = None) -> ServiceJob:
         """Block until the job reaches a terminal state (test/client aid)."""
         job = self.registry.get(fingerprint)
@@ -288,11 +327,55 @@ class SimulationService:
                 return
             if job.status != "queued":
                 continue
+            chunk = self._drain_chunk(job, queue) if self.config.batch else None
             self._observe_queue_depth()
-            await self._run(job, shard)
+            if chunk is not None:
+                await self._run_chunk(chunk, shard)
+            else:
+                await self._run(job, shard)
 
-    async def _run(self, job: ServiceJob, shard: int) -> None:
-        loop = asyncio.get_running_loop()
+    def _drain_chunk(self, first, queue) -> list[ServiceJob] | None:
+        """The coalescing window: greedily drain queued batch-compatible
+        jobs waiting behind ``first`` into one kernel chunk.
+
+        Only jobs that survived identity-coalescing and the artifact
+        cache ever reach the queue, so everything drained here is
+        genuinely cold work. Jobs the compat predicate refuses go back
+        to the tail of the queue (the event loop owns both ends, so the
+        re-queue is race-free); a lone compatible job returns ``None``
+        and takes the unchanged single-job dispatch path.
+        """
+        from repro.batch import MAX_LANES, job_incompatibility
+
+        if job_incompatibility(first.job) is not None:
+            return None
+        lanes = self.config.max_lanes or MAX_LANES
+        chunk = [first]
+        leftovers = []
+        while len(chunk) < lanes:
+            try:
+                candidate = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if candidate is None:
+                # Shutdown sentinel: hand it back so the dispatch loop
+                # still exits after this chunk drains.
+                queue.put_nowait(None)
+                break
+            if candidate.status != "queued":
+                continue
+            if job_incompatibility(candidate.job) is None:
+                chunk.append(candidate)
+            else:
+                leftovers.append(candidate)
+        for candidate in leftovers:
+            queue.put_nowait(candidate)
+        if len(chunk) < 2:
+            return None
+        return chunk
+
+    def _start(self, job: ServiceJob, shard: int, lanes: int | None = None) -> float:
+        """Move one queued job to running; returns the telemetry stamp."""
         ctx = job.trace
         job.status = "running"
         job.started = time.monotonic()
@@ -305,31 +388,19 @@ class SimulationService:
             now = time.time()
             job.spans.append(plane.span("queue.wait", ctx, now - wait_s, now))
             self.exemplars.record("service.queue_wait_seconds", wait_s, ctx.trace_id)
-        job.events.publish("started", shard=shard, backend=self.pool.backend)
-        try:
-            result, seconds, where = await self.pool.run(
-                job.job, ctx.traceparent() if ctx is not None else None
-            )
-        except WorkerCrash as crash:
-            # Retry-once in-process, with the reason on the record —
-            # the same never-silent policy as the harness executor.
-            self.telemetry.job_retried(job.job.label, crash.reason)
-            self.metrics.counter("service.retries", reason=crash.reason).inc()
-            job.events.publish("retrying", reason=crash.reason)
-            begin = time.perf_counter()
-            wall = time.time()
-            try:
-                result = await loop.run_in_executor(None, job.job.execute)
-            except Exception as exc:
-                self._fail(job, f"{type(exc).__name__}: {exc}")
-                return
-            seconds, where = time.perf_counter() - begin, "retry"
-            # run_in_executor doesn't propagate contextvars, so the
-            # retry path stamps its execute span by hand.
-            if ctx is not None:
-                result = plane.stamp_result(
-                    result, ctx, [plane.span("execute", ctx, wall, time.time())]
-                )
+        extra = {} if lanes is None else {"lanes": lanes}
+        job.events.publish(
+            "started", shard=shard, backend=self.pool.backend, **extra
+        )
+        return started
+
+    def _complete(
+        self, job: ServiceJob, result: RunResult, seconds: float, where: str,
+        started: float,
+    ) -> None:
+        """Terminal bookkeeping for one successful job: stamping, memo,
+        store write, telemetry, metrics, events, registry."""
+        ctx = job.trace
         if ctx is not None and (
             result.trace is None or result.trace.get("trace_id") != ctx.trace_id
         ):
@@ -367,6 +438,71 @@ class SimulationService:
         ).observe(seconds)
         job.events.publish("finished", seconds=round(seconds, 6), where=where)
         self.registry.finish(job)
+
+    async def _retry_scalar(self, job: ServiceJob, reason: str, started: float) -> None:
+        """Retry-once in-process after a worker/chunk crash, with the
+        reason on the record — the same never-silent policy as the
+        harness executor."""
+        loop = asyncio.get_running_loop()
+        ctx = job.trace
+        self.telemetry.job_retried(job.job.label, reason)
+        self.metrics.counter("service.retries", reason=reason).inc()
+        job.events.publish("retrying", reason=reason)
+        begin = time.perf_counter()
+        wall = time.time()
+        try:
+            result = await loop.run_in_executor(None, job.job.execute)
+        except Exception as exc:
+            self._fail(job, f"{type(exc).__name__}: {exc}")
+            return
+        seconds = time.perf_counter() - begin
+        # run_in_executor doesn't propagate contextvars, so the
+        # retry path stamps its execute span by hand.
+        if ctx is not None:
+            result = plane.stamp_result(
+                result, ctx, [plane.span("execute", ctx, wall, time.time())]
+            )
+        self._complete(job, result, seconds, "retry", started)
+
+    async def _run(self, job: ServiceJob, shard: int) -> None:
+        ctx = job.trace
+        started = self._start(job, shard)
+        try:
+            result, seconds, where = await self.pool.run(
+                job.job, ctx.traceparent() if ctx is not None else None
+            )
+        except WorkerCrash as crash:
+            await self._retry_scalar(job, crash.reason, started)
+            return
+        self._complete(job, result, seconds, where, started)
+
+    async def _run_chunk(self, chunk: list[ServiceJob], shard: int) -> None:
+        """Run coalesced jobs as lanes of one kernel invocation, fanning
+        results, events, spans and metrics back out per lane.
+
+        A chunk-level failure unwinds to the per-job scalar retry — each
+        lane gets the harness's retry-once policy with the reason
+        counted, so a kernel refusal can slow a chunk down but never
+        lose or corrupt a lane.
+        """
+        starts = [self._start(job, shard, lanes=len(chunk)) for job in chunk]
+        self.metrics.counter("service.batch_chunks").inc()
+        self.metrics.counter("service.batched_lanes").inc(len(chunk))
+        try:
+            outputs = await self.pool.run_chunk(
+                [job.job for job in chunk],
+                [
+                    job.trace.traceparent() if job.trace is not None else None
+                    for job in chunk
+                ],
+                shard=shard,
+            )
+        except WorkerCrash as crash:
+            for job, started in zip(chunk, starts):
+                await self._retry_scalar(job, crash.reason, started)
+            return
+        for job, started, (result, seconds) in zip(chunk, starts, outputs):
+            self._complete(job, result, seconds, "batch", started)
 
     def _fail(self, job: ServiceJob, error: str) -> None:
         job.status = "failed"

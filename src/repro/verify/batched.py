@@ -1,0 +1,173 @@
+"""Batched verify fuzzing: metamorphic pairs as lanes of one kernel chunk.
+
+The scalar fuzz loop in :mod:`repro.verify.cli` is oracle-bound — the
+protocol oracle rides the observability hub's command tap, which only
+the scalar engine exposes — so it can't batch. This module is the
+kernel-side complement: each round draws several metamorphic *pairs*
+(two configurations whose RunResults must be exactly equal), packs all
+of them as lanes of a single kernel invocation, and checks the pairwise
+equalities afterwards. One kernel chunk therefore verifies many seeded
+case draws for roughly the construction cost of one, which is what lets
+the 90 s CI fuzz job cover several times more draws than the scalar
+loop alone.
+
+Two kinds of check per round:
+
+- **paired lanes** — the batched counterparts of the scalar metamorphic
+  identities (``duplicate``, ``mcr-region-empty``, ``skip-noop``,
+  ``column-permutation``): lanes ``2i`` and ``2i+1`` must be
+  bit-identical (stats-stripped for the column permutation, exactly as
+  the scalar identity compares them);
+- **scalar spot-check** — one lane per round, chosen by the seeded RNG,
+  re-runs on the scalar engine and must match its kernel lane bit for
+  bit, so every chunk stays anchored to the reference engine, not just
+  internally consistent.
+
+Everything a ``VerifyCase`` can express is batch-compatible by
+construction (no allocation policy, no deep observability), so no lane
+ever needs a scalar fallback here.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.verify.generator import VerifyCase, explicit_entries, sample_case
+from repro.verify.metamorphic import _diff, _strip, run_case
+
+#: Pair kinds drawn per round; each contributes two lanes to the chunk.
+PAIR_KINDS = ("duplicate", "mcr-region-empty", "skip-noop", "column-permutation")
+
+#: Pairs packed into one kernel invocation (2 lanes each; well under
+#: ``MAX_LANES`` so a round stays a sub-second unit of fuzz progress).
+DEFAULT_PAIRS_PER_ROUND = 8
+
+
+@dataclass(frozen=True)
+class LanePair:
+    """Two cases whose kernel lanes must be exactly equal."""
+
+    kind: str
+    label: str
+    left: VerifyCase
+    right: VerifyCase
+
+
+def _draw_pair(kind: str, rng: random.Random) -> LanePair:
+    """One metamorphic pair; constructions mirror the scalar identities
+    in :mod:`repro.verify.metamorphic` so both engines are held to the
+    same equalities."""
+    base = sample_case(rng)
+    if kind == "duplicate":
+        return LanePair(
+            kind,
+            f"duplicate lanes diverged (seed={base.seed})",
+            base,
+            base,
+        )
+    if kind == "mcr-region-empty":
+        k = rng.choice((2, 4))
+        empty = replace(
+            base, k=k, m=k, region_pct=0.0, alt_k=1, alt_m=1, alt_region_pct=0.0
+        )
+        plain = replace(
+            base, k=1, m=1, region_pct=0.0, alt_k=1, alt_m=1, alt_region_pct=0.0
+        )
+        return LanePair(
+            kind,
+            f"K={k} with empty region != baseline (seed={base.seed})",
+            empty,
+            plain,
+        )
+    if kind == "skip-noop":
+        k = rng.choice((2, 4))
+        regions = (25.0, 50.0) if base.alt_region_pct > 0.0 else (25.0, 50.0, 100.0)
+        common = replace(
+            base, k=k, m=k, region_pct=rng.choice(regions), alt_m=base.alt_k
+        )
+        return LanePair(
+            kind,
+            f"M=K skip-on != skip-off (k={k}, seed={base.seed})",
+            replace(common, refresh_skipping=True),
+            replace(common, refresh_skipping=False),
+        )
+    if kind == "column-permutation":
+        from repro.controller.address_mapping import AddressMapper, MappingScheme
+
+        mapper = AddressMapper(base.geometry(), MappingScheme[base.mapping])
+        mask = rng.randrange(1, base.columns_per_row)
+
+        def permute(address: int) -> int:
+            coords = mapper.decode(address)
+            return mapper.encode(replace(coords, column=coords.column ^ mask))
+
+        original = explicit_entries(base)
+        permuted = tuple(
+            tuple(
+                (gap, is_write, permute(address))
+                for gap, is_write, address in trace
+            )
+            for trace in original
+        )
+        return LanePair(
+            kind,
+            f"column-bit XOR {mask:#x} changed aggregates (seed={base.seed})",
+            base.with_entries(original),
+            base.with_entries(permuted),
+        )
+    raise ValueError(f"unknown pair kind {kind!r}")
+
+
+def run_batched_round(
+    rng: random.Random,
+    pairs_per_round: int = DEFAULT_PAIRS_PER_ROUND,
+    spot_check: bool = True,
+) -> tuple[int, list[str]]:
+    """One kernel invocation of metamorphic pairs; returns
+    ``(lanes_run, failures)``.
+
+    ``lanes_run`` counts seeded case draws actually simulated (two per
+    pair), which is the fuzz driver's cases-per-run currency.
+    """
+    from repro.batch import from_verify_case, run_batch
+
+    pairs = [
+        _draw_pair(PAIR_KINDS[index % len(PAIR_KINDS)], rng)
+        for index in range(pairs_per_round)
+    ]
+    cases: list[VerifyCase] = []
+    for pair in pairs:
+        cases.append(pair.left)
+        cases.append(pair.right)
+    # The spot-check lane is drawn before the kernel runs so the RNG
+    # stream (and with it the whole round) replays from the seed alone.
+    spot_lane = rng.randrange(len(cases)) if spot_check else None
+    outputs = run_batch(from_verify_case(case) for case in cases)
+
+    failures: list[str] = []
+    for index, pair in enumerate(pairs):
+        left, right = outputs[2 * index], outputs[2 * index + 1]
+        if pair.kind == "column-permutation":
+            left, right = _strip(left, stats=True), _strip(right, stats=True)
+        mismatch = _diff(f"batched {pair.kind}: {pair.label}", left, right)
+        if mismatch is not None:
+            failures.append(mismatch)
+    if spot_lane is not None:
+        case = cases[spot_lane]
+        mismatch = _diff(
+            f"batched lane {spot_lane} != scalar engine (seed={case.seed})",
+            outputs[spot_lane],
+            run_case(case),
+        )
+        if mismatch is not None:
+            failures.append(mismatch)
+    return len(cases), failures
+
+
+__all__ = [
+    "DEFAULT_PAIRS_PER_ROUND",
+    "LanePair",
+    "PAIR_KINDS",
+    "run_batched_round",
+]

@@ -90,7 +90,7 @@ def test_broken_job_surfaces_after_retry():
     with pytest.raises(Exception):
         execute_jobs(
             [_jobs()[0], bad],  # two jobs so the pool path actually runs
-            HarnessConfig(parallel=2),
+            HarnessConfig(parallel=2, batch=False),
             memo={},
             telemetry=telemetry,
         )
@@ -108,7 +108,7 @@ def test_retry_reason_is_counted_not_silent():
         _jobs()[:2],
         # Effectively-zero budget: both futures time out in the parent,
         # then retry serially (and succeed).
-        HarnessConfig(parallel=2, timeout_s=1e-6),
+        HarnessConfig(parallel=2, timeout_s=1e-6, batch=False),
         memo={},
         telemetry=telemetry,
     )
@@ -143,8 +143,16 @@ def test_graceful_shutdown_drains_and_persists(tmp_path, monkeypatch):
     telemetry = Telemetry()
     memo: dict = {}
     store = ResultStore(tmp_path)
+    # batch=False: the interrupt is injected via SimJob.execute, which
+    # only the scalar path calls.
     with pytest.raises(HarnessInterrupted) as stop:
-        execute_jobs(jobs, HarnessConfig(), memo=memo, store=store, telemetry=telemetry)
+        execute_jobs(
+            jobs,
+            HarnessConfig(batch=False),
+            memo=memo,
+            store=store,
+            telemetry=telemetry,
+        )
     assert stop.value.completed == 1
     assert stop.value.cancelled == len(jobs) - 1
     assert "persisted" in str(stop.value)
@@ -161,7 +169,7 @@ def test_graceful_shutdown_drains_and_persists(tmp_path, monkeypatch):
     monkeypatch.setattr(SimJob, "execute", original)
     resumed = Telemetry()
     results = execute_jobs(
-        jobs, HarnessConfig(), memo={}, store=store, telemetry=resumed
+        jobs, HarnessConfig(batch=False), memo={}, store=store, telemetry=resumed
     )
     assert len(results) == len(jobs)
     assert resumed.executed == len(jobs) - 1
@@ -188,7 +196,8 @@ def test_graceful_false_keeps_default_signal_handling():
             )
             return job.execute()
 
-    execute_jobs([Probe()], HarnessConfig(graceful=False), memo={})
+    # batch=False: Probe is not a SimJob, so unit planning can't see it.
+    execute_jobs([Probe()], HarnessConfig(graceful=False, batch=False), memo={})
     assert seen["handler"] is before
 
 
@@ -214,7 +223,7 @@ def test_batched_results_equal_scalar():
     """batch=True routes compatible jobs through the lockstep kernel and
     the incompatible (collision-free allocation) ones through the scalar
     fallback; the returned mapping is bit-identical to a scalar sweep."""
-    scalar = execute_jobs(_jobs(), HarnessConfig(), memo={})
+    scalar = execute_jobs(_jobs(), HarnessConfig(batch=False), memo={})
     telemetry = Telemetry()
     batched = execute_jobs(
         _jobs(), HarnessConfig(batch=True), memo={}, telemetry=telemetry
@@ -224,6 +233,53 @@ def test_batched_results_equal_scalar():
     wheres = [record.where for record in telemetry.records]
     assert wheres.count("batch") == 2  # the plain-spec jobs
     assert wheres.count("parent") == 2  # the allocation jobs fell back
+
+
+def test_grouped_sweep_matches_scalar_sweep_and_store(tmp_path):
+    """The batch-by-default acceptance property: a mixed sweep routed
+    through ``plan_units`` produces RunResults bit-identical to the
+    scalar sweep AND persists byte-identical store entries — callers
+    reading the cache later cannot tell which path wrote it."""
+    scalar_store = ResultStore(tmp_path / "scalar")
+    batch_store = ResultStore(tmp_path / "batch")
+    scalar = execute_jobs(
+        _jobs(), HarnessConfig(batch=False), memo={}, store=scalar_store
+    )
+    batched = execute_jobs(
+        _jobs(), HarnessConfig(batch=True), memo={}, store=batch_store
+    )
+    assert list(scalar) == list(batched)
+    assert scalar == batched  # bit-identical RunResults
+    scalar_files = sorted(p.stem for p in scalar_store.directory.glob("*.json"))
+    batch_files = sorted(p.stem for p in batch_store.directory.glob("*.json"))
+    assert scalar_files == batch_files == sorted(scalar)
+    for stem in scalar_files:
+        assert scalar_store.path_for(stem).read_bytes() == batch_store.path_for(
+            stem
+        ).read_bytes()
+
+
+def test_partially_cached_sweep_peels_hits_before_chunking():
+    """Cache hits are peeled before unit planning: re-running a sweep
+    with some results already memoized executes only the cold jobs, as
+    one smaller kernel chunk."""
+    jobs = _batchable_jobs(5)
+    memo = {}
+    execute_jobs(jobs[:2], HarnessConfig(batch=True), memo=memo)
+    assert len(memo) == 2
+    telemetry = Telemetry()
+    results = execute_jobs(
+        jobs, HarnessConfig(batch=True), memo=memo, telemetry=telemetry
+    )
+    assert list(results) == [job.fingerprint for job in jobs]
+    assert telemetry.memory_hits == 2
+    assert telemetry.executed == 3  # only the cold lanes ran
+    assert [record.where for record in telemetry.records] == ["batch"] * 3
+    # The blended sweep is still bit-identical to an all-scalar one.
+    scalar = execute_jobs(
+        _batchable_jobs(5), HarnessConfig(batch=False), memo={}
+    )
+    assert results == scalar
 
 
 def test_batch_chunking_runs_every_chunk():
@@ -274,7 +330,7 @@ def test_batch_chunk_failure_counts_retry_reason(monkeypatch):
     assert "MemoryError" in telemetry.summary()
     # The fallback results are the reference scalar results, bit-identical.
     monkeypatch.undo()
-    scalar = execute_jobs(_batchable_jobs(3), HarnessConfig(), memo={})
+    scalar = execute_jobs(_batchable_jobs(3), HarnessConfig(batch=False), memo={})
     assert results == scalar
 
 

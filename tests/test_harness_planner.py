@@ -1,11 +1,16 @@
-"""Planner: registry lockstep with the CLI, and prewarm actually covering drivers."""
+"""Planner: registry lockstep with the CLI, prewarm coverage, and the
+compat-grouping unit planner behind batch-by-default execution."""
 
 import pytest
 
+from repro.core.api import SystemSpec
+from repro.core.mcr_mode import MCRMode
+from repro.controller.address_mapping import MappingScheme
 from repro.experiments.cli import _registry
 from repro.experiments.scale import ScaleConfig
-from repro.harness import session
-from repro.harness.planner import plan, PLANNERS
+from repro.harness import SimJob, session
+from repro.harness.planner import plan, plan_units, PLANNERS
+from repro.workloads import make_trace
 
 TINY = ScaleConfig(
     name="tiny",
@@ -54,3 +59,59 @@ def test_prewarmed_plan_covers_the_driver(name):
 
     _registry()[name](scale=TINY)
     assert active.telemetry.executed == executed_by_prewarm
+
+
+# ----------------------------------------------------------------------
+# plan_units: compat-grouped kernel chunks + scalar fallback units
+# ----------------------------------------------------------------------
+
+
+def _job(seed=0, mapping=MappingScheme.PERMUTATION, allocation=None):
+    return SimJob.from_traces(
+        [make_trace("comm2", n_requests=40, seed=seed)],
+        MCRMode.parse("2/2x/100%reg"),
+        SystemSpec(mapping=mapping, allocation=allocation),
+    )
+
+
+def test_plan_units_groups_compatible_jobs_into_one_chunk():
+    jobs = [_job(seed) for seed in range(5)]
+    units = plan_units(jobs)
+    assert [unit.kind for unit in units] == ["chunk"]
+    assert units[0].jobs == tuple(jobs)
+    assert units[0].reason is None
+
+
+def test_plan_units_splits_groups_by_mapping():
+    """Lanes only share construction tables within one (geometry,
+    mapping) group, so different mappings land in different chunks —
+    but both still run on the kernel."""
+    permutation = [_job(seed) for seed in range(3)]
+    reversal = [_job(seed, mapping=MappingScheme.BIT_REVERSAL) for seed in range(2)]
+    units = plan_units(permutation + reversal)
+    assert [unit.kind for unit in units] == ["chunk", "chunk"]
+    assert units[0].jobs == tuple(permutation)  # first-seen group order
+    assert units[1].jobs == tuple(reversal)
+
+
+def test_plan_units_caps_chunks_at_max_lanes():
+    jobs = [_job(seed) for seed in range(5)]
+    units = plan_units(jobs, max_lanes=2)
+    assert [len(unit.jobs) for unit in units] == [2, 2, 1]
+    assert [job for unit in units for job in unit.jobs] == jobs
+
+
+def test_plan_units_sends_incompatible_jobs_to_scalar_units():
+    compatible = [_job(seed) for seed in range(2)]
+    incompatible = _job(7, allocation="collision-free")
+    units = plan_units([incompatible] + compatible)
+    # Chunks first, then scalar fallbacks, each carrying its reason.
+    assert [unit.kind for unit in units] == ["chunk", "scalar"]
+    assert units[0].jobs == tuple(compatible)
+    assert units[1].jobs == (incompatible,)
+    assert "allocation" in units[1].reason
+
+
+def test_plan_units_rejects_nonpositive_lane_cap():
+    with pytest.raises(ValueError):
+        plan_units([_job()], max_lanes=0)

@@ -270,3 +270,75 @@ def test_metrics_snapshot_merges_harness_and_service(tmp_path):
     description = service.describe()
     assert description["jobs"] == {"done": 1}
     assert description["cache"]["writes"] == 1
+
+
+# ----------------------------------------------------------------------
+# Coalescing window: queued compatible jobs drain into one kernel chunk
+# ----------------------------------------------------------------------
+
+
+def _distinct_specs(n):
+    return [{"workload": "comm2", "n_requests": 60, "seed": 30 + i} for i in range(n)]
+
+
+def test_queued_compatible_jobs_coalesce_into_kernel_chunk(tmp_path, monkeypatch):
+    """With the dispatcher busy, distinct compatible submissions queue up
+    and drain into a single kernel chunk — and every coalesced result is
+    bit-identical to the scalar engine's for the same spec (checked
+    through the cross-engine differ)."""
+    from tests.equivalence_harness import diff_results
+
+    gated = _GatedWorker()
+    monkeypatch.setattr(pool_module, "_thread_worker", gated)
+    specs = _distinct_specs(4)
+
+    async def main():
+        service = SimulationService(_config(tmp_path, shards=1))
+        await service.start()
+        first = service.submit(specs[0])
+        await asyncio.sleep(0.05)  # dispatcher is inside the gated worker
+        queued = [service.submit(spec) for spec in specs[1:]]
+        gated.gate.set()
+        jobs = [first] + queued
+        for job in jobs:
+            await service.wait(job.fingerprint, timeout=60)
+        await service.shutdown()
+        return service, jobs
+
+    service, jobs = asyncio.run(main())
+    assert all(job.status == "done" for job in jobs)
+    assert gated.calls == 1  # only the first job took the single-job path
+    assert service.metrics.counter("service.batch_chunks").value == 1
+    assert service.metrics.counter("service.batched_lanes").value == 3
+    wheres = [record.where for record in service.telemetry.records]
+    assert wheres.count("batch") == 3
+    for job in jobs:
+        mismatch = diff_results(
+            job.result, job.job.execute(), f"seed={job.job.spec}"
+        )
+        assert mismatch is None, mismatch
+
+
+def test_no_batch_config_disables_the_coalescing_window(tmp_path, monkeypatch):
+    """ServiceConfig(batch=False) — the service side of ``--no-batch`` —
+    dispatches every queued job individually through the scalar path."""
+    gated = _GatedWorker()
+    monkeypatch.setattr(pool_module, "_thread_worker", gated)
+    specs = _distinct_specs(3)
+
+    async def main():
+        service = SimulationService(_config(tmp_path, shards=1, batch=False))
+        await service.start()
+        first = service.submit(specs[0])
+        await asyncio.sleep(0.05)
+        queued = [service.submit(spec) for spec in specs[1:]]
+        gated.gate.set()
+        for job in [first] + queued:
+            await service.wait(job.fingerprint, timeout=60)
+        await service.shutdown()
+        return service
+
+    service = asyncio.run(main())
+    assert gated.calls == 3  # every job took the single-job path
+    assert service.metrics.counter("service.batch_chunks").value == 0
+    assert all(record.where != "batch" for record in service.telemetry.records)

@@ -156,12 +156,15 @@ def test_run_exits_130_on_interrupt(tmp_path, monkeypatch, capsys):
         return original(self)
 
     monkeypatch.setattr(SimJob, "execute", execute_and_interrupt)
+    # --no-batch: the interrupt is injected via SimJob.execute, which
+    # only the scalar path calls.
     code = main(
         [
             "run",
             "fig11",
             "--scale",
             "smoke",
+            "--no-batch",
             "--cache-dir",
             str(tmp_path / "cache"),
         ]

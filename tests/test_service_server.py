@@ -219,3 +219,41 @@ def test_admin_shutdown_drains(tmp_path):
     # Draining rejects new connections outright: the socket is closed.
     with pytest.raises(OSError):
         ServiceClient(server.host, server.port, timeout=5).health()
+
+
+def test_batch_results_query(tmp_path):
+    """``GET /v1/jobs?fp=a&fp=b&...``: one round trip for many jobs —
+    terminal jobs carry their serialized result inline, unknown
+    fingerprints come back as such, and the query is capped."""
+    with _Server(_config(tmp_path)) as client:
+        first = client.submit(SPEC)["job_id"]
+        second = client.submit({**SPEC, "seed": 99})["job_id"]
+        for job_id in (first, second):
+            client.wait(job_id)
+
+        unknown = "0" * 64
+        payload = client.results_batch([first, second, unknown, first])
+        assert payload["requested"] == 3  # the duplicate collapses
+        assert payload["done"] == 2
+        jobs = payload["jobs"]
+        assert jobs[first]["status"] == "done"
+        assert jobs[second]["status"] == "done"
+        assert jobs[first]["result"]["workloads"] == ["comm2"]
+        assert jobs[first]["result"]["execution_cycles"] > 0
+        assert jobs[unknown] == {"status": "unknown"}
+
+        # Distinct seeds really are distinct jobs with distinct results.
+        assert first != second
+
+        # Over the cap: a 400, not a truncated answer.
+        with pytest.raises(ServiceError) as err:
+            client.results_batch([f"{i:064d}" for i in range(257)])
+        assert err.value.status == 400
+
+        # The empty client call never touches the wire.
+        assert client.results_batch([]) == {"jobs": {}, "requested": 0, "done": 0}
+
+        # Without fp params the route still serves the counts view.
+        counts = client._checked("GET", "/v1/jobs")
+        assert counts["jobs"] == {"done": 2}
+        assert "queue_depth" in counts

@@ -174,3 +174,104 @@ class TestCli:
             )
             == 0
         )
+
+
+class TestBatchedRounds:
+    """The kernel-side fuzz complement (:mod:`repro.verify.batched`)."""
+
+    def test_round_runs_clean_and_counts_lanes(self):
+        from repro.verify.batched import DEFAULT_PAIRS_PER_ROUND, run_batched_round
+
+        lanes, failures = run_batched_round(random.Random(7))
+        assert failures == []
+        assert lanes == 2 * DEFAULT_PAIRS_PER_ROUND
+
+    def test_round_replays_from_the_seed_alone(self):
+        from repro.verify.batched import _draw_pair, PAIR_KINDS
+
+        first = random.Random(41)
+        second = random.Random(41)
+        for index in range(8):
+            kind = PAIR_KINDS[index % len(PAIR_KINDS)]
+            assert _draw_pair(kind, first) == _draw_pair(kind, second)
+
+    def test_round_cycles_every_pair_kind(self):
+        from repro.verify.batched import _draw_pair, PAIR_KINDS
+
+        rng = random.Random(3)
+        for kind in PAIR_KINDS:
+            pair = _draw_pair(kind, rng)
+            assert pair.kind == kind
+            assert pair.label
+
+    def test_round_reports_a_corrupted_lane(self, monkeypatch):
+        """Self-check: if the kernel ever diverged, the round would say
+        so — corrupt one lane's output and the pairwise check fires."""
+        import dataclasses
+
+        import repro.batch as batch_module
+
+        real_run_batch = batch_module.run_batch
+
+        def corrupting(instances):
+            outputs = list(real_run_batch(instances))
+            outputs[0] = dataclasses.replace(
+                outputs[0], execution_cycles=outputs[0].execution_cycles + 1
+            )
+            return outputs
+
+        monkeypatch.setattr(batch_module, "run_batch", corrupting)
+        from repro.verify.batched import run_batched_round
+
+        lanes, failures = run_batched_round(random.Random(7), spot_check=False)
+        assert lanes == 16
+        assert any("execution_cycles" in failure for failure in failures)
+
+    def test_spot_check_anchors_to_the_scalar_engine(self, monkeypatch):
+        """A kernel that is internally consistent but wrong still fails:
+        corrupt *both* lanes of every pair identically and only the
+        scalar spot-check can notice."""
+        import dataclasses
+
+        import repro.batch as batch_module
+
+        real_run_batch = batch_module.run_batch
+
+        def uniformly_wrong(instances):
+            return [
+                dataclasses.replace(out, execution_cycles=out.execution_cycles + 1)
+                for out in real_run_batch(instances)
+            ]
+
+        monkeypatch.setattr(batch_module, "run_batch", uniformly_wrong)
+        from repro.verify.batched import run_batched_round
+
+        _, failures = run_batched_round(random.Random(7), spot_check=True)
+        assert any("scalar engine" in failure for failure in failures)
+
+    def test_cli_min_cases_floor(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.verify",
+                "--seconds",
+                "0",
+                "--seed",
+                "1",
+                "--identities",
+                "0",
+                "--skip-self-check",
+                "--max-iterations",
+                "1",
+                "--min-cases",
+                "100000",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 1
+        assert "below the --min-cases floor" in proc.stderr
