@@ -1,0 +1,22 @@
+"""Bench: the latency-mechanism zoo (MCR vs CLR-DRAM vs ChargeCache)."""
+
+from conftest import run_once, show
+
+from repro.experiments.mechanism_comparison import run_mechanism_comparison
+
+
+def test_mechanism_comparison(benchmark, scale):
+    result = run_once(benchmark, run_mechanism_comparison, scale=scale)
+    show(result)
+    avg = {r[1]: r[3] for r in result.rows if r[0] == "AVG"}
+    # Whole-device clone rows and coupled rows both beat conventional
+    # DRAM on every workload mix; ChargeCache's win is locality-bound,
+    # so only require it not to regress.
+    assert avg["MCR-DRAM"] > 0
+    assert avg["CLR-DRAM-style"] > 0
+    assert avg["ChargeCache-style"] >= 0
+    # The cost rows carry the trade each related-work paper argues:
+    # capacity for MCR/CLR, a small SRAM table for ChargeCache.
+    costs = {r[1]: (r[3], r[4]) for r in result.rows if r[0] == "COST"}
+    assert costs["MCR-DRAM"][1] == "capacity x0.5"
+    assert costs["ChargeCache-style"][1] == "capacity x1"

@@ -15,6 +15,12 @@ back for them:
   derives a per-run row remapper from the traces; batching those would
   per-lane-ify the shared decode tables for no aggregate win.
 
+Latency-mechanism plugins (``spec.mechanism``) declare their own batch
+compatibility: the reference MCR plugin batches freely (the kernel's
+lanes *are* the MCR device), while plugins that override timing tables
+or install controller hooks (CLR-DRAM, ChargeCache) carry an explicit
+scalar-fallback reason surfaced through this predicate.
+
 ``incompatibility`` returns a human-readable reason (or None when the
 instance is batchable); the harness surfaces the predicate as its
 grouping rule (see docs/SIMULATOR.md "Batched execution").
@@ -48,6 +54,12 @@ def incompatibility(spec: SystemSpec, observability=None) -> str | None:
         )
     if spec.allocation is not None:
         return "page-allocation policies require the scalar engine's row remapper"
+    if spec.mechanism is not None:
+        from repro.mechanisms.registry import batch_incompatibility
+
+        reason = batch_incompatibility(spec.mechanism)
+        if reason is not None:
+            return f"mechanism {spec.mechanism.name!r}: {reason}"
     return None
 
 

@@ -232,12 +232,17 @@ class _Ctrl:
         self.t_ccd = base.t_ccd
         self.t_rtrs = base.t_rtrs
         self.t_refi = base.t_refi
-        # Index 0 unused: RowClass values start at 1.
-        self.trcd = [0, 0, 0, 0]
-        self.tras = [0, 0, 0, 0]
-        self.trc = [0, 0, 0, 0]
-        trfc = [0, 0, 0, 0]
         from repro.dram.mcr import RowClass
+
+        # Index 0 unused: RowClass values start at 1. Sized off the enum
+        # so mechanism-plugin classes (e.g. CHARGED) don't overflow the
+        # fill loop — batch lanes themselves never *dispatch* such
+        # classes (non-MCR mechanisms are scalar-fallback by compat).
+        size = max(cls.value for cls in RowClass) + 1
+        self.trcd = [0] * size
+        self.tras = [0] * size
+        self.trc = [0] * size
+        trfc = [0] * size
 
         for cls in RowClass:
             timings = domain.row_timings(cls)
@@ -286,7 +291,11 @@ class _Ctrl:
         self.draining = False
         self.gen = 0
         self.memo = None  # (computed_cycle, gen, decision, valid_until)
-        self.act_counts = [0, 0, 0, 0]  # by RowClass.value
+        # By RowClass.value (index 0 unused); sized off the enum so new
+        # plugin classes (e.g. CHARGED) can't index out of range.
+        from repro.dram.mcr import RowClass
+
+        self.act_counts = [0] * (max(cls.value for cls in RowClass) + 1)
         self.lat_total = 0
         self.lat_count = 0
         self.lats: list[int] = []
@@ -809,7 +818,7 @@ class _Ctrl:
 
     def stats(self) -> dict:
         columns = self.read_count + self.write_count
-        activates = self.act_counts[1] + self.act_counts[2] + self.act_counts[3]
+        activates = sum(self.act_counts[1:])
         return {
             "reads": self.reads_enq,
             "writes": self.writes_enq,

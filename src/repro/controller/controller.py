@@ -90,6 +90,9 @@ class MemoryController:
         write_low_watermark: int = 8,
         refresh_enabled: bool = True,
         policy: SchedulingPolicy = SchedulingPolicy.FR_FCFS,
+        activation_class_fn: Callable[[int, int, int, int, RowClass], RowClass]
+        | None = None,
+        precharge_hook: Callable[[int, int, int, int | None], None] | None = None,
     ) -> None:
         self.geometry = geometry
         self.domain = domain
@@ -103,6 +106,14 @@ class MemoryController:
         self.refresh_enabled = refresh_enabled
         self.policy = policy
         self.row_class_fn = row_class_fn
+        # Mechanism-plugin hooks (repro.mechanisms): reclassify a row as
+        # its ACTIVATE issues / observe the row a PRECHARGE closes. None
+        # (the default and the reference-MCR case) costs one branch per
+        # issued command. Issue-time reclassification is safe for the
+        # decision memo: ACTIVATE issue timing is class-independent
+        # (tRP/tRRD/tFAW/prior tRC), and issuing bumps ``_state_gen``.
+        self.activation_class_fn = activation_class_fn
+        self.precharge_hook = precharge_hook
         #: Observability sink (a :class:`repro.obs.hub.ChannelObserver`).
         #: None by default, so disabled observability costs one branch per
         #: issued command and per accepted request.
@@ -250,6 +261,19 @@ class MemoryController:
                 observer.on_request_served(request)
         elif kind == _ACTIVATE:
             request = payload
+            if self.activation_class_fn is not None:
+                # Reclassify from the *static* address class, not from
+                # request.row_class: a request whose row was closed by an
+                # intervening precharge is activated a second time, and
+                # the first activation already overwrote row_class with a
+                # dynamic class the table may no longer grant.
+                request.row_class = self.activation_class_fn(
+                    cycle,
+                    request.rank,
+                    request.bank,
+                    request.row,
+                    self.row_class_fn(request.row),
+                )
             self.channel.apply_activate(
                 cycle, request.rank, request.bank, request.row, request.row_class
             )
@@ -269,7 +293,14 @@ class MemoryController:
                 )
         elif kind == _PRECHARGE:
             rank, bank = payload
+            closed_row = (
+                self.channel.open_row(rank, bank)
+                if self.precharge_hook is not None
+                else None
+            )
             self.channel.apply_precharge(cycle, rank, bank)
+            if self.precharge_hook is not None:
+                self.precharge_hook(cycle, rank, bank, closed_row)
             if observer is not None:
                 observer.on_command(
                     Command(cycle, CommandType.PRECHARGE, 0, rank=rank, bank=bank),
@@ -493,6 +524,15 @@ class MemoryController:
         counts = self.channel.activate_counts()
         columns = self.channel.read_count + self.channel.write_count
         activates = sum(counts.values())
+        legacy = (RowClass.NORMAL, RowClass.MCR, RowClass.MCR_ALT)
+        # The three MCR-device classes keep their unconditional keys (the
+        # golden fixtures and power model consume them); classes other
+        # plugins introduce (e.g. CHARGED) appear only when populated.
+        extra = {
+            f"activates_{cls.name.lower()}": counts[cls]
+            for cls in RowClass
+            if cls not in legacy and counts[cls]
+        }
         return {
             "reads": self.reads_enqueued,
             "writes": self.writes_enqueued,
@@ -500,6 +540,7 @@ class MemoryController:
             "activates_normal": counts[RowClass.NORMAL],
             "activates_mcr": counts[RowClass.MCR],
             "activates_mcr_alt": counts[RowClass.MCR_ALT],
+            **extra,
             # Every column command either followed its own ACT (miss) or
             # reused an open row (hit).
             "row_hits": max(0, columns - activates),

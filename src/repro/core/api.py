@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mechanisms.base import MechanismSpec
 
 from repro.controller.address_mapping import MappingScheme
 from repro.controller.controller import SchedulingPolicy
@@ -40,6 +43,10 @@ class SystemSpec:
             warm pages to secondary).
         idd: Power-model currents.
         wiring: Refresh-counter wiring.
+        mechanism: Latency-mechanism plugin spec
+            (:class:`repro.mechanisms.MechanismSpec`); ``None`` selects
+            the reference MCR plugin, which is bit-identical to the
+            pre-plugin engine.
     """
 
     geometry: DRAMGeometry = field(default_factory=single_core_geometry)
@@ -50,6 +57,7 @@ class SystemSpec:
     idd: IDDParameters | None = None
     wiring: WiringMethod = WiringMethod.K_TO_N_MINUS_1_K
     policy: SchedulingPolicy = SchedulingPolicy.FR_FCFS
+    mechanism: "MechanismSpec | None" = None
 
     def with_allocation(self, allocation: float | str | None) -> "SystemSpec":
         return replace(self, allocation=allocation)
@@ -118,6 +126,7 @@ def run_system(
         wiring=spec.wiring,
         policy=spec.policy,
         observability=observability,
+        mechanism=spec.mechanism,
     )
     return simulator.run(max_cycles=max_cycles)
 

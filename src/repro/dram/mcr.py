@@ -34,12 +34,16 @@ class RowClass(Enum):
     ``MCR`` is the primary MCR region; ``MCR_ALT`` is the secondary region
     of a combined configuration (paper Sec. 4.4: "Combination of 2x and
     4x MCR" — more frequently accessed pages in 4x MCRs, less frequent in
-    2x MCRs).
+    2x MCRs). ``CHARGED`` is a dynamic class assigned at activation time
+    by mechanism plugins (``repro.mechanisms``) to rows whose cells are
+    known to still hold a high charge level — e.g. ChargeCache's
+    recently-closed rows; no static address maps to it.
     """
 
     NORMAL = auto()
     MCR = auto()
     MCR_ALT = auto()
+    CHARGED = auto()
 
 
 @dataclass(frozen=True, slots=True)

@@ -151,6 +151,12 @@ class TimingDomain:
             else:
                 self._row_timings[row_class] = normal
                 self._trfc_cycles[row_class] = self._trfc_cycles[RowClass.NORMAL]
+        # Any further row classes (e.g. the dynamic CHARGED class used by
+        # mechanism plugins) default to normal timings unless overridden.
+        for row_class in RowClass:
+            if row_class not in self._row_timings:
+                self._row_timings[row_class] = normal
+                self._trfc_cycles[row_class] = self._trfc_cycles[RowClass.NORMAL]
         self._row_timings.update(self._row_timing_overrides)
         self._trfc_cycles.update(self._trfc_overrides)
         # Flat per-row-class tables indexed by ``RowClass.value`` so the

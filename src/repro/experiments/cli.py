@@ -55,6 +55,7 @@ def _registry() -> dict[str, Callable[..., ExperimentResult]]:
         fig18_edp,
         headline,
         mapping_ablation,
+        mechanism_comparison,
         scheduler_ablation,
         tldram_comparison,
         wiring_ablation,
@@ -80,6 +81,7 @@ def _registry() -> dict[str, Callable[..., ExperimentResult]]:
         "capacity": capacity_sweep.run_capacity_sweep,
         "tldram": tldram_comparison.run_tldram_comparison,
         "mapping": mapping_ablation.run_mapping_ablation,
+        "mechanisms": mechanism_comparison.run_mechanism_comparison,
     }
 
 

@@ -241,6 +241,15 @@ def _plan_tldram(scale: ScaleConfig) -> Iterator[SimJob]:
         )
 
 
+def _plan_mechanism_zoo(scale: ScaleConfig) -> Iterator[SimJob]:
+    from repro.experiments.mechanism_comparison import MECHANISMS
+
+    for name, traces in single_trace_sets(scale):
+        yield _baseline(traces, SystemSpec(), name)
+        for _, mode, spec in MECHANISMS:
+            yield SimJob.from_provenances(traces, mode, spec)
+
+
 def _plan_nothing(scale: ScaleConfig) -> Iterator[SimJob]:
     return iter(())
 
@@ -265,6 +274,7 @@ PLANNERS: dict[str, Callable[[ScaleConfig], Iterable[SimJob]]] = {
     "capacity": _plan_capacity,
     "tldram": _plan_tldram,
     "mapping": _plan_mapping,
+    "mechanisms": _plan_mechanism_zoo,
 }
 
 

@@ -1,0 +1,35 @@
+"""Latency-mechanism plugin API.
+
+The related-work zoo: DRAM latency proposals expressed as plugins over
+the common controller/device machinery, competing under the identical
+harness, oracle and batch substrate. See :mod:`repro.mechanisms.base`
+for the protocol and :mod:`repro.mechanisms.registry` for lookup.
+
+Built-in plugins:
+
+- ``mcr`` — the source paper's Multiple Clone Row DRAM (the reference
+  plugin; a pure pass-through, bit-identical to the pre-plugin engine);
+- ``clr`` — CLR-DRAM's coupled-row capacity–latency trade-off;
+- ``chargecache`` — ChargeCache's recently-closed-row fast
+  re-activation.
+"""
+
+from repro.mechanisms.base import LatencyMechanism, MechanismHooks, MechanismSpec
+from repro.mechanisms.registry import (
+    available,
+    batch_incompatibility,
+    mechanism_class,
+    register,
+    resolve,
+)
+
+__all__ = [
+    "LatencyMechanism",
+    "MechanismHooks",
+    "MechanismSpec",
+    "available",
+    "batch_incompatibility",
+    "mechanism_class",
+    "register",
+    "resolve",
+]

@@ -1,0 +1,154 @@
+"""The latency-mechanism plugin protocol.
+
+A *mechanism* is a DRAM latency proposal expressed against the common
+controller/device machinery: it chooses the device-visible mode (which
+shapes refresh planning and static address classification), contributes
+per-row-class timing overrides, and may install stateful controller
+hooks that reclassify rows at activation time or observe precharges.
+
+The protocol is deliberately narrow — everything a plugin returns is
+plain data (an :class:`~repro.dram.mcr.MCRModeConfig`, override dicts
+keyed by :class:`~repro.dram.mcr.RowClass`, a label string) so the
+engine, the batch kernel's compat predicate and the harness fingerprints
+all consume it without knowing mechanism internals. The paper's MCR
+device is itself re-expressed as the reference plugin
+(:mod:`repro.mechanisms.mcr`); related-work devices live beside it.
+
+``MechanismSpec`` is the serializable identity of a configured plugin:
+a name plus a canonically-sorted tuple of (key, value) parameters. It is
+a frozen dataclass of hashable builtins, so it participates directly in
+``SystemSpec`` equality and the harness's SHA-256 job fingerprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.config import DRAMGeometry
+from repro.dram.mcr import MCRModeConfig, RowClass
+from repro.dram.timing import RowTimings
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """Identity of a configured latency mechanism.
+
+    Attributes:
+        name: Registry name (``"mcr"``, ``"clr"``, ``"chargecache"``).
+        params: Plugin parameters as a sorted tuple of (key, value)
+            pairs; values must be int/float/str/bool so the spec stays
+            hashable and fingerprintable.
+    """
+
+    name: str
+    params: tuple[tuple[str, object], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("mechanism name must be non-empty")
+        ordered = tuple(sorted(self.params))
+        if ordered != self.params:
+            object.__setattr__(self, "params", ordered)
+        for key, value in self.params:
+            if not isinstance(key, str):
+                raise ValueError(f"param key {key!r} must be a string")
+            if not isinstance(value, (int, float, str, bool)):
+                raise ValueError(
+                    f"param {key}={value!r} must be an int/float/str/bool"
+                )
+
+    @classmethod
+    def make(cls, name: str, **params: object) -> "MechanismSpec":
+        return cls(name=name, params=tuple(sorted(params.items())))
+
+    def as_dict(self) -> dict[str, object]:
+        return dict(self.params)
+
+    def get(self, key: str, default: object = None) -> object:
+        return self.as_dict().get(key, default)
+
+
+class MechanismHooks:
+    """Per-controller stateful hook object.
+
+    One instance is created per memory controller (channel); the
+    controller calls the hooks on its command-issue hot path:
+
+    - :meth:`activation_class` right before an ACTIVATE issues — it may
+      upgrade the static row class (e.g. to ``RowClass.CHARGED``);
+    - :meth:`on_precharge` right after a PRECHARGE issues, with the row
+      that was closed.
+
+    The base class is the identity hook; subclass only what you need.
+    """
+
+    def activation_class(
+        self,
+        cycle: int,
+        rank: int,
+        bank: int,
+        row: int,
+        static_class: RowClass,
+    ) -> RowClass:
+        return static_class
+
+    def on_precharge(
+        self, cycle: int, rank: int, bank: int, row: int | None
+    ) -> None:
+        return None
+
+
+class LatencyMechanism:
+    """Base class for latency-mechanism plugins.
+
+    A plugin is constructed from ``(geometry, mode, spec)`` where
+    ``mode`` is the caller-requested MCR mode (only the reference MCR
+    plugin honours it; other mechanisms derive their own device mode
+    from ``spec`` parameters). Subclasses override the narrow waist:
+
+    - :meth:`device_mode` — the :class:`MCRModeConfig` programmed into
+      the timing domain, refresh plan and MCR generator (this is the
+      refresh-policy hook: k/m/mechanisms shape the refresh slot mix);
+    - :meth:`row_timing_overrides` / :meth:`trfc_overrides` — per-class
+      timing replacements layered over the derived tables;
+    - :meth:`make_hooks` — a fresh :class:`MechanismHooks` per
+      controller, or ``None`` for hook-free mechanisms;
+    - :meth:`label` — the human-readable mode label on results;
+    - ``BATCH_INCOMPATIBILITY`` — ``None`` if lanes of this mechanism
+      may run in the lockstep batch kernel, else the scalar-fallback
+      reason string surfaced by ``repro.batch.compat``.
+    """
+
+    #: Registry name; subclasses must set it.
+    name: str = ""
+
+    #: Scalar-fallback reason, or None when batch-kernel compatible.
+    BATCH_INCOMPATIBILITY: str | None = None
+
+    def __init__(
+        self,
+        geometry: DRAMGeometry,
+        mode: MCRModeConfig,
+        spec: MechanismSpec,
+    ) -> None:
+        self.geometry = geometry
+        self.requested_mode = mode
+        self.spec = spec
+
+    def device_mode(self) -> MCRModeConfig:
+        raise NotImplementedError
+
+    def row_timing_overrides(self) -> dict[RowClass, RowTimings]:
+        return {}
+
+    def trfc_overrides(self) -> dict[RowClass, int]:
+        return {}
+
+    def make_hooks(self) -> MechanismHooks | None:
+        return None
+
+    def label(self) -> str:
+        return self.device_mode().label()
+
+
+__all__ = ["LatencyMechanism", "MechanismHooks", "MechanismSpec"]

@@ -1,0 +1,145 @@
+"""ChargeCache: highly-charged-row tracking (Hassan et al.).
+
+A row closed moments ago still holds near-full cell charge, so its next
+activation can use reduced tRCD/tRAS — the cells re-develop the bitline
+swing faster and need less restore. ChargeCache exploits this row-level
+temporal locality with a small controller-side table of recently-closed
+rows:
+
+- every PRECHARGE inserts the closed row with an expiry stamp
+  ``cycle + window`` (the charge-decay window);
+- an ACTIVATE that hits an unexpired entry is issued as
+  ``RowClass.CHARGED`` and runs under the reduced timings;
+- the table is strictly bounded: when full, the oldest insertion is
+  evicted (FIFO), and a hit consumes its entry (the row is re-inserted
+  at its next precharge with a fresh charge level).
+
+The device mode is conventional DRAM — all the action is in the
+controller hooks and the ``RowClass.CHARGED`` timing overrides. The
+oracle mirrors the table independently in ``repro.verify.oracle`` from
+the observed command stream alone; ``capacity=0`` disables the table
+and must be bit-identical to baseline (the ``chargecache-empty``
+metamorphic identity).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.circuit.timing_solver import TRP_NS
+from repro.dram.mcr import MCRModeConfig, RowClass
+from repro.dram.timing import BaseTimings, RowTimings
+from repro.mechanisms.base import LatencyMechanism, MechanismHooks
+from repro.mechanisms.registry import register
+from repro.utils.units import ns_to_cycles
+
+#: Representative highly-charged-row analog timings, ns. Restated as
+#: independent literals in ``repro.verify.rules`` — keep in sync by
+#: hand, never by import.
+CHARGECACHE_TRCD_NS = 7.7
+CHARGECACHE_TRAS_NS = 22.4
+
+#: Default charge-decay window (1 ms) and per-channel table capacity.
+DEFAULT_WINDOW_NS = 1_000_000.0
+DEFAULT_CAPACITY = 128
+
+
+class ChargeCacheHooks(MechanismHooks):
+    """One bounded highly-charged-row table per memory controller."""
+
+    def __init__(self, capacity: int, window_cycles: int) -> None:
+        self.capacity = capacity
+        self.window_cycles = window_cycles
+        self.hits = 0
+        self._table: OrderedDict[tuple[int, int, int], int] = OrderedDict()
+
+    def activation_class(
+        self,
+        cycle: int,
+        rank: int,
+        bank: int,
+        row: int,
+        static_class: RowClass,
+    ) -> RowClass:
+        expiry = self._table.pop((rank, bank, row), None)
+        if (
+            expiry is not None
+            and cycle <= expiry
+            and static_class is RowClass.NORMAL
+        ):
+            self.hits += 1
+            return RowClass.CHARGED
+        return static_class
+
+    def on_precharge(
+        self, cycle: int, rank: int, bank: int, row: int | None
+    ) -> None:
+        if row is None or self.capacity == 0:
+            return
+        key = (rank, bank, row)
+        self._table.pop(key, None)
+        while len(self._table) >= self.capacity:
+            self._table.popitem(last=False)
+        self._table[key] = cycle + self.window_cycles
+
+
+@register
+class ChargeCacheMechanism(LatencyMechanism):
+    """ChargeCache's recently-closed-row fast re-activation."""
+
+    name = "chargecache"
+
+    BATCH_INCOMPATIBILITY = (
+        "chargecache reclassifies rows at activation time via stateful "
+        "controller hooks the lockstep kernel does not model"
+    )
+
+    def __init__(self, geometry, mode, spec) -> None:
+        super().__init__(geometry, mode, spec)
+        if mode.enabled:
+            raise ValueError("chargecache does not compose with an MCR mode")
+        capacity = int(spec.get("capacity", DEFAULT_CAPACITY))
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        window_ns = float(spec.get("window_ns", DEFAULT_WINDOW_NS))
+        if window_ns <= 0:
+            raise ValueError(f"window_ns must be positive, got {window_ns}")
+        self.capacity = capacity
+        self.window_ns = window_ns
+
+    def device_mode(self) -> MCRModeConfig:
+        return MCRModeConfig.off()
+
+    def row_timing_overrides(self) -> dict[RowClass, RowTimings]:
+        if self.capacity == 0:
+            return {}
+        tck = BaseTimings().tck_ns
+        return {
+            RowClass.CHARGED: RowTimings(
+                t_rcd=ns_to_cycles(CHARGECACHE_TRCD_NS, tck),
+                t_ras=ns_to_cycles(CHARGECACHE_TRAS_NS, tck),
+                t_rc=ns_to_cycles(CHARGECACHE_TRAS_NS + TRP_NS, tck),
+            )
+        }
+
+    def make_hooks(self) -> MechanismHooks | None:
+        if self.capacity == 0:
+            return None
+        tck = BaseTimings().tck_ns
+        return ChargeCacheHooks(self.capacity, ns_to_cycles(self.window_ns, tck))
+
+    def label(self) -> str:
+        if self.capacity == 0:
+            return "[chargecache off]"
+        window_us = self.window_ns / 1_000.0
+        return f"[chargecache {self.capacity}e/{window_us:g}us]"
+
+
+__all__ = [
+    "ChargeCacheHooks",
+    "ChargeCacheMechanism",
+    "CHARGECACHE_TRCD_NS",
+    "CHARGECACHE_TRAS_NS",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_WINDOW_NS",
+]

@@ -1,0 +1,106 @@
+"""CLR-DRAM: capacity–latency reconfigurable rows (Luo et al.).
+
+CLR-DRAM lets a pair of adjacent rows operate *coupled*: both wordlines
+activate together so two cells drive each bitline, which speeds sensing
+and restore at the cost of half the capacity in the coupled region. It
+is the natural dual of MCR's clone rows, and maps onto the same region
+machinery:
+
+- the coupled region is a ``k=2`` region of the sub-array (nearest the
+  sense amplifiers, like MCR's), so static classification, refresh
+  planning and page allocation reuse ``MCRGenerator`` unchanged;
+- one refresh pass restores both rows of a pair (``m=1`` of ``k=2``
+  refresh-skipping), halving the region's refresh commands;
+- the coupled-row timings are CLR's own, not MCR's Table 3: the plugin
+  overrides tRCD/tRAS/tRC/tRFC for ``RowClass.MCR`` with representative
+  max-latency-mode constants (restated independently by the oracle in
+  ``repro.verify.rules``).
+
+``fraction_pct=0`` puts every row in max-capacity (uncoupled) mode —
+the device is then bit-identical to conventional DRAM, which the
+``clr-max-capacity`` metamorphic identity asserts end to end.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.timing_solver import TRP_NS
+from repro.dram.mcr import MCRModeConfig, MechanismSet, RowClass
+from repro.dram.timing import BaseTimings, RowTimings
+from repro.mechanisms.base import LatencyMechanism
+from repro.mechanisms.registry import register
+from repro.utils.units import ns_to_cycles
+
+#: Representative coupled-row (max-latency mode) analog timings, ns.
+#: The oracle restates these literals in ``repro.verify.rules`` — keep
+#: the two in sync by hand, never by import (pipeline independence).
+CLR_TRCD_NS = 10.6
+CLR_TRAS_NS = 30.6
+#: One refresh pass restores a whole coupled pair with both cells
+#: driving the bitline, so the per-command tRFC shrinks below JEDEC.
+CLR_TRFC_NS = 208.0
+
+#: The coupled fraction of each sub-array the comparison figure uses.
+DEFAULT_FRACTION_PCT = 50
+
+
+@register
+class CLRMechanism(LatencyMechanism):
+    """CLR-DRAM's coupled-row max-latency mode over a region."""
+
+    name = "clr"
+
+    BATCH_INCOMPATIBILITY = (
+        "clr timing overrides are not in the lockstep kernel's shared "
+        "timing-domain tables"
+    )
+
+    def __init__(self, geometry, mode, spec) -> None:
+        super().__init__(geometry, mode, spec)
+        if mode.enabled:
+            raise ValueError("clr does not compose with an MCR mode")
+        pct = int(spec.get("fraction_pct", DEFAULT_FRACTION_PCT))
+        if not 0 <= pct <= 100:
+            raise ValueError(f"fraction_pct must be in [0, 100], got {pct}")
+        self.fraction_pct = pct
+
+    def device_mode(self) -> MCRModeConfig:
+        if self.fraction_pct == 0:
+            return MCRModeConfig.off()
+        return MCRModeConfig(
+            k=2,
+            m=1,
+            region_fraction=self.fraction_pct / 100.0,
+            mechanisms=MechanismSet(fast_refresh=False, refresh_skipping=True),
+        )
+
+    def row_timing_overrides(self) -> dict[RowClass, RowTimings]:
+        if self.fraction_pct == 0:
+            return {}
+        tck = BaseTimings().tck_ns
+        return {
+            RowClass.MCR: RowTimings(
+                t_rcd=ns_to_cycles(CLR_TRCD_NS, tck),
+                t_ras=ns_to_cycles(CLR_TRAS_NS, tck),
+                t_rc=ns_to_cycles(CLR_TRAS_NS + TRP_NS, tck),
+            )
+        }
+
+    def trfc_overrides(self) -> dict[RowClass, int]:
+        if self.fraction_pct == 0:
+            return {}
+        tck = BaseTimings().tck_ns
+        return {RowClass.MCR: ns_to_cycles(CLR_TRFC_NS, tck)}
+
+    def label(self) -> str:
+        if self.fraction_pct == 0:
+            return "[clr off]"
+        return f"[clr {self.fraction_pct}%coupled]"
+
+
+__all__ = [
+    "CLRMechanism",
+    "CLR_TRCD_NS",
+    "CLR_TRAS_NS",
+    "CLR_TRFC_NS",
+    "DEFAULT_FRACTION_PCT",
+]

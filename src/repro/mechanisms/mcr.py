@@ -1,0 +1,33 @@
+"""MCR-DRAM as the reference latency-mechanism plugin.
+
+The paper's device *is* the common machinery, so the reference plugin is
+a pure pass-through: the requested mode becomes the device mode
+verbatim, there are no timing overrides and no controller hooks, and the
+label is the mode's own. Re-expressing MCR this way is what makes the
+plugin API honest — the goldens, the scalar/batch equivalence suite and
+the corpus replays all run through the plugin path and must stay
+bit-identical to the pre-plugin engine.
+"""
+
+from __future__ import annotations
+
+from repro.dram.mcr import MCRModeConfig
+from repro.mechanisms.base import LatencyMechanism
+from repro.mechanisms.registry import register
+
+
+@register
+class MCRMechanism(LatencyMechanism):
+    """Multiple-clone-row DRAM (the source paper), as a plugin."""
+
+    name = "mcr"
+
+    # The batch kernel's lockstep lanes were built for exactly this
+    # device; MCR lanes batch freely.
+    BATCH_INCOMPATIBILITY = None
+
+    def device_mode(self) -> MCRModeConfig:
+        return self.requested_mode
+
+
+__all__ = ["MCRMechanism"]

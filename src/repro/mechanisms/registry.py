@@ -1,0 +1,87 @@
+"""Registry of latency-mechanism plugins.
+
+Plugins register a :class:`~repro.mechanisms.base.LatencyMechanism`
+subclass under a unique name. Lookup failures name the known set so a
+typo in a spec fails loudly; re-registering the *same* class under its
+name is an idempotent no-op (module reloads in tests), while registering
+a *different* class under a taken name is an error — two mechanisms
+silently shadowing each other is exactly the bug a registry exists to
+prevent.
+"""
+
+from __future__ import annotations
+
+from repro.dram.config import DRAMGeometry
+from repro.dram.mcr import MCRModeConfig
+from repro.mechanisms.base import LatencyMechanism, MechanismSpec
+
+_REGISTRY: dict[str, type[LatencyMechanism]] = {}
+
+
+def register(cls: type[LatencyMechanism]) -> type[LatencyMechanism]:
+    """Class decorator: add a plugin class under ``cls.name``."""
+    name = cls.name
+    if not name:
+        raise ValueError(f"{cls.__name__} must set a non-empty 'name'")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"mechanism {name!r} already registered by "
+            f"{existing.__module__}.{existing.__name__}"
+        )
+    _REGISTRY[name] = cls
+    return cls
+
+
+def _ensure_builtins() -> None:
+    # Import for the registration side effect; local to avoid import
+    # cycles at module load (plugins import dram modules freely).
+    from repro.mechanisms import chargecache, clr, mcr  # noqa: F401
+
+
+def available() -> tuple[str, ...]:
+    """Sorted names of every registered mechanism."""
+    _ensure_builtins()
+    return tuple(sorted(_REGISTRY))
+
+
+def mechanism_class(name: str) -> type[LatencyMechanism]:
+    """The plugin class registered under ``name``; raises on unknown."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mechanism {name!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def resolve(
+    geometry: DRAMGeometry,
+    mode: MCRModeConfig,
+    spec: MechanismSpec | None,
+) -> LatencyMechanism:
+    """Instantiate the plugin for ``spec`` (``None`` = reference MCR)."""
+    if spec is None:
+        spec = MechanismSpec(name="mcr")
+    return mechanism_class(spec.name)(geometry, mode, spec)
+
+
+def batch_incompatibility(spec: MechanismSpec | None) -> str | None:
+    """Scalar-fallback reason for a mechanism spec, or ``None``.
+
+    Consulted by ``repro.batch.compat`` without instantiating the plugin
+    (no geometry/mode at hand when planning work units).
+    """
+    if spec is None:
+        return None
+    return mechanism_class(spec.name).BATCH_INCOMPATIBILITY
+
+
+__all__ = [
+    "available",
+    "batch_incompatibility",
+    "mechanism_class",
+    "register",
+    "resolve",
+]

@@ -80,11 +80,16 @@ def _counterfactual_domain(
 
 
 def _trfc_class_map(domain: TimingDomain) -> dict[int, RowClass]:
-    """Actual tRFC value -> row class; NORMAL wins ties (listed last)."""
-    return {
-        domain.trfc_cycles(cls): cls
-        for cls in (RowClass.MCR_ALT, RowClass.MCR, RowClass.NORMAL)
-    }
+    """Actual tRFC value -> row class; NORMAL wins ties (listed last).
+
+    Built generically over :class:`RowClass` so plugin-introduced
+    classes resolve too; on ties, later entries win — NORMAL last, then
+    MCR over MCR_ALT over any plugin class (reverse declaration order).
+    """
+    ordered = [cls for cls in RowClass if cls is not RowClass.NORMAL]
+    ordered.reverse()
+    ordered.append(RowClass.NORMAL)
+    return {domain.trfc_cycles(cls): cls for cls in ordered}
 
 
 def _command_end(kind: str, cycle: int, domain: TimingDomain, trfc: int) -> int:
@@ -336,6 +341,108 @@ def attribute_mechanisms(
     }
 
 
+def attribute_plugin(hub) -> dict:
+    """Decompose a latency-mechanism plugin's contribution from one run.
+
+    The counterfactual is the *mechanism-removed* device: a baseline
+    (mode-off, override-free) timing domain. The observed stream is
+    replayed under it with the same slack-absorbing / shift-propagating
+    bracket as :func:`attribute_mechanisms`, and the single
+    ``"mechanism"`` bucket is the midpoint. For the reference MCR plugin
+    prefer :func:`attribute_mechanisms`, which splits the same delta
+    into the paper's four per-mechanism buckets.
+
+    The self-check replays under the run's own domain (including the
+    plugin's timing overrides, which the hub's domain carries) and must
+    reproduce the stream exactly.
+    """
+    if hub.tracer is None:
+        raise ValueError("mechanism attribution requires a command trace")
+    geometry = hub.geometry
+    domain = hub.domain
+    mode = hub.mode
+
+    by_channel: dict[int, list[TraceEvent]] = {}
+    for event in hub.tracer.events:
+        by_channel.setdefault(event.channel, []).append(event)
+
+    trfc_classes = _trfc_class_map(domain)
+    actual_makespan = 0
+    for events in by_channel.values():
+        for event in events:
+            trfc = (
+                domain.trfc_cycles(trfc_classes.get(event.row, RowClass.NORMAL))
+                if event.kind == "REFRESH"
+                else 0
+            )
+            end = _command_end(event.kind, event.cycle, domain, trfc)
+            if end > actual_makespan:
+                actual_makespan = end
+
+    baseline_mode = MCRModeConfig.off()
+    baseline_domain = TimingDomain(
+        geometry, baseline_mode, base=domain.base, wiring=domain.wiring
+    )
+    makespans: dict[str, dict[str, int]] = {}
+    step_delays: dict[str, dict] = {}
+    for name, step_domain, step_mode in (
+        ("self_check", domain, mode),
+        ("mechanism_off", baseline_domain, baseline_mode),
+    ):
+        bound_makespans = {}
+        delays: dict[tuple[int, int, int, int], int] = {}
+        for bound, propagate in (("lower", False), ("upper", True)):
+            makespan = 0
+            for events in by_channel.values():
+                channel_makespan, channel_delays = replay_events(
+                    events,
+                    geometry,
+                    step_domain,
+                    step_mode,
+                    domain,
+                    propagate_shift=propagate,
+                )
+                makespan = max(makespan, channel_makespan)
+                if not propagate:
+                    delays.update(channel_delays)
+            bound_makespans[bound] = makespan
+        makespans[name] = bound_makespans
+        step_delays[name] = delays
+
+    self_check_delta = max(
+        makespans["self_check"]["lower"] - actual_makespan,
+        makespans["self_check"]["upper"] - actual_makespan,
+        key=abs,
+    )
+    slack = makespans["mechanism_off"]["lower"] - makespans["self_check"]["lower"]
+    shifted = makespans["mechanism_off"]["upper"] - makespans["self_check"]["upper"]
+    bounds = {"lower": min(slack, shifted), "upper": max(slack, shifted)}
+    estimate = (slack + shifted) / 2.0
+    return {
+        "schema": ATTRIBUTION_SCHEMA_VERSION,
+        "mode": mode.label() if hasattr(mode, "label") else str(mode),
+        "execution": {
+            "actual_makespan": actual_makespan,
+            "counterfactual_makespan": dict(makespans["mechanism_off"]),
+        },
+        "buckets": {"mechanism": estimate},
+        "bucket_bounds": {"mechanism": bounds},
+        "total_saved_cycles": estimate,
+        "self_check": {
+            "makespan_delta": self_check_delta,
+            "clean": self_check_delta == 0 and not step_delays["self_check"],
+        },
+        "evidence": {
+            "mechanism": {
+                "columns_delayed": len(step_delays["mechanism_off"]),
+                "column_delay_cycles": sum(
+                    step_delays["mechanism_off"].values()
+                ),
+            }
+        },
+    }
+
+
 def format_attribution(snapshot: dict) -> str:
     """Human-readable rendering of an attribution snapshot."""
     execution = snapshot["execution"]
@@ -380,6 +487,7 @@ __all__ = [
     "ATTRIBUTION_SCHEMA_VERSION",
     "MECHANISMS",
     "attribute_mechanisms",
+    "attribute_plugin",
     "format_attribution",
     "replay_events",
 ]

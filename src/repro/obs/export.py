@@ -49,11 +49,9 @@ def _slice_cycles(hub: "ObservabilityHub", event) -> int:
     if event.kind == "REFRESH":
         return max(event.row, _MARKER_CYCLES)
     if event.kind == "ACTIVATE":
-        row_class = {
-            "normal": RowClass.NORMAL,
-            "mcr": RowClass.MCR,
-            "mcr_alt": RowClass.MCR_ALT,
-        }.get(event.row_class, RowClass.NORMAL)
+        row_class = {cls.name.lower(): cls for cls in RowClass}.get(
+            event.row_class, RowClass.NORMAL
+        )
         return hub.domain.row_timings(row_class).t_rcd
     if event.kind == "PRECHARGE":
         return base.t_rp

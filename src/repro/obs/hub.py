@@ -330,6 +330,7 @@ def observe_run(
         wiring=spec.wiring,
         policy=spec.policy,
         observability=config,
+        mechanism=spec.mechanism,
         **sim_kwargs,
     )
     result = simulator.run(max_cycles=max_cycles)

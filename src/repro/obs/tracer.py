@@ -25,11 +25,9 @@ from repro.dram.mcr import RowClass
 TRACE_SCHEMA_VERSION = 1
 
 #: RowClass -> stable string label used across trace/profile artifacts.
-ROW_CLASS_LABELS = {
-    RowClass.NORMAL: "normal",
-    RowClass.MCR: "mcr",
-    RowClass.MCR_ALT: "mcr_alt",
-}
+#: Derived from the enum so mechanism-plugin classes (e.g. CHARGED) get
+#: labels automatically; the legacy three keep their historical names.
+ROW_CLASS_LABELS = {cls: cls.name.lower() for cls in RowClass}
 
 
 @dataclass(frozen=True, slots=True)

@@ -185,11 +185,7 @@ def audit_commands(
             prev_ref = rank_last_ref.get(cmd.rank)
             if prev_ref is not None and cmd.cycle - prev_ref.cycle < prev_ref.row:
                 viol("tRFC-to-REF", prev_ref, cmd, prev_ref.row)
-            expected = {
-                domain.trfc_cycles(RowClass.NORMAL),
-                domain.trfc_cycles(RowClass.MCR),
-                domain.trfc_cycles(RowClass.MCR_ALT),
-            }
+            expected = {domain.trfc_cycles(cls) for cls in RowClass}
             if cmd.row not in expected:
                 viol("tRFC-class", cmd, cmd, min(expected))
             rank_last_ref[cmd.rank] = cmd

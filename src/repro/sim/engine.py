@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mechanisms.base import MechanismSpec
 
 from repro.controller.address_mapping import AddressMapper, MappingScheme
 from repro.controller.controller import MemoryController, SchedulingPolicy
@@ -93,24 +96,45 @@ class SystemSimulator:
         row_timing_overrides: dict | None = None,
         trfc_overrides: dict | None = None,
         observability: ObservabilityConfig | None = None,
+        mechanism: "MechanismSpec | None" = None,
     ) -> None:
         if not traces:
             raise ValueError("need at least one trace")
         self.geometry = geometry if geometry is not None else single_core_geometry()
-        self.mode = mode
         self.core_params = core_params if core_params is not None else CoreParams()
+        # Resolve the latency-mechanism plugin (reference MCR when no
+        # spec is given): it chooses the device-visible mode, layers its
+        # timing overrides under any caller overrides (fault injection
+        # wins), and supplies per-controller hooks.
+        from repro.mechanisms.registry import resolve as resolve_mechanism
+
+        plugin = resolve_mechanism(self.geometry, mode, mechanism)
+        self.mechanism_plugin = plugin
+        mode = plugin.device_mode()
+        self.mode = mode
+        merged_row_overrides = {
+            **plugin.row_timing_overrides(),
+            **(row_timing_overrides or {}),
+        }
+        merged_trfc_overrides = {
+            **plugin.trfc_overrides(),
+            **(trfc_overrides or {}),
+        }
         self.domain = TimingDomain(
             self.geometry,
             mode,
             base=base_timings,
             wiring=wiring,
-            row_timing_overrides=row_timing_overrides,
-            trfc_overrides=trfc_overrides,
+            row_timing_overrides=merged_row_overrides,
+            trfc_overrides=merged_trfc_overrides,
         )
         self.plan = RefreshPlan(self.geometry, mode, wiring=wiring)
         self.mapper = AddressMapper(self.geometry, mapping)
         self.row_remapper = row_remapper
         generator = MCRGenerator(self.geometry, mode)
+        self.controller_hooks = [
+            plugin.make_hooks() for _ in range(self.geometry.channels)
+        ]
         self.controllers = [
             MemoryController(
                 self.geometry,
@@ -119,8 +143,14 @@ class SystemSimulator:
                 row_class_fn=generator.row_class,
                 refresh_enabled=refresh_enabled,
                 policy=policy,
+                activation_class_fn=(
+                    hooks.activation_class if hooks is not None else None
+                ),
+                precharge_hook=(
+                    hooks.on_precharge if hooks is not None else None
+                ),
             )
-            for _ in range(self.geometry.channels)
+            for hooks in self.controller_hooks
         ]
         if record_commands:
             for controller in self.controllers:
@@ -378,7 +408,7 @@ class SystemSimulator:
 
         return RunResult(
             workloads=tuple(t.name for t in self._traces),
-            mode_label=self.mode.label(),
+            mode_label=self.mechanism_plugin.label(),
             execution_cycles=end_cycle,
             per_core_cycles=per_core,
             avg_read_latency_cycles=avg_latency,
@@ -407,9 +437,15 @@ class SystemSimulator:
         idle_intervals: list[int] = []
         for controller in self.controllers:
             counts = controller.channel.activate_counts()
-            act_normal += counts[RowClass.NORMAL]
             act_mcr += counts[RowClass.MCR]
             act_alt += counts[RowClass.MCR_ALT]
+            # Plugin-introduced classes (e.g. CHARGED) activate a full
+            # row; fold them into the normal-activate energy bucket.
+            act_normal += sum(
+                n
+                for cls, n in counts.items()
+                if cls not in (RowClass.MCR, RowClass.MCR_ALT)
+            )
             for key, value in controller.refresh.issued_counts().items():
                 ref_counts[key] += value
             for rank in controller.channel.ranks:

@@ -15,17 +15,22 @@ Two kinds of check per round:
 
 - **paired lanes** — the batched counterparts of the scalar metamorphic
   identities (``duplicate``, ``mcr-region-empty``, ``skip-noop``,
-  ``column-permutation``): lanes ``2i`` and ``2i+1`` must be
-  bit-identical (stats-stripped for the column permutation, exactly as
-  the scalar identity compares them);
+  ``column-permutation``, ``clr-uncoupled``, ``chargecache-empty``):
+  lanes ``2i`` and ``2i+1`` must be bit-identical (stats-stripped for
+  the column permutation, label-stripped for the plugin identities,
+  exactly as the scalar identities compare them);
 - **scalar spot-check** — one lane per round, chosen by the seeded RNG,
   re-runs on the scalar engine and must match its kernel lane bit for
   bit, so every chunk stays anchored to the reference engine, not just
   internally consistent.
 
-Everything a ``VerifyCase`` can express is batch-compatible by
-construction (no allocation policy, no deep observability), so no lane
-ever needs a scalar fallback here.
+Lanes whose case carries a latency-mechanism plugin (CLR-DRAM,
+ChargeCache) are not batchable — the kernel vectorizes the MCR
+reference device only, and ``repro.batch.compat`` reports the plugin
+name as the scalar-fallback reason — so the round partitions its lanes:
+mechanism-free cases pack into the kernel chunk, plugin cases fall back
+to the scalar engine, and the pairwise equalities are checked across
+the merged outputs either way.
 """
 
 from __future__ import annotations
@@ -34,10 +39,27 @@ import random
 from dataclasses import dataclass, replace
 
 from repro.verify.generator import VerifyCase, explicit_entries, sample_case
-from repro.verify.metamorphic import _diff, _strip, run_case
+from repro.verify.metamorphic import (
+    _diff,
+    _plain_baseline,
+    _strip,
+    _strip_label,
+    run_case,
+)
 
 #: Pair kinds drawn per round; each contributes two lanes to the chunk.
-PAIR_KINDS = ("duplicate", "mcr-region-empty", "skip-noop", "column-permutation")
+PAIR_KINDS = (
+    "duplicate",
+    "mcr-region-empty",
+    "skip-noop",
+    "column-permutation",
+    "clr-uncoupled",
+    "chargecache-empty",
+)
+
+#: Pair kinds compared modulo the mode label (a disabled plugin names
+#: itself in the label but must not change any measured quantity).
+_LABEL_STRIPPED_KINDS = frozenset({"clr-uncoupled", "chargecache-empty"})
 
 #: Pairs packed into one kernel invocation (2 lanes each; well under
 #: ``MAX_LANES`` so a round stays a sub-second unit of fuzz progress).
@@ -66,7 +88,29 @@ def _draw_pair(kind: str, rng: random.Random) -> LanePair:
             base,
             base,
         )
+    if kind == "clr-uncoupled":
+        plain = _plain_baseline(base)
+        return LanePair(
+            kind,
+            f"CLR with 0% coupled rows != baseline (seed={base.seed})",
+            replace(plain, mechanism="clr", clr_fraction_pct=0.0),
+            plain,
+        )
+    if kind == "chargecache-empty":
+        plain = _plain_baseline(base)
+        return LanePair(
+            kind,
+            f"zero-entry ChargeCache != baseline (seed={base.seed})",
+            replace(
+                plain,
+                mechanism="chargecache",
+                cc_capacity=0,
+                cc_window_ns=rng.choice((50_000.0, 1_000_000.0)),
+            ),
+            plain,
+        )
     if kind == "mcr-region-empty":
+        base = _plain_baseline(base)  # the K/M fields must actually bind
         k = rng.choice((2, 4))
         empty = replace(
             base, k=k, m=k, region_pct=0.0, alt_k=1, alt_m=1, alt_region_pct=0.0
@@ -81,6 +125,8 @@ def _draw_pair(kind: str, rng: random.Random) -> LanePair:
             plain,
         )
     if kind == "skip-noop":
+        if base.mechanism != "mcr":
+            base = _plain_baseline(base)
         k = rng.choice((2, 4))
         regions = (25.0, 50.0) if base.alt_region_pct > 0.0 else (25.0, 50.0, 100.0)
         common = replace(
@@ -143,13 +189,25 @@ def run_batched_round(
     # The spot-check lane is drawn before the kernel runs so the RNG
     # stream (and with it the whole round) replays from the seed alone.
     spot_lane = rng.randrange(len(cases)) if spot_check else None
-    outputs = run_batch(from_verify_case(case) for case in cases)
+    # Partition: plugin cases are scalar-only (the kernel vectorizes the
+    # MCR reference device), everything else packs into one kernel chunk.
+    batch_lanes = [i for i, case in enumerate(cases) if case.mechanism == "mcr"]
+    outputs: list = [None] * len(cases)
+    for lane, output in zip(
+        batch_lanes, run_batch(from_verify_case(cases[i]) for i in batch_lanes)
+    ):
+        outputs[lane] = output
+    for lane, case in enumerate(cases):
+        if outputs[lane] is None:
+            outputs[lane] = run_case(case)
 
     failures: list[str] = []
     for index, pair in enumerate(pairs):
         left, right = outputs[2 * index], outputs[2 * index + 1]
         if pair.kind == "column-permutation":
             left, right = _strip(left, stats=True), _strip(right, stats=True)
+        if pair.kind in _LABEL_STRIPPED_KINDS:
+            left, right = _strip_label(left), _strip_label(right)
         mismatch = _diff(f"batched {pair.kind}: {pair.label}", left, right)
         if mismatch is not None:
             failures.append(mismatch)

@@ -25,6 +25,11 @@ BUG_NAMES: dict[str, str] = {
     "shaved-trcd": "tRCD",
     "shaved-trp": "tRP",
     "shaved-trfc": "tRFC-class",
+    # Mechanism-plugin bugs: each shaves the plugin's own reduced
+    # timing, proving the oracle checks the *mechanism's* table rather
+    # than waving fast activations through.
+    "shaved-clr-trcd": "tRCD",
+    "shaved-charge-trcd": "tRCD",
 }
 
 #: Cycles shaved off the true value per bug.
@@ -48,6 +53,7 @@ def apply_bug(case: VerifyCase, name: str) -> dict:
         RowKind.NORMAL: RowClass.NORMAL,
         RowKind.MCR: RowClass.MCR,
         RowKind.MCR_ALT: RowClass.MCR_ALT,
+        RowKind.CHARGED: RowClass.CHARGED,
     }
     timings = oracle_timings(case.oracle_config())
     if name == "shaved-trcd":
@@ -59,6 +65,31 @@ def apply_bug(case: VerifyCase, name: str) -> dict:
                     t_rc=timings.trc[kind],
                 )
                 for kind, row_class in kinds_to_classes.items()
+            }
+        }
+    if name == "shaved-clr-trcd":
+        # Shave only the coupled-row class: the device's user overrides
+        # win over the plugin's, so this replaces CLR's programmed MCR
+        # timings with a too-fast tRCD while everything else stays true.
+        return {
+            "row_timing_overrides": {
+                RowClass.MCR: RowTimings(
+                    t_rcd=max(1, timings.trcd[RowKind.MCR] - _TRCD_SHAVE),
+                    t_ras=timings.tras[RowKind.MCR],
+                    t_rc=timings.trc[RowKind.MCR],
+                )
+            }
+        }
+    if name == "shaved-charge-trcd":
+        # Shave only the dynamic CHARGED class; the oracle must mirror
+        # the charge table to even know which activations it governs.
+        return {
+            "row_timing_overrides": {
+                RowClass.CHARGED: RowTimings(
+                    t_rcd=max(1, timings.trcd[RowKind.CHARGED] - _TRCD_SHAVE),
+                    t_ras=timings.tras[RowKind.CHARGED],
+                    t_rc=timings.trc[RowKind.CHARGED],
+                )
             }
         }
     if name == "shaved-trp":
@@ -84,7 +115,12 @@ def bug_case(name: str, seed: int = 0) -> VerifyCase:
     - a shaved tRP only binds when the precharge is delayed past tRAS,
       which write recovery guarantees (a write miss stream);
     - a shaved tRFC needs REFRESH commands, i.e. a run spanning several
-      tREFI periods (a sparse, gap-heavy trace).
+      tREFI periods (a sparse, gap-heavy trace);
+    - a shaved coupled-row tRCD needs misses landing in the CLR region
+      (a 100% coupled fraction makes every miss one);
+    - a shaved CHARGED tRCD needs prompt re-activations of
+      just-precharged rows (the reuse trace's bank-conflict round-robin)
+      within the decay window.
     """
     base = VerifyCase(
         seed=seed,
@@ -103,6 +139,29 @@ def bug_case(name: str, seed: int = 0) -> VerifyCase:
         return replace(base, trace_kind="write_miss", n_requests=40)
     if name == "shaved-trfc":
         return replace(base, trace_kind="refresh_heavy", n_requests=6)
+    if name == "shaved-clr-trcd":
+        return replace(
+            base,
+            k=1,
+            m=1,
+            region_pct=0.0,
+            mechanism="clr",
+            clr_fraction_pct=100.0,
+            trace_kind="miss_heavy",
+            n_requests=40,
+        )
+    if name == "shaved-charge-trcd":
+        return replace(
+            base,
+            k=1,
+            m=1,
+            region_pct=0.0,
+            mechanism="chargecache",
+            cc_capacity=64,
+            cc_window_ns=1_000_000.0,
+            trace_kind="reuse",
+            n_requests=40,
+        )
     raise ValueError(f"unknown bug {name!r}; known: {sorted(BUG_NAMES)}")
 
 

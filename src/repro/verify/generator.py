@@ -48,6 +48,20 @@ KM_CHOICES: tuple[tuple[int, int], ...] = (
 #: Region sizes that keep the paper's 1-2 bit MSB detector exact.
 REGION_PCT_CHOICES = (25.0, 50.0, 100.0)
 
+#: Latency mechanisms the fuzzer samples ("mcr" means the classic MCR
+#: path with no plugin spec attached, keeping those cases batchable and
+#: their fingerprints unchanged).
+MECHANISM_CHOICES = ("mcr", "clr", "chargecache")
+
+#: CLR coupled-region sizes (same MSB-exact sizes as the MCR regions).
+CLR_FRACTION_CHOICES = (25.0, 50.0, 100.0)
+
+#: ChargeCache table sizes and decay windows the fuzzer draws from.
+#: Windows are exact multiples of tCK so the plugin's cycle conversion
+#: and the oracle's agree without epsilon games.
+CC_CAPACITY_CHOICES = (4, 16, 64)
+CC_WINDOW_NS_CHOICES = (50_000.0, 200_000.0, 1_000_000.0)
+
 _MAPPINGS = ("PAGE_INTERLEAVING", "PERMUTATION", "BIT_REVERSAL")
 _POLICIES = ("FR_FCFS", "FCFS", "CLOSED_PAGE")
 _TRACE_KINDS = (
@@ -58,6 +72,7 @@ _TRACE_KINDS = (
     "miss_heavy",
     "write_miss",
     "refresh_heavy",
+    "reuse",
 )
 
 
@@ -157,11 +172,35 @@ def refresh_heavy_trace(
     return Trace(name="fuzz-refresh", entries=entries)
 
 
+def reuse_trace(
+    rng: random.Random, geometry: DRAMGeometry, n_requests: int
+) -> Trace:
+    """Round-robin over a small pool of pages. Pool pages sharing a bank
+    conflict on every revisit, so the same rows are repeatedly precharged
+    and promptly re-activated — the pattern that exercises activation-time
+    row reclassification (ChargeCache hits on unexpired table entries)."""
+    from repro.cpu.trace import Trace, TraceEntry
+
+    row_bytes = geometry.columns_per_row * 64
+    max_page = geometry.capacity_bytes // row_bytes - 1
+    pool = [rng.randint(0, max_page) * row_bytes for _ in range(8)]
+    entries = [
+        TraceEntry(
+            gap=rng.randint(0, 8),
+            is_write=rng.random() < 0.2,
+            address=pool[i % len(pool)],
+        )
+        for i in range(n_requests)
+    ]
+    return Trace(name="fuzz-reuse", entries=entries)
+
+
 _TRACE_BUILDERS = {
     "random": random_trace,
     "miss_heavy": miss_heavy_trace,
     "write_miss": write_miss_trace,
     "refresh_heavy": refresh_heavy_trace,
+    "reuse": reuse_trace,
 }
 
 
@@ -201,6 +240,15 @@ class VerifyCase:
     n_traces: int = 1
     n_requests: int = 100
     max_cycles: int = 3_000_000
+    #: Latency mechanism under test. "mcr" (default) runs the classic
+    #: path with no plugin spec (bit-identical fingerprints, batchable);
+    #: "clr"/"chargecache" attach the corresponding plugin, with the
+    #: MCR-mode fields above forced to their K=1 baseline. Defaults keep
+    #: pre-mechanism corpus artifacts loading unchanged.
+    mechanism: str = "mcr"
+    clr_fraction_pct: float = 0.0
+    cc_capacity: int = 0
+    cc_window_ns: float = 0.0
     entries: tuple[tuple[tuple[int, bool, int], ...], ...] | None = None
 
     # -- derived views --------------------------------------------------
@@ -224,6 +272,10 @@ class VerifyCase:
         from repro.core.mcr_mode import MCRMode
         from repro.dram.mcr import MCRModeConfig, MechanismSet
 
+        if self.mechanism != "mcr":
+            # Plugin cases request the off mode; the device mode comes
+            # from the plugin (plugins refuse to compose with MCR).
+            return MCRMode(MCRModeConfig.off())
         return MCRMode(
             MCRModeConfig(
                 k=self.k,
@@ -241,8 +293,67 @@ class VerifyCase:
             )
         )
 
+    def mechanism_spec(self):
+        """The plugin spec for the case, or None for the classic MCR
+        path (lazy import keeps ``repro.verify`` simulator-free)."""
+        if self.mechanism == "mcr":
+            return None
+        from repro.mechanisms import MechanismSpec
+
+        if self.mechanism == "clr":
+            return MechanismSpec.make("clr", fraction_pct=int(self.clr_fraction_pct))
+        if self.mechanism == "chargecache":
+            return MechanismSpec.make(
+                "chargecache",
+                capacity=self.cc_capacity,
+                window_ns=self.cc_window_ns,
+            )
+        raise ValueError(f"unknown mechanism {self.mechanism!r}")
+
     def oracle_config(self) -> OracleConfig:
-        """The oracle's independent view of the same configuration."""
+        """The oracle's independent view of the same configuration.
+
+        For plugin cases this is the *device* configuration the plugin
+        installs, restated independently: CLR is a k=2/m=1 coupled
+        region refreshed at the normal rate with half its passes
+        skipped; ChargeCache is conventional DRAM plus the shadow
+        charge table parameters.
+        """
+        if self.mechanism == "clr" and self.clr_fraction_pct > 0:
+            return OracleConfig(
+                rows_per_bank=self.rows_per_bank,
+                rows_per_subarray=self.rows_per_subarray,
+                banks_per_rank=self.banks_per_rank,
+                ranks_per_channel=self.ranks_per_channel,
+                density=self.density,
+                k=2,
+                m=1,
+                region_fraction=self.clr_fraction_pct / 100.0,
+                fast_refresh=False,
+                refresh_skipping=True,
+                mechanism="clr",
+            )
+        if self.mechanism == "chargecache" and self.cc_capacity > 0:
+            return OracleConfig(
+                rows_per_bank=self.rows_per_bank,
+                rows_per_subarray=self.rows_per_subarray,
+                banks_per_rank=self.banks_per_rank,
+                ranks_per_channel=self.ranks_per_channel,
+                density=self.density,
+                mechanism="chargecache",
+                cc_capacity=self.cc_capacity,
+                cc_window_ns=self.cc_window_ns,
+            )
+        if self.mechanism != "mcr":
+            # A plugin at its disabled point (fraction 0 / capacity 0)
+            # is conventional DRAM; the oracle checks it as such.
+            return OracleConfig(
+                rows_per_bank=self.rows_per_bank,
+                rows_per_subarray=self.rows_per_subarray,
+                banks_per_rank=self.banks_per_rank,
+                ranks_per_channel=self.ranks_per_channel,
+                density=self.density,
+            )
         return OracleConfig(
             rows_per_bank=self.rows_per_bank,
             rows_per_subarray=self.rows_per_subarray,
@@ -334,6 +445,7 @@ def build_spec(case: VerifyCase):
         mapping=MappingScheme[case.mapping],
         refresh_enabled=case.refresh_enabled,
         policy=SchedulingPolicy[case.policy],
+        mechanism=case.mechanism_spec(),
     )
 
 
@@ -347,8 +459,32 @@ def sample_case(rng: random.Random, seed: int | None = None) -> VerifyCase:
     """
     if seed is None:
         seed = rng.getrandbits(32)
-    k, m = rng.choice(KM_CHOICES)
-    region_pct = 0.0 if k == 1 else rng.choice(REGION_PCT_CHOICES)
+    # Mechanism draw: the classic MCR path keeps the majority (it is
+    # the reference device and the only batchable one); the related-work
+    # plugins each get a steady minority share.
+    mech_roll = rng.random()
+    if mech_roll < 0.7:
+        mechanism = "mcr"
+    elif mech_roll < 0.85:
+        mechanism = "clr"
+    else:
+        mechanism = "chargecache"
+    clr_fraction_pct = 0.0
+    cc_capacity = 0
+    cc_window_ns = 0.0
+    if mechanism == "mcr":
+        k, m = rng.choice(KM_CHOICES)
+        region_pct = 0.0 if k == 1 else rng.choice(REGION_PCT_CHOICES)
+    else:
+        # Plugins refuse to compose with an MCR mode: neutralize the
+        # mode fields so case.mode() is the off mode.
+        k = m = 1
+        region_pct = 0.0
+        if mechanism == "clr":
+            clr_fraction_pct = rng.choice(CLR_FRACTION_CHOICES)
+        else:
+            cc_capacity = rng.choice(CC_CAPACITY_CHOICES)
+            cc_window_ns = rng.choice(CC_WINDOW_NS_CHOICES)
     alt_k = alt_m = 1
     alt_region_pct = 0.0
     if k == 4 and 0.0 < region_pct <= 50.0 and rng.random() < 0.3:
@@ -358,6 +494,10 @@ def sample_case(rng: random.Random, seed: int | None = None) -> VerifyCase:
         if region_pct + alt_region_pct > 100.0:
             alt_region_pct = 25.0
     trace_kind = rng.choice(_TRACE_KINDS)
+    if mechanism == "chargecache" and rng.random() < 0.5:
+        # Bias toward the re-activation pattern that actually populates
+        # and hits the charge table.
+        trace_kind = "reuse"
     return VerifyCase(
         seed=seed,
         channels=rng.choice((1, 2)),
@@ -385,11 +525,19 @@ def sample_case(rng: random.Random, seed: int | None = None) -> VerifyCase:
         n_requests=(
             rng.randint(8, 24) if trace_kind == "refresh_heavy" else rng.randint(60, 200)
         ),
+        mechanism=mechanism,
+        clr_fraction_pct=clr_fraction_pct,
+        cc_capacity=cc_capacity,
+        cc_window_ns=cc_window_ns,
     )
 
 
 __all__ = [
+    "CC_CAPACITY_CHOICES",
+    "CC_WINDOW_NS_CHOICES",
+    "CLR_FRACTION_CHOICES",
     "KM_CHOICES",
+    "MECHANISM_CHOICES",
     "MODES",
     "REGION_PCT_CHOICES",
     "VerifyCase",
@@ -400,6 +548,7 @@ __all__ = [
     "miss_heavy_trace",
     "random_trace",
     "refresh_heavy_trace",
+    "reuse_trace",
     "sample_case",
     "write_miss_trace",
 ]

@@ -23,7 +23,14 @@ The identities:
   N copies of the scalar single-run result — lanes neither leak into
   each other nor depend on batch size;
 - ``batch-permutation``: permuting the lane order of a heterogeneous
-  batch permutes the results and changes nothing else.
+  batch permutes the results and changes nothing else;
+- ``clr-uncoupled``: the CLR-DRAM plugin with a 0% coupled fraction is
+  conventional DRAM — equal to no plugin at all (modulo the mode
+  label), proving the mechanism cannot leak timing into rows it does
+  not govern;
+- ``chargecache-empty``: the ChargeCache plugin with a zero-entry table
+  can never grant a highly-charged activation, so it equals the plain
+  baseline exactly (modulo the mode label) on any trace.
 
 Each check returns ``None`` when the identity holds, or a human-readable
 mismatch description.
@@ -89,13 +96,38 @@ def _strip(result, *, stats: bool = False):
     return replace(result, **fields)
 
 
+def _strip_label(result):
+    """Blank the mode label (identities across *differently named* but
+    behaviourally identical configurations)."""
+    return replace(result, mode_label="")
+
+
+def _plain_baseline(case: VerifyCase) -> VerifyCase:
+    """The same stimulus with every latency mechanism switched off."""
+    return replace(
+        case,
+        mechanism="mcr",
+        clr_fraction_pct=0.0,
+        cc_capacity=0,
+        cc_window_ns=0.0,
+        k=1,
+        m=1,
+        region_pct=0.0,
+        alt_k=1,
+        alt_m=1,
+        alt_region_pct=0.0,
+    )
+
+
 # ----------------------------------------------------------------------
 # The identities
 # ----------------------------------------------------------------------
 
 
 def _mcr_region_empty(rng: random.Random) -> str | None:
-    base = sample_case(rng)
+    # A sampled plugin case would ignore the K/M fields entirely (its
+    # mode is MCR-off), so pin the mechanism to the reference device.
+    base = _plain_baseline(sample_case(rng))
     k = rng.choice((2, 4))
     with_mcr_machinery = replace(
         base, k=k, m=k, region_pct=0.0, alt_k=1, alt_m=1, alt_region_pct=0.0
@@ -111,7 +143,10 @@ def _mcr_region_empty(rng: random.Random) -> str | None:
 
 
 def _skip_noop(rng: random.Random) -> str | None:
-    base = sample_case(rng)
+    sampled = sample_case(rng)
+    base = (
+        sampled if sampled.mechanism == "mcr" else _plain_baseline(sampled)
+    )
     k = rng.choice((2, 4))
     regions = (25.0, 50.0) if base.alt_region_pct > 0.0 else (25.0, 50.0, 100.0)
     common = replace(
@@ -173,6 +208,8 @@ def _batch_duplicates(rng: random.Random) -> str | None:
     from repro.batch import from_verify_case, run_batch
 
     case = sample_case(rng)
+    if case.mechanism != "mcr":
+        case = _plain_baseline(case)  # plugin lanes are scalar-only
     n = rng.randint(2, 4)
     single = run_case(case)
     for lane, got in enumerate(run_batch([from_verify_case(case)] * n)):
@@ -190,7 +227,10 @@ def _batch_duplicates(rng: random.Random) -> str | None:
 def _batch_permutation(rng: random.Random) -> str | None:
     from repro.batch import from_verify_case, run_batch
 
-    cases = [sample_case(rng) for _ in range(rng.randint(2, 4))]
+    cases = [
+        case if case.mechanism == "mcr" else _plain_baseline(case)
+        for case in (sample_case(rng) for _ in range(rng.randint(2, 4)))
+    ]
     instances = [from_verify_case(case) for case in cases]
     baseline = run_batch(instances)
     order = list(range(len(instances)))
@@ -208,6 +248,31 @@ def _batch_permutation(rng: random.Random) -> str | None:
     return None
 
 
+def _clr_uncoupled(rng: random.Random) -> str | None:
+    plain = _plain_baseline(sample_case(rng))
+    clr = replace(plain, mechanism="clr", clr_fraction_pct=0.0)
+    return _diff(
+        f"CLR with 0% coupled rows != baseline (seed={plain.seed})",
+        _strip_label(run_case(clr)),
+        _strip_label(run_case(plain)),
+    )
+
+
+def _chargecache_empty(rng: random.Random) -> str | None:
+    plain = _plain_baseline(sample_case(rng))
+    cache = replace(
+        plain,
+        mechanism="chargecache",
+        cc_capacity=0,
+        cc_window_ns=rng.choice((50_000.0, 1_000_000.0)),
+    )
+    return _diff(
+        f"zero-entry ChargeCache != baseline (seed={plain.seed})",
+        _strip_label(run_case(cache)),
+        _strip_label(run_case(plain)),
+    )
+
+
 IDENTITIES: dict[str, Callable[[random.Random], str | None]] = {
     "mcr-region-empty": _mcr_region_empty,
     "skip-noop": _skip_noop,
@@ -215,6 +280,8 @@ IDENTITIES: dict[str, Callable[[random.Random], str | None]] = {
     "column-permutation": _column_permutation,
     "batch-duplicates": _batch_duplicates,
     "batch-permutation": _batch_permutation,
+    "clr-uncoupled": _clr_uncoupled,
+    "chargecache-empty": _chargecache_empty,
 }
 
 

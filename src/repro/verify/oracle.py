@@ -28,9 +28,11 @@ at run time.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.verify.rules import (
+    cycles,
     MAX_POSTPONED_REFRESHES,
     SLOTS_PER_WINDOW,
     SPACING_RULES,
@@ -117,6 +119,17 @@ class _ChannelShadow:
         #: (rank, is_write, data_end_cycle) of the latest data transfer.
         self._transfer: tuple[int, bool, int] | None = None
         self.legal_trfc = legal_trfc_values(config, timings)
+        # ChargeCache shadow: the oracle's own bounded table of
+        # recently-closed rows, rebuilt purely from the observed
+        # PRECHARGE/ACTIVATE stream. It must mirror the controller-side
+        # table move for move (pop on every activation, FIFO eviction at
+        # capacity, expiry = precharge cycle + window) — any divergence
+        # shows up as a spurious tRCD/tRAS verdict.
+        self._charge_capacity = (
+            config.cc_capacity if config.mechanism == "chargecache" else 0
+        )
+        self._charge_window = cycles(config.cc_window_ns)
+        self._charge_table: OrderedDict[tuple[int, int, int], int] = OrderedDict()
 
     # -- queries the rule tables use -----------------------------------
 
@@ -191,13 +204,29 @@ class _ChannelShadow:
 
     # -- history fold ---------------------------------------------------
 
+    def _activation_kind(self, cmd) -> RowKind:
+        """Row kind of an ACTIVATE, including the dynamic CHARGED
+        upgrade from the shadow charge table (a hit consumes its entry
+        even when expired, exactly as the controller table does)."""
+        static = row_kind_of(self._config, cmd.row)
+        if self._charge_capacity == 0:
+            return static
+        expiry = self._charge_table.pop((cmd.rank, cmd.bank, cmd.row), None)
+        if (
+            expiry is not None
+            and cmd.cycle <= expiry
+            and static is RowKind.NORMAL
+        ):
+            return RowKind.CHARGED
+        return static
+
     def observe(self, cmd) -> None:
         self.last_cmd_cycle = cmd.cycle
         kind = cmd.kind.name
         if kind == "ACTIVATE":
             shadow = self.bank(cmd.rank, cmd.bank)
             shadow.act_cycle = cmd.cycle
-            shadow.act_kind = row_kind_of(self._config, cmd.row)
+            shadow.act_kind = self._activation_kind(cmd)
             shadow.open_row = cmd.row
             rank = self.rank(cmd.rank)
             rank.act_cycles.append(cmd.cycle)
@@ -220,8 +249,15 @@ class _ChannelShadow:
             )
         elif kind == "PRECHARGE":
             shadow = self.bank(cmd.rank, cmd.bank)
+            closed_row = shadow.open_row
             shadow.open_row = None
             shadow.pre_cycle = cmd.cycle
+            if self._charge_capacity > 0 and closed_row is not None:
+                key = (cmd.rank, cmd.bank, closed_row)
+                self._charge_table.pop(key, None)
+                while len(self._charge_table) >= self._charge_capacity:
+                    self._charge_table.popitem(last=False)
+                self._charge_table[key] = cmd.cycle + self._charge_window
         elif kind == "REFRESH":
             rank = self.rank(cmd.rank)
             rank.ref_cycle = cmd.cycle

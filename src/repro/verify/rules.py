@@ -14,7 +14,13 @@ re-states, as data:
 - the **refresh mix** rule (paper Sec. 4.3: the counter walks every row
   once per 8192-slot window, so a region covering fraction L of the rows
   owns fraction L of the slots, and Refresh-Skipping drops (1 - M/K) of
-  that region's slots).
+  that region's slots);
+- the **related-work mechanism tables**: each latency-mechanism plugin
+  (``repro.mechanisms``) restates its published timings here as
+  independent literals — CLR-DRAM's coupled-row max-latency constants
+  and ChargeCache's highly-charged-row constants — selected by
+  ``OracleConfig.mechanism``. The oracle never imports a plugin; the
+  numbers are written down twice on purpose (pipeline independence).
 
 Independence contract: this module must not import
 ``repro.dram.timing`` or ``repro.obs.invariants`` (or anything that
@@ -62,6 +68,18 @@ PAPER_TRAS_NS: dict[tuple[int, int], float] = {
     (4, 2): 22.78,
     (4, 4): 20.00,
 }
+
+#: CLR-DRAM coupled-row (max-latency mode) analog timings, ns — the
+#: literals ``repro.mechanisms.clr`` programs into the device, restated
+#: here independently (kept in sync by hand, never by import).
+CLR_TRCD_NS: float = 10.6
+CLR_TRAS_NS: float = 30.6
+CLR_TRFC_NS: float = 208.0
+
+#: ChargeCache highly-charged-row analog timings, ns — the literals
+#: ``repro.mechanisms.chargecache`` programs for ``RowKind.CHARGED``.
+CHARGECACHE_TRCD_NS: float = 7.7
+CHARGECACHE_TRAS_NS: float = 22.4
 
 #: JEDEC DDR3 base (1x) tRFC per device density, ns.
 JEDEC_TRFC_NS: dict[str, float] = {
@@ -111,6 +129,10 @@ class RowKind(Enum):
     NORMAL = "normal"
     MCR = "mcr"
     MCR_ALT = "mcr_alt"
+    #: Dynamic kind: a recently-closed row re-activated inside the
+    #: ChargeCache decay window. No static address maps here; the
+    #: oracle's shadow charge table assigns it at ACTIVATE time.
+    CHARGED = "charged"
 
 
 @dataclass(frozen=True)
@@ -136,6 +158,15 @@ class OracleConfig:
     early_precharge: bool = True
     fast_refresh: bool = True
     refresh_skipping: bool = True
+    #: Which latency mechanism's timing tables apply: "mcr" (the paper's
+    #: clone rows, the default), "clr" (coupled rows; the k/m/region
+    #: fields above describe the coupled region with k=2, m=1,
+    #: fast_refresh off, refresh_skipping on), or "chargecache" (device
+    #: mode off; ``cc_capacity``/``cc_window_ns`` drive the shadow
+    #: charge table and the ``RowKind.CHARGED`` timings).
+    mechanism: str = "mcr"
+    cc_capacity: int = 0
+    cc_window_ns: float = 0.0
 
     @property
     def enabled(self) -> bool:
@@ -254,6 +285,19 @@ def oracle_timings(config: OracleConfig) -> OracleTimings:
             trfc[kind] = cycles(
                 trfc_base_ns * mode_trc_cycles / base_trc_cycles
             )
+    if config.mechanism == "clr":
+        # Coupled rows run at CLR's own published constants, not MCR's
+        # Table 3 (the region geometry still decides *which* rows).
+        trcd[RowKind.MCR] = cycles(CLR_TRCD_NS)
+        tras[RowKind.MCR] = cycles(CLR_TRAS_NS)
+        trc[RowKind.MCR] = cycles(CLR_TRAS_NS + TRP_NS)
+        trfc[RowKind.MCR] = cycles(CLR_TRFC_NS)
+    elif config.mechanism == "chargecache":
+        trcd[RowKind.CHARGED] = cycles(CHARGECACHE_TRCD_NS)
+        tras[RowKind.CHARGED] = cycles(CHARGECACHE_TRAS_NS)
+        trc[RowKind.CHARGED] = cycles(CHARGECACHE_TRAS_NS + TRP_NS)
+    elif config.mechanism != "mcr":
+        raise ValueError(f"unknown oracle mechanism {config.mechanism!r}")
     return OracleTimings(
         base=dict(DDR3_1600_CYCLES), trcd=trcd, tras=tras, trc=trc, trfc=trfc
     )
@@ -519,6 +563,11 @@ STRUCTURAL_RULES: tuple[StructuralRule, ...] = (
 
 
 __all__ = [
+    "CHARGECACHE_TRAS_NS",
+    "CHARGECACHE_TRCD_NS",
+    "CLR_TRAS_NS",
+    "CLR_TRCD_NS",
+    "CLR_TRFC_NS",
     "COMMAND_KINDS",
     "DDR3_1600_CYCLES",
     "JEDEC_TRFC_NS",

@@ -39,7 +39,7 @@ from repro.batch.tables import spread_schedule, window_counts
 from repro.core.api import SystemSpec
 from repro.core.mcr_mode import MCRMode
 from repro.verify.corpus import corpus_paths, load_artifact
-from repro.verify.generator import VerifyCase, sample_case
+from repro.verify.generator import VerifyCase, build_spec, sample_case
 from tests.equivalence_harness import (
     assert_equivalent,
     batch_vs_scalar,
@@ -122,17 +122,34 @@ class TestConfigMatrix:
 class TestSampledSweep:
     @pytest.mark.parametrize("seed", (101, 202, 303))
     def test_sampled_cases_bit_identical(self, seed):
-        """Cases drawn from the verify fuzzer's own distribution."""
+        """Cases drawn from the verify fuzzer's own distribution.
+
+        The fuzzer also samples mechanism-plugin cases; those are not
+        batchable (the kernel vectorizes the MCR reference device only),
+        so the sweep asserts the compat gate names the plugin and keeps
+        the batchable majority for the bit-identity comparison.
+        """
         rng = random.Random(seed)
         cases = [sample_case(rng) for _ in range(8)]
-        mismatches = batch_vs_scalar(cases)
+        batchable = []
+        for case in cases:
+            if case.mechanism == "mcr":
+                batchable.append(case)
+            else:
+                reason = incompatibility(build_spec(case))
+                assert reason is not None and case.mechanism in reason
+        mismatches = batch_vs_scalar(batchable)
         assert mismatches == [], "\n".join(mismatches)
 
     @pytest.mark.slow
     @pytest.mark.parametrize("seed", (404, 505))
     def test_sampled_cases_bit_identical_wide(self, seed):
         rng = random.Random(seed)
-        cases = [sample_case(rng) for _ in range(24)]
+        cases = [
+            case
+            for case in (sample_case(rng) for _ in range(24))
+            if case.mechanism == "mcr"
+        ]
         mismatches = batch_vs_scalar(cases)
         assert mismatches == [], "\n".join(mismatches)
 
@@ -148,8 +165,14 @@ class TestCorpusReplay:
     @pytest.mark.parametrize("path", ARTIFACTS, ids=lambda p: p.stem)
     def test_corpus_case_bit_identical(self, path):
         """Every shrinker-minimized reproducer in tests/corpus replays
-        through the batch kernel bit-identically to the scalar engine."""
+        through the batch kernel bit-identically to the scalar engine.
+        Mechanism-plugin reproducers are scalar-only; for those the
+        kernel must refuse with the plugin named in the reason."""
         case = load_artifact(path)["case"]
+        if case.mechanism != "mcr":
+            reason = incompatibility(build_spec(case))
+            assert reason is not None and case.mechanism in reason
+            return
         [batched] = run_batched([case])
         assert_equivalent(batched, run_scalar(case), f"corpus {path.stem}")
 
@@ -167,8 +190,12 @@ def _case_pool():
     built once — examples only pay for the batch side."""
     if not _pool:
         cases = []
-        for i in range(_POOL_SIZE):
+        i = 0
+        while len(cases) < _POOL_SIZE:
             case = sample_case(random.Random(9_000 + i))
+            i += 1
+            if case.mechanism != "mcr":  # plugin lanes run scalar-only
+                continue
             cases.append(replace(case, n_requests=min(case.n_requests, 80)))
         _pool["cases"] = cases
         _pool["scalar"] = [run_scalar(case) for case in cases]

@@ -34,6 +34,7 @@ class TestExperimentRegistryConsistency:
             "capacity": "bench_capacity_sweep.py",
             "tldram": "bench_tldram_comparison.py",
             "mapping": "bench_ablation_mapping.py",
+            "mechanisms": "bench_mechanism_comparison.py",
         }
         assert set(expected) == set(_registry()), "registry/bench map drifted"
         for name, bench in expected.items():

@@ -1,0 +1,364 @@
+"""The latency-mechanism plugin API: registry, specs, routing, zoo.
+
+Covers the plugin subsystem end to end:
+
+- registry edge cases (unknown names fail loudly listing the known set,
+  conflicting registrations are errors, re-registration is idempotent);
+- ``MechanismSpec`` fingerprint round-trip: distinct parameters must
+  produce distinct SHA-256 job fingerprints and equal parameters equal
+  ones (both directions — the harness cache keys off this);
+- scalar-fallback routing: plugin specs carry their own batch
+  incompatibility, ``plan_units`` turns them into scalar work units
+  with the mechanism named in the reason, and the batched kernel
+  refuses them outright;
+- MCR-as-plugin bit-identity: requesting the reference plugin
+  explicitly is the exact same machine as no mechanism spec at all;
+- disabled-plugin identities (CLR at 0% coupled, zero-entry
+  ChargeCache) equal the plain baseline modulo the mode label;
+- ChargeCache actually classifies CHARGED activations on reuse-heavy
+  traffic, and the stats/observability layers carry the new row class
+  end to end (the RowClass-genericity regressions);
+- ``repro.obs.attribution.attribute_plugin`` decomposes a plugin's
+  contribution with a clean self-check.
+"""
+
+import pytest
+
+from repro.core.api import SystemSpec, run_system
+from repro.core.mcr_mode import MCRMode
+from repro.dram.config import single_core_geometry
+from repro.dram.mcr import MCRModeConfig, RowClass
+from repro.harness.fingerprint import fingerprint_spec
+from repro.mechanisms import (
+    LatencyMechanism,
+    MechanismSpec,
+    available,
+    batch_incompatibility,
+    mechanism_class,
+    register,
+    resolve,
+)
+from repro.workloads.generator import make_trace
+
+
+def _traces(name="comm2", n=300, seed=7):
+    return [make_trace(name, n, seed=seed)]
+
+
+def _strip_label(result):
+    from dataclasses import replace
+
+    return replace(result, mode_label="")
+
+
+# ----------------------------------------------------------------------
+# Registry edge cases
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_available(self):
+        assert available() == ("chargecache", "clr", "mcr")
+
+    def test_unknown_name_lists_known_set(self):
+        with pytest.raises(ValueError) as excinfo:
+            mechanism_class("tldram")
+        message = str(excinfo.value)
+        assert "tldram" in message
+        for name in ("chargecache", "clr", "mcr"):
+            assert name in message
+
+    def test_reregistration_is_idempotent(self):
+        cls = mechanism_class("clr")
+        assert register(cls) is cls
+        assert mechanism_class("clr") is cls
+
+    def test_conflicting_registration_is_an_error(self):
+        class Impostor(LatencyMechanism):
+            name = "mcr"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register(Impostor)
+
+    def test_nameless_class_rejected(self):
+        class Nameless(LatencyMechanism):
+            name = ""
+
+        with pytest.raises(ValueError, match="non-empty"):
+            register(Nameless)
+
+    def test_resolve_none_is_reference_mcr(self):
+        geometry = single_core_geometry()
+        mode = MCRMode.parse("2/2x/100%reg").config
+        plugin = resolve(geometry, mode, None)
+        assert plugin.name == "mcr"
+        assert plugin.device_mode() == mode
+
+
+# ----------------------------------------------------------------------
+# MechanismSpec identity and fingerprints
+# ----------------------------------------------------------------------
+
+
+class TestMechanismSpec:
+    def test_params_canonically_sorted(self):
+        a = MechanismSpec(name="chargecache", params=(("window_ns", 1.0), ("capacity", 4)))
+        b = MechanismSpec.make("chargecache", capacity=4, window_ns=1.0)
+        assert a == b
+        assert a.params == (("capacity", 4), ("window_ns", 1.0))
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(ValueError, match="int/float/str/bool"):
+            MechanismSpec.make("clr", fraction=[1, 2])
+
+    def test_fingerprint_round_trip_both_directions(self):
+        """Distinct params <=> distinct SHA-256 spec fingerprints."""
+        specs = [
+            None,
+            MechanismSpec.make("mcr"),
+            MechanismSpec.make("clr", fraction_pct=50),
+            MechanismSpec.make("clr", fraction_pct=100),
+            MechanismSpec.make("chargecache", capacity=4, window_ns=50_000.0),
+            MechanismSpec.make("chargecache", capacity=8, window_ns=50_000.0),
+            MechanismSpec.make("chargecache", capacity=4, window_ns=200_000.0),
+        ]
+        digests = [
+            fingerprint_spec(SystemSpec(mechanism=spec)) for spec in specs
+        ]
+        # Distinct configurations never collide...
+        assert len(set(digests)) == len(specs)
+        # ...and equal configurations always agree, regardless of the
+        # keyword order they were built with.
+        again = fingerprint_spec(
+            SystemSpec(
+                mechanism=MechanismSpec.make(
+                    "chargecache", window_ns=50_000.0, capacity=4
+                )
+            )
+        )
+        assert again == digests[4]
+
+    def test_spec_get_with_default(self):
+        spec = MechanismSpec.make("clr", fraction_pct=25)
+        assert spec.get("fraction_pct") == 25
+        assert spec.get("missing", 9) == 9
+
+
+# ----------------------------------------------------------------------
+# Batch compatibility and scalar-fallback routing
+# ----------------------------------------------------------------------
+
+
+class TestScalarFallbackRouting:
+    def test_mcr_and_none_are_batchable(self):
+        assert batch_incompatibility(None) is None
+        assert batch_incompatibility(MechanismSpec.make("mcr")) is None
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            MechanismSpec.make("clr", fraction_pct=100),
+            MechanismSpec.make("chargecache", capacity=4, window_ns=50_000.0),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_plugin_reason_names_mechanism(self, spec):
+        from repro.batch import incompatibility
+
+        assert batch_incompatibility(spec) is not None
+        reason = incompatibility(SystemSpec(mechanism=spec))
+        assert reason is not None and spec.name in reason
+
+    def test_plan_units_routes_plugins_scalar(self):
+        from repro.harness.jobs import SimJob
+        from repro.harness.planner import plan_units
+
+        traces = _traces()
+        jobs = [
+            SimJob.from_traces(traces, MCRModeConfig.off(), SystemSpec()),
+            SimJob.from_traces(
+                traces,
+                MCRModeConfig.off(),
+                SystemSpec(mechanism=MechanismSpec.make("clr", fraction_pct=50)),
+            ),
+            SimJob.from_traces(
+                traces,
+                MCRModeConfig.off(),
+                SystemSpec(
+                    mechanism=MechanismSpec.make(
+                        "chargecache", capacity=4, window_ns=50_000.0
+                    )
+                ),
+            ),
+        ]
+        units = plan_units(jobs)
+        kinds = {unit.kind for unit in units}
+        assert kinds == {"chunk", "scalar"}
+        scalar_units = [u for u in units if u.kind == "scalar"]
+        assert len(scalar_units) == 2
+        for unit in scalar_units:
+            mechanism = unit.jobs[0].spec.mechanism
+            assert unit.reason is not None and mechanism.name in unit.reason
+
+    def test_batch_kernel_refuses_plugin_instance(self):
+        from repro.batch import BatchCompatError, from_verify_case
+        from repro.batch.kernel import BatchKernel
+        from repro.verify.generator import VerifyCase
+
+        case = VerifyCase(
+            seed=3, mechanism="clr", clr_fraction_pct=100.0, n_requests=20
+        )
+        with pytest.raises(BatchCompatError, match="clr"):
+            BatchKernel([from_verify_case(case)])
+
+
+# ----------------------------------------------------------------------
+# Behavioural identities
+# ----------------------------------------------------------------------
+
+
+class TestPluginBehaviour:
+    def test_mcr_as_plugin_is_bit_identical(self):
+        traces = _traces()
+        for label in ("off", "2/2x/100%reg", "2/4x/50%reg"):
+            mode = MCRMode.parse(label)
+            implicit = run_system(traces, mode, spec=SystemSpec())
+            explicit = run_system(
+                traces,
+                mode,
+                spec=SystemSpec(mechanism=MechanismSpec.make("mcr")),
+            )
+            assert implicit == explicit, label
+
+    def test_clr_zero_fraction_equals_baseline(self):
+        traces = _traces()
+        baseline = run_system(traces, MCRMode.off(), spec=SystemSpec())
+        clr = run_system(
+            traces,
+            MCRMode.off(),
+            spec=SystemSpec(mechanism=MechanismSpec.make("clr", fraction_pct=0)),
+        )
+        assert _strip_label(clr) == _strip_label(baseline)
+
+    def test_chargecache_zero_capacity_equals_baseline(self):
+        traces = _traces()
+        baseline = run_system(traces, MCRMode.off(), spec=SystemSpec())
+        cache = run_system(
+            traces,
+            MCRMode.off(),
+            spec=SystemSpec(
+                mechanism=MechanismSpec.make(
+                    "chargecache", capacity=0, window_ns=50_000.0
+                )
+            ),
+        )
+        assert _strip_label(cache) == _strip_label(baseline)
+
+    def test_clr_speeds_up_and_labels_itself(self):
+        traces = _traces()
+        baseline = run_system(traces, MCRMode.off(), spec=SystemSpec())
+        clr = run_system(
+            traces,
+            MCRMode.off(),
+            spec=SystemSpec(mechanism=MechanismSpec.make("clr", fraction_pct=100)),
+        )
+        assert clr.execution_cycles < baseline.execution_cycles
+        assert "clr" in clr.mode_label
+
+    def test_chargecache_counts_charged_activations(self):
+        traces = [make_trace("comm2", 600, seed=11)]
+        result = run_system(
+            traces,
+            MCRMode.off(),
+            spec=SystemSpec(
+                mechanism=MechanismSpec.make(
+                    "chargecache", capacity=128, window_ns=1_000_000.0
+                )
+            ),
+        )
+        charged = sum(
+            stats.get("activates_charged", 0) for stats in result.controller_stats
+        )
+        assert charged > 0
+        assert "chargecache" in result.mode_label
+
+    def test_plugin_refuses_mcr_mode_composition(self):
+        geometry = single_core_geometry()
+        mcr_on = MCRMode.parse("2/2x/100%reg").config
+        for spec in (
+            MechanismSpec.make("clr", fraction_pct=50),
+            MechanismSpec.make("chargecache", capacity=4, window_ns=50_000.0),
+        ):
+            with pytest.raises(ValueError):
+                resolve(geometry, mcr_on, spec)
+
+
+# ----------------------------------------------------------------------
+# RowClass-genericity regressions (satellite: latent enum assumptions)
+# ----------------------------------------------------------------------
+
+
+class TestRowClassGenericity:
+    def test_charged_member_exists_and_is_dense(self):
+        values = sorted(cls.value for cls in RowClass)
+        assert values == list(range(1, len(RowClass) + 1))
+        assert RowClass.CHARGED in RowClass
+
+    def test_tracer_labels_cover_every_class(self):
+        from repro.obs.tracer import ROW_CLASS_LABELS
+
+        assert set(ROW_CLASS_LABELS) == set(RowClass)
+        assert ROW_CLASS_LABELS[RowClass.CHARGED] == "charged"
+
+    def test_export_label_map_round_trips_every_class(self):
+        from repro.obs.tracer import ROW_CLASS_LABELS
+
+        # export.py rebuilds {label: cls} from the enum inline; the
+        # tracer's labels must round-trip through that construction for
+        # every class, CHARGED included.
+        reverse = {cls.name.lower(): cls for cls in RowClass}
+        for cls, label in ROW_CLASS_LABELS.items():
+            assert reverse[label] is cls
+
+    def test_lane_arrays_sized_off_the_enum(self):
+        from repro.batch import from_verify_case
+        from repro.batch.kernel import BatchKernel
+        from repro.verify.generator import VerifyCase
+
+        kernel = BatchKernel([from_verify_case(VerifyCase(seed=1, n_requests=8))])
+        lane = kernel.lanes[0]
+        for controller in lane.ctrls:
+            assert len(controller.act_counts) == max(c.value for c in RowClass) + 1
+
+    def test_controller_stats_hide_empty_plugin_classes(self):
+        """MCR-device runs must not grow new stats keys (the golden
+        fixtures pin them); plugin classes appear only when populated."""
+        result = run_system(_traces(n=100), MCRMode.off(), spec=SystemSpec())
+        for stats in result.controller_stats:
+            assert "activates_charged" not in stats
+
+
+# ----------------------------------------------------------------------
+# Plugin attribution
+# ----------------------------------------------------------------------
+
+
+class TestPluginAttribution:
+    def test_attribute_plugin_self_check_clean(self):
+        from repro.obs.attribution import attribute_plugin
+        from repro.obs.hub import ObservabilityConfig, observe_run
+
+        _, hub = observe_run(
+            _traces(n=200),
+            MCRMode.off(),
+            spec=SystemSpec(mechanism=MechanismSpec.make("clr", fraction_pct=100)),
+            config=ObservabilityConfig(trace=True),
+        )
+        report = attribute_plugin(hub)
+        assert report["self_check"]["clean"], report["self_check"]
+        assert report["buckets"]["mechanism"] > 0
+        lower, upper = (
+            report["bucket_bounds"]["mechanism"]["lower"],
+            report["bucket_bounds"]["mechanism"]["upper"],
+        )
+        assert lower <= report["buckets"]["mechanism"] <= upper

@@ -44,7 +44,7 @@ class TestSampler:
             assert len(traces) == case.n_traces
             assert all(len(t.entries) == case.n_requests for t in traces)
         # The sampler actually explores the trace-shape space.
-        assert kinds == {"random", "miss_heavy", "write_miss", "refresh_heavy"}
+        assert kinds == {"random", "miss_heavy", "write_miss", "refresh_heavy", "reuse"}
 
     def test_addresses_stay_on_device(self):
         rng = random.Random(5)

@@ -23,6 +23,8 @@ class TestIdentityCatalog:
             "column-permutation",
             "batch-duplicates",
             "batch-permutation",
+            "clr-uncoupled",
+            "chargecache-empty",
         }
 
     def test_unknown_identity_raises(self):

@@ -80,14 +80,24 @@ class TestDifferentialTables:
 
     def test_sampled_configs_agree_with_timing_domain(self):
         from repro.dram.timing import TimingDomain
+        from repro.mechanisms import resolve
         from repro.verify.generator import sample_case
 
         rng = random.Random(2015)
         for _ in range(100):
             case = sample_case(rng)
             ours = oracle_timings(case.oracle_config()).constraint_table()
+            # Build the device domain the way the engine does: resolve
+            # the mechanism plugin (MCR resolves to the reference
+            # plugin) and program its timing overrides.
+            plugin = resolve(
+                case.geometry(), case.mode().config, case.mechanism_spec()
+            )
             theirs = TimingDomain(
-                case.geometry(), case.mode().config
+                case.geometry(),
+                plugin.device_mode(),
+                row_timing_overrides=plugin.row_timing_overrides(),
+                trfc_overrides=plugin.trfc_overrides(),
             ).constraint_table()
             assert ours == theirs, f"tables disagree for {case}"
 
